@@ -1,0 +1,251 @@
+//! DRAM bandwidth and latency under load.
+//!
+//! This is the model behind the paper's central finding: the SG2042's four
+//! channels saturate once ~8 cores stream (Figure 1 plateau; §5.2 "these
+//! components become saturated beyond a ratio of 4:1"), while the
+//! SG2044's 32 channels keep scaling to the full 64 cores (ratio 2:1).
+//!
+//! Aggregate sustained bandwidth at `p` streaming cores:
+//!
+//! ```text
+//! demand(p)  = p · b_core              (per-core streaming capability)
+//! B(p)       = saturate(demand, B_max) (law below)
+//! ```
+//!
+//! Two saturation laws are provided (the `ablation_dram_saturation` bench
+//! compares them):
+//!
+//! * [`SaturationLaw::HardKnee`] — `min(demand, B_max)`: ideal scaling to
+//!   a sharp plateau.
+//! * [`SaturationLaw::Queueing`] — a smooth-minimum law
+//!   `(demand⁻⁴ + B_max⁻⁴)^(−1/4)`: near-linear scaling until close to the
+//!   ceiling, then a rounded knee — real controllers lose some efficiency
+//!   *approaching* saturation (bank conflicts, scheduling), which bends
+//!   Figure 1's curves exactly this way.
+
+use rvhpc_machines::{CoreModel, MemorySpec};
+use serde::{Deserialize, Serialize};
+
+/// Which bandwidth-saturation law the model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SaturationLaw {
+    /// `min(demand, Bmax)`.
+    HardKnee,
+    /// Smooth-minimum `(demand⁻⁴ + Bmax⁻⁴)^(−1/4)` — default; matches
+    /// measured STREAM scaling knees closely.
+    #[default]
+    Queueing,
+}
+
+/// Smooth minimum with a k = 4 p-norm: ≈ `min(a, b)` away from the knee,
+/// rounded near it.
+#[inline]
+fn smooth_min(a: f64, b: f64) -> f64 {
+    if a <= 0.0 {
+        return 0.0;
+    }
+    (a.powi(-4) + b.powi(-4)).powf(-0.25)
+}
+
+/// DRAM subsystem model for one machine.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    /// Sustained bandwidth ceiling in GB/s (peak × sustained fraction).
+    pub bmax_gbs: f64,
+    /// Idle full-path latency in ns.
+    pub idle_latency_ns: f64,
+    /// Per-core streaming bandwidth in GB/s (prefetcher-driven MLP).
+    pub per_core_stream_gbs: f64,
+    /// Per-core irregular-access MLP (outstanding misses).
+    pub random_mlp: f64,
+    /// Memory channels (bank-level parallelism for irregular traffic).
+    pub channels: u32,
+    /// Physical cores on the chip (sets the worst-case queueing pressure
+    /// behind the random-access cap).
+    pub total_cores: u32,
+    pub law: SaturationLaw,
+}
+
+impl DramModel {
+    /// Build from machine descriptors.
+    pub fn new(mem: &MemorySpec, core: &CoreModel, clock_ghz: f64) -> Self {
+        let _ = clock_ghz;
+        let bmax = mem.peak_bandwidth_gbs() * mem.sustained_fraction;
+        // Per-core streaming: stream_mlp outstanding 64 B lines per
+        // idle-latency window.
+        let per_core = core.stream_mlp * 64.0 / mem.idle_latency_ns;
+        Self {
+            bmax_gbs: bmax,
+            idle_latency_ns: mem.idle_latency_ns,
+            per_core_stream_gbs: per_core,
+            random_mlp: core.mlp,
+            channels: mem.channels,
+            total_cores: 1, // set via with_cores; 1 = uncontended default
+            law: SaturationLaw::default(),
+        }
+    }
+
+    /// Same model under a different saturation law (for ablations).
+    pub fn with_law(mut self, law: SaturationLaw) -> Self {
+        self.law = law;
+        self
+    }
+
+    /// Set the chip's physical core count (determines the steady-state
+    /// queue pressure behind the random-access cap).
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.total_cores = cores.max(1);
+        self
+    }
+
+    /// Sustained aggregate bandwidth (GB/s) with `p` cores streaming.
+    pub fn bandwidth(&self, p: u32) -> f64 {
+        let demand = p as f64 * self.per_core_stream_gbs;
+        match self.law {
+            SaturationLaw::HardKnee => demand.min(self.bmax_gbs),
+            SaturationLaw::Queueing => smooth_min(demand, self.bmax_gbs),
+        }
+    }
+
+    /// Bandwidth utilization (0..1) given `p` streaming cores.
+    pub fn utilization(&self, p: u32) -> f64 {
+        (self.bandwidth(p) / self.bmax_gbs).clamp(0.0, 1.0)
+    }
+
+    /// Effective memory latency (ns) at utilization `u` ∈ [0,1): queueing
+    /// delay grows as the controller saturates. Clamped at 8× idle.
+    pub fn loaded_latency_ns(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 0.97);
+        (self.idle_latency_ns / (1.0 - u * u)).min(self.idle_latency_ns * 8.0)
+    }
+
+    /// Aggregate irregular-access throughput: misses (lines) per second
+    /// that `p` cores can retire. Demand is MLP-limited per core; capacity
+    /// is the line-transfer bandwidth derated by queueing contention that
+    /// grows with the core-to-channel ratio — with 16 cores per channel
+    /// (SG2042 at 64 cores) random traffic falls measurably short of the
+    /// streaming ceiling, with 2 (SG2044) it barely notices.
+    pub fn random_access_rate(&self, p: u32) -> f64 {
+        let demand = p as f64 * self.random_mlp / (self.idle_latency_ns * 1e-9);
+        // Bank/queue contention derates the line cap by the chip's
+        // core-to-channel ratio (16:1 on the SG2042 vs 2:1 on the SG2044 —
+        // the paper's §5.2 explanation). Using the chip ratio (not the
+        // active-thread ratio) keeps throughput monotone in p: the paper's
+        // IS curve *plateaus* past 16 SG2042 cores rather than regressing.
+        let contention = 1.0 + (self.total_cores as f64 / self.channels as f64) / 8.0;
+        let bw_cap = self.bmax_gbs * 1e9 / 64.0 / contention;
+        match self.law {
+            SaturationLaw::HardKnee => demand.min(bw_cap),
+            SaturationLaw::Queueing => smooth_min(demand, bw_cap),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvhpc_machines::presets;
+
+    fn model_for(m: &rvhpc_machines::Machine) -> DramModel {
+        DramModel::new(&m.memory, &m.core, m.clock_ghz).with_cores(m.cores)
+    }
+
+    #[test]
+    fn sg2042_plateaus_by_sixteen_cores() {
+        // Figure 1: the SG2042 stops scaling past ~8 cores.
+        let m = presets::sg2042();
+        let d = model_for(&m);
+        let b8 = d.bandwidth(8);
+        let b64 = d.bandwidth(64);
+        assert!(
+            b64 / b8 < 1.35,
+            "SG2042 should plateau: B(8) = {b8:.1}, B(64) = {b64:.1}"
+        );
+    }
+
+    #[test]
+    fn sg2044_keeps_scaling_to_64_cores() {
+        let m = presets::sg2044();
+        let d = model_for(&m);
+        let b8 = d.bandwidth(8);
+        let b64 = d.bandwidth(64);
+        assert!(
+            b64 / b8 > 2.7,
+            "SG2044 must keep scaling: B(8) = {b8:.1}, B(64) = {b64:.1}"
+        );
+    }
+
+    #[test]
+    fn figure1_headline_ratio_holds() {
+        // Paper: at 64 cores the SG2044 delivers over 3× the SG2042's
+        // bandwidth; single-core bandwidths are comparable.
+        let d44 = model_for(&presets::sg2044());
+        let d42 = model_for(&presets::sg2042());
+        let r64 = d44.bandwidth(64) / d42.bandwidth(64);
+        assert!(r64 > 3.0 && r64 < 4.0, "64-core ratio {r64:.2}");
+        let r1 = d44.bandwidth(1) / d42.bandwidth(1);
+        assert!(r1 > 0.8 && r1 < 1.4, "1-core ratio {r1:.2}");
+    }
+
+    #[test]
+    fn hard_knee_is_exact_min() {
+        let d = model_for(&presets::epyc7742()).with_law(SaturationLaw::HardKnee);
+        let one = d.bandwidth(1);
+        assert!((one - d.per_core_stream_gbs).abs() < 1e-9);
+        assert!((d.bandwidth(1000) - d.bmax_gbs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queueing_law_never_exceeds_bmax_or_demand() {
+        let d = model_for(&presets::sg2044());
+        for p in [1, 2, 4, 8, 16, 32, 64] {
+            let b = d.bandwidth(p);
+            assert!(b <= d.bmax_gbs + 1e-9);
+            assert!(b <= p as f64 * d.per_core_stream_gbs + 1e-9);
+            assert!(b > 0.0);
+        }
+    }
+
+    #[test]
+    fn loaded_latency_grows_with_utilization() {
+        let d = model_for(&presets::sg2042());
+        let l0 = d.loaded_latency_ns(0.0);
+        let l9 = d.loaded_latency_ns(0.9);
+        assert!((l0 - d.idle_latency_ns).abs() < 1e-9);
+        assert!(l9 > 3.0 * l0, "loaded {l9:.0} vs idle {l0:.0}");
+    }
+
+    #[test]
+    fn bandwidth_is_monotone_in_cores() {
+        for m in presets::all() {
+            let d = model_for(&m);
+            let mut prev = 0.0;
+            for p in 1..=m.cores {
+                let b = d.bandwidth(p);
+                assert!(b >= prev - 1e-12, "{:?} at p={p}", m.id);
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn random_rate_saturates_below_streaming() {
+        let d = model_for(&presets::sg2044());
+        // Random line traffic at full chip must not exceed the line cap.
+        let cap = d.bmax_gbs * 1e9 / 64.0;
+        assert!(d.random_access_rate(64) <= cap + 1.0);
+        assert!(d.random_access_rate(64) > d.random_access_rate(1));
+    }
+
+    #[test]
+    fn channel_scarcity_derates_random_traffic() {
+        // Same line-bandwidth ceiling, fewer channels -> lower random
+        // throughput (the SG2042's 16:1 core:channel pain).
+        let d44 = model_for(&presets::sg2044());
+        let d42 = model_for(&presets::sg2042());
+        let r44 = d44.random_access_rate(64) / (d44.bmax_gbs * 1e9 / 64.0);
+        let r42 = d42.random_access_rate(64) / (d42.bmax_gbs * 1e9 / 64.0);
+        assert!(r44 > r42, "{r44} vs {r42}");
+        assert!(r42 < 0.55, "SG2042 must fall short of its cap: {r42}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Scalar pipeline throughput model.
+//!
+//! Produces the effective cycles-per-instruction of a phase's scalar
+//! instruction stream on a given core, from three ingredients:
+//!
+//! * the core's sustainable base IPC (`scalar_ipc`, calibrated — see
+//!   `rvhpc-core::calibrate`),
+//! * branch misprediction stalls (`rate × misrate × penalty`), and
+//! * the cache/memory stall cycles computed by the caller from the
+//!   hierarchy/DRAM models — in-order cores cannot hide them, out-of-order
+//!   cores overlap a large fraction.
+
+use rvhpc_machines::CoreModel;
+
+/// Pipeline model for one core.
+#[derive(Debug, Clone)]
+pub struct PipelineModel {
+    pub core: CoreModel,
+}
+
+impl PipelineModel {
+    /// Wrap a core descriptor.
+    pub fn new(core: CoreModel) -> Self {
+        Self { core }
+    }
+
+    /// Base cycles per instruction with branch effects, before memory
+    /// stalls.
+    pub fn base_cpi(&self, branch_rate: f64, branch_misrate: f64) -> f64 {
+        let cpi = 1.0 / self.core.scalar_ipc;
+        cpi + branch_rate * branch_misrate * f64::from(self.core.branch_miss_penalty)
+    }
+
+    /// Fraction of memory-stall cycles the core can hide by overlapping
+    /// with independent work: deep out-of-order cores hide most L2-class
+    /// latency; in-order cores hide essentially none.
+    pub fn stall_overlap(&self) -> f64 {
+        if self.core.out_of_order {
+            // Scales with window depth proxied by issue width.
+            (0.45 + 0.05 * f64::from(self.core.issue_width)).min(0.85)
+        } else {
+            0.05
+        }
+    }
+
+    /// Total cycles per instruction including exposed memory stalls.
+    /// `mem_stall_cycles` is the raw per-instruction stall cost the
+    /// caller computed from miss rates and latencies.
+    pub fn cpi(&self, branch_rate: f64, branch_misrate: f64, mem_stall_cycles: f64) -> f64 {
+        self.base_cpi(branch_rate, branch_misrate) + mem_stall_cycles * (1.0 - self.stall_overlap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvhpc_machines::presets;
+
+    #[test]
+    fn branchless_cpi_is_reciprocal_ipc() {
+        let m = presets::sg2044();
+        let p = PipelineModel::new(m.core);
+        assert!((p.base_cpi(0.0, 0.0) - 1.0 / m.core.scalar_ipc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mispredicted_branches_raise_cpi() {
+        let m = presets::sg2044();
+        let p = PipelineModel::new(m.core);
+        let clean = p.base_cpi(0.1, 0.0);
+        let missy = p.base_cpi(0.1, 0.3);
+        assert!(missy > clean + 0.3, "penalty must bite: {clean} -> {missy}");
+    }
+
+    #[test]
+    fn out_of_order_hides_more_stalls_than_in_order() {
+        let ooo = PipelineModel::new(presets::sg2044().core);
+        let ino = PipelineModel::new(presets::visionfive_v2().core);
+        assert!(ooo.stall_overlap() > 0.5);
+        assert!(ino.stall_overlap() < 0.1);
+        // Same raw stall burden hurts the in-order core far more.
+        let stall = 2.0;
+        let c_ooo = ooo.cpi(0.0, 0.0, stall) - ooo.base_cpi(0.0, 0.0);
+        let c_ino = ino.cpi(0.0, 0.0, stall) - ino.base_cpi(0.0, 0.0);
+        assert!(c_ino > 3.0 * c_ooo);
+    }
+
+    #[test]
+    fn cpi_is_monotone_in_stalls() {
+        let p = PipelineModel::new(presets::epyc7742().core);
+        let mut prev = 0.0;
+        for stall in [0.0, 0.5, 1.0, 2.0, 4.0] {
+            let c = p.cpi(0.05, 0.05, stall);
+            assert!(c > prev);
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Synthetic address-stream generators.
+//!
+//! Each generator produces the byte-address sequence characteristic of one
+//! `rvhpc_npb::profile::AccessPattern`-style behaviour; the trace-driven
+//! cache model consumes them to validate the closed-form miss estimates
+//! and to drive the Table 1 stall-profile experiment.
+
+/// An infinite deterministic address stream.
+pub trait AddressStream {
+    /// Next byte address.
+    fn next_addr(&mut self) -> u64;
+}
+
+/// Unit-stride streaming over a cyclic working set.
+#[derive(Debug, Clone)]
+pub struct Sequential {
+    pos: u64,
+    elem: u64,
+    ws: u64,
+}
+
+impl Sequential {
+    /// Stream `elem_bytes`-sized elements over `ws_bytes` cyclically.
+    pub fn new(elem_bytes: u32, ws_bytes: u64) -> Self {
+        Self {
+            pos: 0,
+            elem: u64::from(elem_bytes),
+            ws: ws_bytes.max(u64::from(elem_bytes)),
+        }
+    }
+}
+
+impl AddressStream for Sequential {
+    fn next_addr(&mut self) -> u64 {
+        let a = self.pos;
+        self.pos = (self.pos + self.elem) % self.ws;
+        a
+    }
+}
+
+/// Fixed-stride access over a cyclic working set.
+#[derive(Debug, Clone)]
+pub struct Strided {
+    pos: u64,
+    stride: u64,
+    ws: u64,
+}
+
+impl Strided {
+    /// Advance `stride_bytes` per access over `ws_bytes` cyclically.
+    pub fn new(stride_bytes: u32, ws_bytes: u64) -> Self {
+        Self {
+            pos: 0,
+            stride: u64::from(stride_bytes.max(1)),
+            ws: ws_bytes.max(u64::from(stride_bytes.max(1))),
+        }
+    }
+}
+
+impl AddressStream for Strided {
+    fn next_addr(&mut self) -> u64 {
+        let a = self.pos;
+        self.pos = (self.pos + self.stride) % self.ws;
+        a
+    }
+}
+
+/// Uniform pseudo-random references within a working set (IS ranking
+/// histogram, CG gathers). SplitMix64-driven: deterministic and fast.
+#[derive(Debug, Clone)]
+pub struct RandomInWs {
+    state: u64,
+    elem: u64,
+    ws: u64,
+}
+
+impl RandomInWs {
+    /// Random `elem_bytes`-aligned references within `ws_bytes`.
+    pub fn new(elem_bytes: u32, ws_bytes: u64, seed: u64) -> Self {
+        Self {
+            state: seed,
+            elem: u64::from(elem_bytes.max(1)),
+            ws: ws_bytes.max(u64::from(elem_bytes)),
+        }
+    }
+
+    #[inline]
+    fn splitmix(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl AddressStream for RandomInWs {
+    fn next_addr(&mut self) -> u64 {
+        let r = self.splitmix();
+        let slots = self.ws / self.elem;
+        (r % slots) * self.elem
+    }
+}
+
+/// Gather: a streaming index array driving random data references —
+/// alternates an index read (sequential) with a data read (random).
+#[derive(Debug, Clone)]
+pub struct Gather {
+    idx: Sequential,
+    data: RandomInWs,
+    phase: bool,
+    /// Data region base so index and data regions do not alias.
+    data_base: u64,
+}
+
+impl Gather {
+    /// Index array of `idx_ws` bytes driving gathers into `data_ws` bytes.
+    pub fn new(idx_ws: u64, data_ws: u64, seed: u64) -> Self {
+        Self {
+            idx: Sequential::new(4, idx_ws),
+            data: RandomInWs::new(8, data_ws, seed),
+            phase: false,
+            data_base: idx_ws.next_power_of_two().max(1 << 30),
+        }
+    }
+}
+
+impl AddressStream for Gather {
+    fn next_addr(&mut self) -> u64 {
+        self.phase = !self.phase;
+        if self.phase {
+            self.idx.next_addr()
+        } else {
+            self.data_base + self.data.next_addr()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{estimate, Cache};
+
+    fn drive(stream: &mut dyn AddressStream, cache: &mut Cache, n: usize) -> f64 {
+        for _ in 0..n {
+            let a = stream.next_addr();
+            cache.access(a);
+        }
+        let r = cache.stats().miss_ratio();
+        cache.reset_stats();
+        r
+    }
+
+    #[test]
+    fn sequential_wraps_within_ws() {
+        let mut s = Sequential::new(8, 64);
+        let addrs: Vec<u64> = (0..10).map(|_| s.next_addr()).collect();
+        assert_eq!(addrs[..8], [0, 8, 16, 24, 32, 40, 48, 56]);
+        assert_eq!(addrs[8], 0, "must wrap");
+    }
+
+    #[test]
+    fn random_stays_in_bounds_and_is_deterministic() {
+        let mut a = RandomInWs::new(8, 4096, 42);
+        let mut b = RandomInWs::new(8, 4096, 42);
+        for _ in 0..1000 {
+            let x = a.next_addr();
+            assert!(x < 4096);
+            assert_eq!(x % 8, 0);
+            assert_eq!(x, b.next_addr());
+        }
+    }
+
+    #[test]
+    fn trace_driven_streaming_matches_estimate() {
+        let mut c = Cache::with_geometry(64, 4, 64); // 16 KiB
+        let ws = 256 * 1024u64;
+        let mut s = Sequential::new(8, ws);
+        // Warm up one full sweep, then measure.
+        drive(&mut s, &mut c, (ws / 8) as usize);
+        let measured = drive(&mut s, &mut c, 2 * (ws / 8) as usize);
+        let est = estimate::streaming(ws as f64, c.capacity() as f64, 8, 64);
+        assert!(
+            (measured - est).abs() < 0.02,
+            "measured {measured:.4} vs estimate {est:.4}"
+        );
+    }
+
+    #[test]
+    fn gather_interleaves_index_and_data() {
+        let mut g = Gather::new(4096, 1 << 20, 7);
+        let a0 = g.next_addr(); // index
+        let a1 = g.next_addr(); // data
+        assert!(a0 < 4096);
+        assert!(a1 >= (1 << 30));
+    }
+
+    #[test]
+    fn strided_covers_distinct_lines() {
+        let mut s = Strided::new(256, 1 << 16);
+        let mut lines = std::collections::HashSet::new();
+        for _ in 0..(1 << 16) / 256 {
+            lines.insert(s.next_addr() >> 6);
+        }
+        assert!(lines.len() >= 255, "distinct lines: {}", lines.len());
+    }
+}

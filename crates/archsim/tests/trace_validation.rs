@@ -1,0 +1,142 @@
+//! Validate the closed-form miss estimates (which the performance model
+//! uses at paper scale) against the trace-driven cache simulator across a
+//! grid of geometries and patterns.
+
+use rvhpc_archsim::cache::{estimate, Cache};
+use rvhpc_archsim::stream_gen::{AddressStream, RandomInWs, Sequential, Strided};
+
+fn measure(cache: &mut Cache, stream: &mut dyn AddressStream, warm: usize, n: usize) -> f64 {
+    for _ in 0..warm {
+        let a = stream.next_addr();
+        cache.access(a);
+    }
+    cache.reset_stats();
+    for _ in 0..n {
+        let a = stream.next_addr();
+        cache.access(a);
+    }
+    cache.stats().miss_ratio()
+}
+
+#[test]
+fn streaming_estimates_track_traces_across_sizes() {
+    for (sets, ways) in [(64usize, 4usize), (256, 8), (512, 16)] {
+        let cap = (sets * ways * 64) as u64;
+        for ws_factor in [0.5f64, 2.0, 8.0, 64.0] {
+            let ws = ((cap as f64 * ws_factor) as u64 / 64).max(2) * 64;
+            let mut cache = Cache::with_geometry(sets, ways, 64);
+            let mut s = Sequential::new(8, ws);
+            let passes = 3 * (ws / 8) as usize;
+            let measured = measure(&mut cache, &mut s, (ws / 8) as usize, passes);
+            let est = estimate::streaming(ws as f64, cap as f64, 8, 64);
+            assert!(
+                (measured - est).abs() < 0.03,
+                "sets={sets} ways={ways} ws={ws}: measured {measured:.4} vs est {est:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_estimates_track_traces_across_working_sets() {
+    let mut worst = 0.0f64;
+    for (sets, ways) in [(128usize, 4usize), (256, 8)] {
+        let cap = (sets * ways * 64) as u64;
+        for ws_factor in [0.5f64, 2.0, 4.0, 16.0] {
+            let ws = (cap as f64 * ws_factor) as u64;
+            let mut cache = Cache::with_geometry(sets, ways, 64);
+            let mut s = RandomInWs::new(8, ws, 0xC0FFEE);
+            let measured = measure(&mut cache, &mut s, 50_000, 200_000);
+            let est = estimate::random_in_ws(ws as f64, cap as f64);
+            worst = worst.max((measured - est).abs());
+            assert!(
+                (measured - est).abs() < 0.08,
+                "sets={sets} ways={ways} ws={ws}: measured {measured:.4} vs est {est:.4}"
+            );
+        }
+    }
+    // The aggregate fit should be much tighter than the per-point bound.
+    assert!(worst < 0.08, "worst-case gap {worst:.4}");
+}
+
+#[test]
+fn strided_estimates_bound_traces() {
+    // The strided estimate deliberately uses the resident-fraction model
+    // (real kernels interleave several strided streams and phases), not
+    // the LRU-cyclic worst case, which is a full miss whenever ws > cap.
+    // The trace must therefore land between the estimate and 1.0 — and
+    // agree exactly when the sweep fits.
+    let (sets, ways) = (128usize, 8usize);
+    let cap = (sets * ways * 64) as u64;
+    for stride in [64u32, 256, 4096] {
+        // Fits: after warm-up, zero misses, exactly as estimated.
+        let ws_fit = cap / 2 / stride as u64 * stride as u64;
+        let mut cache = Cache::with_geometry(sets, ways, 64);
+        let mut s = Strided::new(stride, ws_fit.max(stride as u64 * 4));
+        let per_sweep = (ws_fit.max(stride as u64 * 4) / stride as u64) as usize;
+        let measured = measure(&mut cache, &mut s, 2 * per_sweep, 4 * per_sweep);
+        assert!(
+            measured < 0.01,
+            "stride={stride}: resident sweep missed {measured:.3}"
+        );
+        assert_eq!(
+            estimate::strided(ws_fit as f64, cap as f64, stride, 64),
+            0.0
+        );
+
+        // Overflows: trace between the estimate and the LRU worst case.
+        for ws_factor in [4.0f64, 16.0] {
+            let ws = (cap as f64 * ws_factor) as u64;
+            let mut cache = Cache::with_geometry(sets, ways, 64);
+            let mut s = Strided::new(stride, ws);
+            let per_sweep = (ws / stride as u64) as usize;
+            let measured = measure(&mut cache, &mut s, per_sweep, 4 * per_sweep);
+            let est = estimate::strided(ws as f64, cap as f64, stride, 64);
+            assert!(
+                measured >= est - 0.05 && measured <= 1.0,
+                "stride={stride} ws={ws}: measured {measured:.3} vs est {est:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lru_cache_inclusion_property() {
+    // A larger cache (same sets, more ways) never misses more on the same
+    // trace — the classic LRU stack property, per set.
+    let trace: Vec<u64> = {
+        let mut s = RandomInWs::new(8, 1 << 18, 99);
+        (0..100_000).map(|_| s.next_addr()).collect()
+    };
+    let mut prev_misses = u64::MAX;
+    for ways in [1usize, 2, 4, 8, 16] {
+        let mut cache = Cache::with_geometry(64, ways, 64);
+        for &a in &trace {
+            cache.access(a);
+        }
+        let misses = cache.stats().misses;
+        assert!(
+            misses <= prev_misses,
+            "ways={ways}: {misses} > {prev_misses} (stack property violated)"
+        );
+        prev_misses = misses;
+    }
+}
+
+#[test]
+fn gather_streams_split_traffic_between_index_and_data() {
+    use rvhpc_archsim::stream_gen::Gather;
+    let mut g = Gather::new(1 << 16, 1 << 24, 5);
+    let mut idx_region = 0usize;
+    let mut data_region = 0usize;
+    for _ in 0..10_000 {
+        let a = g.next_addr();
+        if a >= (1 << 30) {
+            data_region += 1;
+        } else {
+            idx_region += 1;
+        }
+    }
+    assert_eq!(idx_region, 5000);
+    assert_eq!(data_region, 5000);
+}

@@ -1,0 +1,27 @@
+//! Ablation: centralized vs dissemination barriers in the real runtime,
+//! across team sizes (DESIGN.md §6) — measured on the host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_parallel::{BarrierKind, Pool};
+
+fn bench(c: &mut Criterion) {
+    banner("ablation — barrier algorithm (host measurement)");
+    for threads in [2usize, 4, 8] {
+        for kind in [BarrierKind::Centralized, BarrierKind::Dissemination] {
+            let pool = Pool::with_barrier(threads, kind);
+            c.bench_function(&format!("barrier_{kind:?}_{threads}t_x200"), |b| {
+                b.iter(|| {
+                    pool.run(|team| {
+                        for _ in 0..200 {
+                            team.barrier();
+                        }
+                    })
+                })
+            });
+        }
+    }
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

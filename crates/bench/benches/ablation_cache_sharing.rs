@@ -1,0 +1,41 @@
+//! Ablation: contended-share vs full-instance cache capacity for shared
+//! data (DESIGN.md §6) — the choice behind the CG x-vector's residency,
+//! shown via the trace-driven cache simulator and the model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_archsim::hierarchy::{Hierarchy, Pattern};
+use rvhpc_archsim::stream_gen::{AddressStream, RandomInWs};
+use rvhpc_archsim::Cache;
+use rvhpc_bench::{banner, criterion};
+use rvhpc_machines::presets;
+
+fn bench(c: &mut Criterion) {
+    banner("ablation — cache sharing model for shared data (CG's x vector)");
+    let m = presets::sg2044();
+    let ws = 150_000.0 * 8.0; // CG class C x vector
+    for threads in [1u32, 4, 16, 64] {
+        let h = Hierarchy::for_threads(&m, threads);
+        let part = h.breakdown(ws, Pattern::Indirect { elem_bytes: 8 });
+        let shared = h.breakdown_shared(ws, Pattern::Indirect { elem_bytes: 8 });
+        println!(
+            "{threads:>3} threads: per-thread-slice model dram {:.2} | shared-copy model dram {:.2}",
+            part.dram, shared.dram
+        );
+    }
+    // Trace-driven spot check: random accesses to a 1.2 MB set against a
+    // 2 MB cache must be ~all hits after warm-up (the shared-copy view).
+    c.bench_function("trace_random_1m2_in_2m", |b| {
+        b.iter(|| {
+            let mut cache = Cache::with_geometry(2048, 16, 64); // 2 MiB
+            let mut s = RandomInWs::new(8, 1_200_000, 7);
+            for _ in 0..60_000 {
+                let a = s.next_addr();
+                cache.access(a);
+            }
+            cache.stats().miss_ratio()
+        })
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: hard-knee vs smooth (queueing) DRAM saturation law — where
+//! the SG2042's STREAM plateau falls under each (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_archsim::{DramModel, SaturationLaw};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_core::model::{predict, Scenario};
+use rvhpc_machines::presets;
+use rvhpc_npb::{BenchmarkId, Class};
+
+fn bench(c: &mut Criterion) {
+    banner("ablation — DRAM saturation law (hard knee vs queueing)");
+    println!("STREAM copy GB/s by core count:");
+    println!(
+        "{:>8} {:>18} {:>18}",
+        "cores", "SG2042 hard/smooth", "SG2044 hard/smooth"
+    );
+    for p in [1u32, 2, 4, 8, 16, 32, 64] {
+        let row: Vec<String> = [presets::sg2042(), presets::sg2044()]
+            .iter()
+            .map(|m| {
+                let base = DramModel::new(&m.memory, &m.core, m.clock_ghz).with_cores(m.cores);
+                let hard = base.clone().with_law(SaturationLaw::HardKnee).bandwidth(p);
+                let smooth = base.with_law(SaturationLaw::Queueing).bandwidth(p);
+                format!("{hard:>7.1}/{smooth:<7.1}")
+            })
+            .collect();
+        println!("{p:>8} {:>18} {:>18}", row[0], row[1]);
+    }
+    // End-to-end effect on the MG table-4 ratio.
+    let profile = rvhpc_npb::profile(BenchmarkId::Mg, Class::C);
+    for law in [SaturationLaw::HardKnee, SaturationLaw::Queueing] {
+        let ratio = {
+            let m44 = presets::sg2044();
+            let m42 = presets::sg2042();
+            let mut s44 = Scenario::paper_headline(&m44, BenchmarkId::Mg, 64);
+            s44.law = law;
+            let mut s42 = Scenario::paper_headline(&m42, BenchmarkId::Mg, 64);
+            s42.law = law;
+            predict(&profile, &s44).mops / predict(&profile, &s42).mops
+        };
+        println!("MG 64-core SG2044/SG2042 ratio under {law:?}: {ratio:.2} (paper 2.25)");
+    }
+    c.bench_function("predict_mg64_queueing", |b| {
+        let m = presets::sg2044();
+        let s = Scenario::paper_headline(&m, BenchmarkId::Mg, 64);
+        b.iter(|| predict(&profile, &s).mops)
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

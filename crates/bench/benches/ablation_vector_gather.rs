@@ -1,0 +1,55 @@
+//! Ablation: the vector gather cost model — sweep the RVV gather cost
+//! factor's neighbourhood by comparing ISAs, and show it drives the CG
+//! anomaly (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_archsim::vector::{VecPattern, VectorModel};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_core::experiment::table7_data;
+use rvhpc_machines::{presets, Compiler, CompilerConfig};
+
+fn bench(c: &mut Criterion) {
+    banner("ablation — vector gather costs across ISAs");
+    println!(
+        "{:>14} {:>22} {:>14} {:>12}",
+        "machine", "unit-stride speedup", "gather speedup", "gather cost"
+    );
+    for (m, comp) in [
+        (presets::sg2044(), Compiler::Gcc15_2),
+        (presets::banana_pi_f3(), Compiler::Gcc15_2),
+        (presets::epyc7742(), Compiler::Gcc11_2),
+        (presets::xeon8170(), Compiler::Gcc8_4),
+        (presets::thunderx2(), Compiler::Gcc9_2),
+    ] {
+        let vm = VectorModel::new(
+            m.vector,
+            &m.core,
+            CompilerConfig {
+                compiler: comp,
+                vectorize: true,
+            },
+        );
+        println!(
+            "{:>14} {:>22.2} {:>14.2} {:>12.1}",
+            m.id.name(),
+            vm.speedup(8, VecPattern::UnitStride),
+            vm.speedup(8, VecPattern::Gather),
+            m.vector.gather_cost_factor(),
+        );
+    }
+    let cg = table7_data()
+        .into_iter()
+        .find(|r| r.bench == rvhpc_npb::BenchmarkId::Cg)
+        .unwrap();
+    println!(
+        "\nresulting CG anomaly (Table 7): vec {:.0} vs novec {:.0} Mop/s ({:.2}x; paper {:.2}x)",
+        cg.model_gcc15_vec,
+        cg.model_gcc15_novec,
+        cg.model_gcc15_novec / cg.model_gcc15_vec,
+        cg.paper_gcc15_novec / cg.paper_gcc15_vec,
+    );
+    c.bench_function("table7_regen", |b| b.iter(table7_data));
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Extension benches (paper §7 future work): host HPL and HPCG kernels,
+//! plus the predicted five-machine extension table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_extras::{experiment, hpcg, hpl};
+use rvhpc_parallel::Pool;
+
+fn bench(c: &mut Criterion) {
+    banner("extensions — HPL and HPCG (host + model)");
+    println!("{}", experiment::render());
+    let pool = Pool::new(1);
+    c.bench_function("host_hpl_n128", |b| {
+        b.iter(|| {
+            let r = hpl::run(128, &pool);
+            assert!(r.passed);
+            r.gflops
+        })
+    });
+    c.bench_function("host_hpcg_16c_x10", |b| {
+        b.iter(|| {
+            let r = hpcg::run(16, 10, &pool);
+            assert!(r.passed);
+            r.gflops
+        })
+    });
+    c.bench_function("extension_table", |b| b.iter(experiment::extension_table));
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

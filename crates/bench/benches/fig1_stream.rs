@@ -1,0 +1,25 @@
+//! Regenerates the paper's Figure 1: STREAM copy bandwidth vs cores on
+//! the SG2044 and SG2042 (simulated), plus a real host STREAM sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_core::experiment::fig1_data;
+use rvhpc_core::report::{ascii_plot, curves_csv};
+use rvhpc_parallel::Pool;
+use rvhpc_stream::run_host_stream;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 1 — STREAM copy bandwidth scaling (simulated)");
+    let curves = fig1_data();
+    println!("{}", ascii_plot("STREAM copy", "GB/s", &curves));
+    println!("{}", curves_csv(&curves));
+    c.bench_function("fig1_simulated_curves", |b| b.iter(fig1_data));
+    // And a real host STREAM measurement for reference.
+    let pool = Pool::new(1);
+    c.bench_function("host_stream_copy_1m", |b| {
+        b.iter(|| run_host_stream(1 << 20, 2, &pool))
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

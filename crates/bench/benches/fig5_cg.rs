@@ -1,0 +1,19 @@
+//! Regenerates the paper's Figure 5: Cg class C scaling across the five
+//! HPC machines (EPYC 7742, Xeon 8170, ThunderX2, SG2042, SG2044).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_core::experiment::fig_kernel_data;
+use rvhpc_core::report::{ascii_plot, curves_csv};
+use rvhpc_npb::BenchmarkId;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 5 — Cg scaling, class C (model)");
+    let curves = fig_kernel_data(BenchmarkId::Cg);
+    println!("{}", ascii_plot("Figure 5 — Cg", "Mop/s", &curves));
+    println!("{}", curves_csv(&curves));
+    c.bench_function("fig5_cg", |b| b.iter(|| fig_kernel_data(BenchmarkId::Cg)));
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

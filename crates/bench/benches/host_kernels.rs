@@ -1,0 +1,48 @@
+//! Host microbenchmarks: the real Rust NPB kernels at tiny/small classes.
+//! These track the performance of the ports themselves (not the model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_npb::{self as npb, BenchmarkId, Class};
+use rvhpc_parallel::Pool;
+
+fn bench(c: &mut Criterion) {
+    banner("host NPB kernels (real execution, class T)");
+    let pool = Pool::new(1);
+    for bench_id in BenchmarkId::ALL {
+        let name = format!("host_{}_T", bench_id.name().to_lowercase());
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                let r = npb::run(bench_id, Class::T, &pool);
+                assert!(r.verified.passed());
+                r.mops
+            })
+        });
+    }
+    // One small-class sample of the hottest kernels.
+    for bench_id in [BenchmarkId::Cg, BenchmarkId::Mg] {
+        let name = format!("host_{}_S", bench_id.name().to_lowercase());
+        c.bench_function(&name, |b| {
+            b.iter(|| npb::run(bench_id, Class::S, &pool).mops)
+        });
+    }
+
+    // LU sweep-strategy ablation: hyperplane (LU-HP) vs NPB's pipeline.
+    use rvhpc_npb::cfd::{CfdConstants, Fields};
+    use rvhpc_npb::lu::{hyperplanes, ssor_step_with, SsorStrategy};
+    let params = rvhpc_npb::common::class::lu_params(Class::S);
+    let cst = CfdConstants::new(params.problem_size, params.dt);
+    let planes = hyperplanes(params.problem_size);
+    let pool2 = Pool::new(2);
+    for strategy in [SsorStrategy::Hyperplane, SsorStrategy::Pipelined] {
+        c.bench_function(&format!("lu_ssor_{strategy:?}_S_2t"), |b| {
+            let mut f = Fields::new(params.problem_size);
+            f.initialize(&cst, &pool2);
+            rvhpc_npb::cfd::rhs::compute_forcing(&mut f, &cst, &pool2);
+            b.iter(|| ssor_step_with(&mut f, &cst, &planes, &pool2, strategy));
+        });
+    }
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

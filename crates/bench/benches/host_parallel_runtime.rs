@@ -1,0 +1,89 @@
+//! Host microbenchmarks of the OpenMP-style runtime substrate: fork-join,
+//! barrier episodes, loop schedules, reductions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_parallel::{BarrierKind, Pool};
+
+fn bench(c: &mut Criterion) {
+    banner("parallel runtime substrate (host)");
+    for threads in [1usize, 2, 4] {
+        let pool = Pool::new(threads);
+        c.bench_function(&format!("fork_join_{threads}t"), |b| {
+            b.iter(|| pool.run(|team| team.tid()))
+        });
+        c.bench_function(&format!("barrier_x100_{threads}t"), |b| {
+            b.iter(|| {
+                pool.run(|team| {
+                    for _ in 0..100 {
+                        team.barrier();
+                    }
+                })
+            })
+        });
+        c.bench_function(&format!("reduce_sum_x10_{threads}t"), |b| {
+            b.iter(|| {
+                pool.run(|team| {
+                    let mut acc = 0.0;
+                    for i in 0..10 {
+                        acc += team.reduce_sum(i as f64);
+                    }
+                    acc
+                })
+            })
+        });
+    }
+    // Barrier algorithm comparison at 4 threads.
+    for kind in [BarrierKind::Centralized, BarrierKind::Dissemination] {
+        let pool = Pool::with_barrier(4, kind);
+        c.bench_function(&format!("barrier_{kind:?}_4t"), |b| {
+            b.iter(|| {
+                pool.run(|team| {
+                    for _ in 0..50 {
+                        team.barrier();
+                    }
+                })
+            })
+        });
+    }
+    // Schedule comparison on an imbalanced loop.
+    let pool = Pool::new(4);
+    let n = 4096usize;
+    let work = |i: usize| {
+        let mut acc = 0u64;
+        for k in 0..(i % 64) {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k as u64);
+        }
+        acc
+    };
+    c.bench_function("schedule_static", |b| {
+        b.iter(|| {
+            pool.run(|team| {
+                let mut acc = 0u64;
+                team.for_static(0, n, |i| acc ^= work(i));
+                acc
+            })
+        })
+    });
+    c.bench_function("schedule_dynamic16", |b| {
+        b.iter(|| {
+            pool.run(|team| {
+                let mut acc = 0u64;
+                team.for_dynamic(0, n, 16, |i| acc ^= work(i));
+                acc
+            })
+        })
+    });
+    c.bench_function("schedule_guided", |b| {
+        b.iter(|| {
+            pool.run(|team| {
+                let mut acc = 0u64;
+                team.for_guided(0, n, 8, |i| acc ^= work(i));
+                acc
+            })
+        })
+    });
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Host STREAM: real sustainable-bandwidth measurement of this machine,
+//! per kernel, at two working-set sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_parallel::Pool;
+use rvhpc_stream::{run_host_stream, StreamKernel};
+
+fn bench(c: &mut Criterion) {
+    banner("host STREAM (real execution)");
+    let pool = Pool::new(1);
+    let r = run_host_stream(4 << 20, 3, &pool);
+    for (k, gbs) in StreamKernel::ALL.iter().zip(r.best_gbs) {
+        println!("  {:<6} {:>8.2} GB/s", k.name(), gbs);
+    }
+    for shift in [18u32, 22] {
+        let n = 1usize << shift;
+        c.bench_function(&format!("host_stream_n{n}"), |b| {
+            b.iter(|| run_host_stream(n, 2, &pool))
+        });
+    }
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates the paper's Table 1: NPB memory-behaviour profile on the
+//! Xeon Platinum 8170 (26 cores) — cache-stall %, DDR-stall %, and
+//! bandwidth-bound time %, model vs paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_core::experiment::table1_data;
+use rvhpc_core::report::render_table1;
+
+fn bench(c: &mut Criterion) {
+    banner("Table 1 — NPB memory behaviour on the Xeon 8170 (model vs paper)");
+    println!("{}", render_table1(&table1_data()));
+    c.bench_function("table1_memprofile", |b| b.iter(table1_data));
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

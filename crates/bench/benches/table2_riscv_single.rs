@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table 2: single-core NPB kernel Mop/s across
+//! the seven RISC-V machines (class B), with the %-of-SG2044 rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_core::experiment::table2_data;
+use rvhpc_core::report::render_table2;
+
+fn bench(c: &mut Criterion) {
+    banner("Table 2 — RISC-V single-core comparison, class B (model (paper))");
+    println!("{}", render_table2(&table2_data()));
+    c.bench_function("table2_riscv_single", |b| b.iter(table2_data));
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates the paper's Table 3: SG2044 vs SG2042, one core, class C.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_core::experiment::table3_data;
+use rvhpc_core::report::render_sg_compare;
+
+fn bench(c: &mut Criterion) {
+    banner("Table 3 — SG2044 vs SG2042, single core, class C");
+    println!("{}", render_sg_compare(&table3_data()));
+    c.bench_function("table3_sg_single", |b| b.iter(table3_data));
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table 4: SG2044 vs SG2042, 64 cores, class C —
+//! including the abstract's headline 4.91× IS speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_core::experiment::table4_data;
+use rvhpc_core::report::render_sg_compare;
+
+fn bench(c: &mut Criterion) {
+    banner("Table 4 — SG2044 vs SG2042, 64 cores, class C");
+    println!("{}", render_sg_compare(&table4_data()));
+    c.bench_function("table4_sg_multi", |b| b.iter(table4_data));
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table 6: BT/LU/SP runtimes relative to the
+//! SG2044 at 16/26/32/64 cores, class C.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_core::experiment::table6_data;
+use rvhpc_core::report::render_table6;
+
+fn bench(c: &mut Criterion) {
+    banner("Table 6 — pseudo-applications relative to the SG2044, class C");
+    println!("{}", render_table6(&table6_data()));
+    c.bench_function("table6_pseudo", |b| b.iter(table6_data));
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table 7: compiler/vectorisation ablation on a
+//! single SG2044 core (class C) — including the CG anomaly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_core::experiment::table7_data;
+use rvhpc_core::report::render_compiler_table;
+
+fn bench(c: &mut Criterion) {
+    banner("Table 7 — compiler/vectorisation, SG2044 single core, class C");
+    println!("{}", render_compiler_table(&table7_data()));
+    c.bench_function("table7_compiler_single", |b| b.iter(table7_data));
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

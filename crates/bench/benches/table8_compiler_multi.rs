@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table 8: compiler/vectorisation ablation on
+//! all 64 SG2044 cores (class C).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::{banner, criterion};
+use rvhpc_core::experiment::table8_data;
+use rvhpc_core::report::render_compiler_table;
+
+fn bench(c: &mut Criterion) {
+    banner("Table 8 — compiler/vectorisation, SG2044 64 cores, class C");
+    println!("{}", render_compiler_table(&table8_data()));
+    c.bench_function("table8_compiler_multi", |b| b.iter(table8_data));
+}
+
+criterion_group! { name = benches; config = criterion(); targets = bench }
+criterion_main!(benches);

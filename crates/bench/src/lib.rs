@@ -1,0 +1,26 @@
+//! Shared helpers for the rvhpc benchmark harness.
+//!
+//! Every paper table/figure has a bench target that (a) prints the
+//! regenerated rows/series next to the paper's published values and
+//! (b) times the regeneration under criterion so model-performance
+//! regressions are visible. Host benches (`host_*`) time the real Rust
+//! kernels; `ablation_*` benches compare the design choices DESIGN.md §6
+//! calls out.
+
+use criterion::Criterion;
+
+/// Criterion tuned for this harness: small sample counts (the interesting
+/// output is the printed table; the timing guards against regressions).
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+/// Print a banner separating the regenerated table from criterion noise.
+pub fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}

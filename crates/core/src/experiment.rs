@@ -1,0 +1,402 @@
+//! One generator per paper table/figure.
+//!
+//! Each `*_data` function returns typed numbers (used by the
+//! shape-fidelity tests and benches); the corresponding `render` lives in
+//! [`crate::report`].
+
+use rvhpc_machines::{presets, Compiler, CompilerConfig, MachineId};
+use rvhpc_npb::{BenchmarkId, Class};
+use serde::Serialize;
+
+use crate::model::{predict, Scenario};
+use crate::paper;
+
+/// Identifies a reproduced experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ExperimentId {
+    Table1,
+    Table2,
+    Table3,
+    Table4,
+    Table5,
+    Table6,
+    Table7,
+    Table8,
+    Fig1,
+    Fig2Is,
+    Fig3Mg,
+    Fig4Ep,
+    Fig5Cg,
+    Fig6Ft,
+}
+
+impl ExperimentId {
+    /// All experiments, paper order.
+    pub const ALL: [ExperimentId; 14] = [
+        ExperimentId::Table1,
+        ExperimentId::Table2,
+        ExperimentId::Table3,
+        ExperimentId::Table4,
+        ExperimentId::Table5,
+        ExperimentId::Fig1,
+        ExperimentId::Fig2Is,
+        ExperimentId::Fig3Mg,
+        ExperimentId::Fig4Ep,
+        ExperimentId::Fig5Cg,
+        ExperimentId::Fig6Ft,
+        ExperimentId::Table6,
+        ExperimentId::Table7,
+        ExperimentId::Table8,
+    ];
+
+    /// Short name used in file names.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            ExperimentId::Table1 => "table1_memprofile",
+            ExperimentId::Table2 => "table2_riscv_single",
+            ExperimentId::Table3 => "table3_sg_single",
+            ExperimentId::Table4 => "table4_sg_multi",
+            ExperimentId::Table5 => "table5_overview",
+            ExperimentId::Table6 => "table6_pseudo",
+            ExperimentId::Table7 => "table7_compiler_single",
+            ExperimentId::Table8 => "table8_compiler_multi",
+            ExperimentId::Fig1 => "fig1_stream",
+            ExperimentId::Fig2Is => "fig2_is",
+            ExperimentId::Fig3Mg => "fig3_mg",
+            ExperimentId::Fig4Ep => "fig4_ep",
+            ExperimentId::Fig5Cg => "fig5_cg",
+            ExperimentId::Fig6Ft => "fig6_ft",
+        }
+    }
+}
+
+/// The paper's thread sweep for the figures.
+pub const FIGURE_CORES: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+// ---------------------------------------------------------------- Table 1
+
+/// Table 1 row: model-predicted stall profile on the Xeon 8170 vs paper.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    pub bench: BenchmarkId,
+    pub model_cache_pct: f64,
+    pub model_dram_pct: f64,
+    pub model_bw_bound_pct: f64,
+    pub paper_cache_pct: f64,
+    pub paper_dram_pct: f64,
+    pub paper_bw_bound_pct: f64,
+}
+
+/// Generate Table 1 (Xeon 8170, 26 threads, class C equivalents).
+pub fn table1_data() -> Vec<Table1Row> {
+    let m = presets::xeon8170();
+    paper::TABLE1_XEON_PROFILE
+        .iter()
+        .map(|&(bench, pc, pd, pb)| {
+            let profile = rvhpc_npb::profile(bench, Class::C);
+            let pred = predict(&profile, &Scenario::paper_headline(&m, bench, 26));
+            Table1Row {
+                bench,
+                model_cache_pct: pred.stalls.cache_stall_pct(),
+                model_dram_pct: pred.stalls.dram_stall_pct(),
+                model_bw_bound_pct: pred.stalls.bw_bound_pct(),
+                paper_cache_pct: pc,
+                paper_dram_pct: pd,
+                paper_bw_bound_pct: pb,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+/// Table 2 cell: model and paper Mop/s for one machine.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    pub bench: BenchmarkId,
+    /// Per machine (paper column order): `(model, paper)`; paper `None`
+    /// for DNR cells.
+    pub cells: Vec<(MachineId, f64, Option<f64>)>,
+}
+
+/// Generate Table 2 (single core, class B, seven RISC-V machines).
+pub fn table2_data() -> Vec<Table2Row> {
+    paper::TABLE2_RISCV_SINGLE
+        .iter()
+        .map(|&(bench, ref paper_row)| {
+            let cells = paper::TABLE2_MACHINES
+                .iter()
+                .zip(paper_row.iter())
+                .map(|(&mid, &paper_v)| {
+                    let m = presets::by_id(mid);
+                    let profile = rvhpc_npb::profile(bench, Class::B);
+                    let pred = predict(&profile, &Scenario::paper_headline(&m, bench, 1));
+                    (mid, pred.mops, paper_v)
+                })
+                .collect();
+            Table2Row { bench, cells }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------- Tables 3 and 4
+
+/// A Table 3/4 row: SG2044 vs SG2042 Mop/s (model and paper).
+#[derive(Debug, Clone, Serialize)]
+pub struct SgCompareRow {
+    pub bench: BenchmarkId,
+    pub model_sg2044: f64,
+    pub model_sg2042: f64,
+    pub paper_sg2044: f64,
+    pub paper_sg2042: f64,
+}
+
+impl SgCompareRow {
+    pub fn model_ratio(&self) -> f64 {
+        self.model_sg2044 / self.model_sg2042
+    }
+    pub fn paper_ratio(&self) -> f64 {
+        self.paper_sg2044 / self.paper_sg2042
+    }
+}
+
+fn sg_compare(threads: u32, paper_rows: &[(BenchmarkId, f64, f64); 5]) -> Vec<SgCompareRow> {
+    let m44 = presets::sg2044();
+    let m42 = presets::sg2042();
+    paper_rows
+        .iter()
+        .map(|&(bench, p44, p42)| {
+            let profile = rvhpc_npb::profile(bench, Class::C);
+            let new = predict(&profile, &Scenario::paper_headline(&m44, bench, threads)).mops;
+            let old = predict(&profile, &Scenario::paper_headline(&m42, bench, threads)).mops;
+            SgCompareRow {
+                bench,
+                model_sg2044: new,
+                model_sg2042: old,
+                paper_sg2044: p44,
+                paper_sg2042: p42,
+            }
+        })
+        .collect()
+}
+
+/// Generate Table 3 (single core, class C).
+pub fn table3_data() -> Vec<SgCompareRow> {
+    sg_compare(1, &paper::TABLE3_SG_SINGLE)
+}
+
+/// Generate Table 4 (64 cores, class C).
+pub fn table4_data() -> Vec<SgCompareRow> {
+    sg_compare(64, &paper::TABLE4_SG_MULTI)
+}
+
+// ---------------------------------------------------------------- Table 5
+
+/// Table 5 is static machine data.
+pub fn table5_data() -> Vec<[String; 6]> {
+    presets::overview()
+}
+
+// ---------------------------------------------------------------- Figures
+
+/// One scaling curve: Mop/s (or GB/s for Fig 1) per core count.
+#[derive(Debug, Clone, Serialize)]
+pub struct Curve {
+    pub machine: MachineId,
+    pub points: Vec<(u32, f64)>,
+}
+
+/// Figure 1: STREAM copy bandwidth scaling, SG2044 vs SG2042.
+pub fn fig1_data() -> Vec<Curve> {
+    [presets::sg2044(), presets::sg2042()]
+        .iter()
+        .map(|m| Curve {
+            machine: m.id,
+            points: rvhpc_stream::simulated_curve(m, &FIGURE_CORES)
+                .into_iter()
+                .map(|p| (p.cores, p.copy_gbs))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figures 2–6: kernel scaling across the five HPC machines at class C.
+pub fn fig_kernel_data(bench: BenchmarkId) -> Vec<Curve> {
+    presets::hpc_five()
+        .iter()
+        .map(|m| Curve {
+            machine: m.id,
+            points: FIGURE_CORES
+                .iter()
+                .filter(|&&p| p <= m.cores)
+                .map(|&p| {
+                    let profile = rvhpc_npb::profile(bench, Class::C);
+                    (
+                        p,
+                        predict(&profile, &Scenario::paper_headline(m, bench, p)).mops,
+                    )
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 6
+
+/// Table 6 cell: how many times faster `machine` is than the SG2044.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table6Row {
+    pub bench: BenchmarkId,
+    pub cores: u32,
+    /// `(machine, model ratio, paper ratio)`; `None` where the machine
+    /// lacks that many cores.
+    pub cells: Vec<(MachineId, Option<f64>, Option<f64>)>,
+}
+
+/// Table 6 comparison machines, column order.
+pub const TABLE6_MACHINES: [MachineId; 4] = [
+    MachineId::Sg2042,
+    MachineId::Epyc7742,
+    MachineId::Xeon8170,
+    MachineId::ThunderX2,
+];
+
+/// Generate Table 6 (pseudo-apps, class C, ratios vs SG2044).
+pub fn table6_data() -> Vec<Table6Row> {
+    let sg = presets::sg2044();
+    let mut rows = Vec::new();
+    for &(bench, ref paper_grid) in &paper::TABLE6_PSEUDO {
+        let profile = rvhpc_npb::profile(bench, Class::C);
+        for (ci, &cores) in paper::TABLE6_CORES.iter().enumerate() {
+            let t_sg = predict(&profile, &Scenario::paper_headline(&sg, bench, cores)).seconds;
+            let cells = TABLE6_MACHINES
+                .iter()
+                .zip(paper_grid[ci].iter())
+                .map(|(&mid, &paper_v)| {
+                    let m = presets::by_id(mid);
+                    let model = if cores <= m.cores {
+                        let t =
+                            predict(&profile, &Scenario::paper_headline(&m, bench, cores)).seconds;
+                        Some(t_sg / t) // >1 ⇒ faster than the SG2044
+                    } else {
+                        None
+                    };
+                    (mid, model, paper_v)
+                })
+                .collect();
+            rows.push(Table6Row {
+                bench,
+                cores,
+                cells,
+            });
+        }
+    }
+    rows
+}
+
+// ------------------------------------------------------- Tables 7 and 8
+
+/// Compiler-ablation row on the SG2044 (class C).
+#[derive(Debug, Clone, Serialize)]
+pub struct CompilerRow {
+    pub bench: BenchmarkId,
+    pub model_gcc12: f64,
+    pub model_gcc15_vec: f64,
+    pub model_gcc15_novec: f64,
+    pub paper_gcc12: f64,
+    pub paper_gcc15_vec: f64,
+    pub paper_gcc15_novec: f64,
+}
+
+fn compiler_table(threads: u32, paper_rows: &[paper::CompilerRow; 5]) -> Vec<CompilerRow> {
+    let m = presets::sg2044();
+    let configs = [
+        CompilerConfig {
+            compiler: Compiler::Gcc12_3,
+            vectorize: true, // vectorisation flag is moot: no RVV support
+        },
+        CompilerConfig {
+            compiler: Compiler::Gcc15_2,
+            vectorize: true,
+        },
+        CompilerConfig {
+            compiler: Compiler::Gcc15_2,
+            vectorize: false,
+        },
+    ];
+    paper_rows
+        .iter()
+        .map(|&(bench, p12, p15v, p15n)| {
+            let profile = rvhpc_npb::profile(bench, Class::C);
+            let mut mops = [0.0f64; 3];
+            for (slot, cfg) in mops.iter_mut().zip(configs.iter()) {
+                let mut s = Scenario::headline(&m, threads);
+                s.compiler = *cfg;
+                *slot = predict(&profile, &s).mops;
+            }
+            CompilerRow {
+                bench,
+                model_gcc12: mops[0],
+                model_gcc15_vec: mops[1],
+                model_gcc15_novec: mops[2],
+                paper_gcc12: p12,
+                paper_gcc15_vec: p15v,
+                paper_gcc15_novec: p15n,
+            }
+        })
+        .collect()
+}
+
+/// Generate Table 7 (single core).
+pub fn table7_data() -> Vec<CompilerRow> {
+    compiler_table(1, &paper::TABLE7_COMPILER_SINGLE)
+}
+
+/// Generate Table 8 (64 cores).
+pub fn table8_data() -> Vec<CompilerRow> {
+    compiler_table(64, &paper::TABLE8_COMPILER_MULTI)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_generator_produces_complete_output() {
+        assert_eq!(table1_data().len(), 8);
+        let t2 = table2_data();
+        assert_eq!(t2.len(), 5);
+        assert!(t2.iter().all(|r| r.cells.len() == 7));
+        assert_eq!(table3_data().len(), 5);
+        assert_eq!(table4_data().len(), 5);
+        assert_eq!(table5_data().len(), 5);
+        assert_eq!(fig1_data().len(), 2);
+        assert_eq!(table6_data().len(), 12);
+        assert_eq!(table7_data().len(), 5);
+        assert_eq!(table8_data().len(), 5);
+    }
+
+    #[test]
+    fn figure_curves_are_clamped_to_core_counts() {
+        for c in fig_kernel_data(BenchmarkId::Ep) {
+            let m = presets::by_id(c.machine);
+            assert!(c.points.iter().all(|&(p, _)| p <= m.cores));
+            assert!(!c.points.is_empty());
+        }
+    }
+
+    #[test]
+    fn table6_skips_impossible_core_counts() {
+        for row in table6_data() {
+            for (mid, model, paper) in &row.cells {
+                let m = presets::by_id(*mid);
+                if row.cores > m.cores {
+                    assert!(model.is_none(), "{mid:?} at {} cores", row.cores);
+                    assert!(paper.is_none());
+                } else {
+                    assert!(model.is_some());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # rvhpc-core
+//!
+//! The evaluation framework that reproduces every table and figure of the
+//! SG2044 paper:
+//!
+//! * [`model`] — the phase-based performance predictor: combines an NPB
+//!   workload profile (`rvhpc-npb`), a machine descriptor
+//!   (`rvhpc-machines`) and the architecture simulator (`rvhpc-archsim`)
+//!   into a predicted runtime, Mop/s figure and stall profile.
+//! * [`calibrate`] — the calibration policy: one global scale constant per
+//!   benchmark, fixed against a single anchor column (SG2044, one core,
+//!   class C — the paper's Table 3), after which *every other number in
+//!   every experiment is emergent*. No per-machine or per-thread-count
+//!   fudge factors exist.
+//! * [`paper`] — the paper's published numbers (Tables 1–8), as data, for
+//!   side-by-side reporting and shape-fidelity tests.
+//! * [`experiment`] — one generator per paper table/figure.
+//! * [`report`] — markdown / CSV / ASCII-plot rendering.
+//! * [`runner`] — the end-to-end "reproduce everything" driver used by
+//!   `examples/` and the `reproduce` binary.
+//! * [`sweep`] — free-form (machine × benchmark × threads) sweeps with
+//!   CSV/JSON output, for studies beyond the paper's fixed tables.
+
+pub mod calibrate;
+pub mod experiment;
+pub mod model;
+pub mod paper;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use experiment::ExperimentId;
+pub use model::{predict, Prediction, Scenario};

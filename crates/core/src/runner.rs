@@ -1,0 +1,161 @@
+//! End-to-end reproduction driver: regenerates every table and figure and
+//! writes them to a results directory.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use rvhpc_npb::BenchmarkId;
+
+use crate::experiment::{self, ExperimentId};
+use crate::report;
+
+/// Generate the full reproduction report (one markdown document with
+/// every table/figure, model vs paper).
+pub fn full_report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# rvhpc reproduction report\n\nModel-predicted results for every \
+         table and figure of the SG2044 paper; paper values in parentheses \
+         where published.\n"
+    );
+
+    let _ = writeln!(
+        out,
+        "## Table 1 — NPB memory behaviour (Xeon 8170, 26 cores)\n"
+    );
+    out.push_str(&report::render_table1(&experiment::table1_data()));
+
+    let _ = writeln!(out, "\n## Table 2 — RISC-V single-core Mop/s (class B)\n");
+    out.push_str(&report::render_table2(&experiment::table2_data()));
+
+    let _ = writeln!(
+        out,
+        "\n## Table 3 — SG2044 vs SG2042, single core (class C)\n"
+    );
+    out.push_str(&report::render_sg_compare(&experiment::table3_data()));
+
+    let _ = writeln!(out, "\n## Table 4 — SG2044 vs SG2042, 64 cores (class C)\n");
+    out.push_str(&report::render_sg_compare(&experiment::table4_data()));
+
+    let _ = writeln!(out, "\n## Table 5 — CPU overview\n");
+    let t5 = experiment::table5_data();
+    let header: Vec<String> = ["CPU", "ISA", "Part", "Base clock", "Cores", "Vector"]
+        .map(String::from)
+        .to_vec();
+    let rows: Vec<Vec<String>> = t5.iter().map(|r| r.to_vec()).collect();
+    out.push_str(&report::markdown_table(&header, &rows));
+
+    let _ = writeln!(out, "\n## Figure 1 — STREAM copy bandwidth scaling\n```");
+    out.push_str(&report::ascii_plot(
+        "STREAM copy",
+        "GB/s",
+        &experiment::fig1_data(),
+    ));
+    let _ = writeln!(out, "```");
+
+    for (fig, bench) in [
+        ("Figure 2 — IS", BenchmarkId::Is),
+        ("Figure 3 — MG", BenchmarkId::Mg),
+        ("Figure 4 — EP", BenchmarkId::Ep),
+        ("Figure 5 — CG", BenchmarkId::Cg),
+        ("Figure 6 — FT", BenchmarkId::Ft),
+    ] {
+        let _ = writeln!(out, "\n## {fig} scaling (class C)\n```");
+        out.push_str(&report::ascii_plot(
+            fig,
+            "Mop/s",
+            &experiment::fig_kernel_data(bench),
+        ));
+        let _ = writeln!(out, "```");
+    }
+
+    let _ = writeln!(
+        out,
+        "\n## Table 6 — pseudo-applications relative to SG2044 (class C)\n"
+    );
+    out.push_str(&report::render_table6(&experiment::table6_data()));
+
+    let _ = writeln!(
+        out,
+        "\n## Table 7 — compiler/vectorisation, single core (class C)\n"
+    );
+    out.push_str(&report::render_compiler_table(&experiment::table7_data()));
+
+    let _ = writeln!(
+        out,
+        "\n## Table 8 — compiler/vectorisation, 64 cores (class C)\n"
+    );
+    out.push_str(&report::render_compiler_table(&experiment::table8_data()));
+
+    out
+}
+
+/// Write per-experiment CSV/markdown artifacts into `dir` and the full
+/// report as `REPORT.md`. Returns the list of files written.
+pub fn write_artifacts(dir: &Path) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let mut save = |name: &str, contents: &str| -> std::io::Result<()> {
+        let path = dir.join(name);
+        std::fs::write(&path, contents)?;
+        written.push(name.to_string());
+        Ok(())
+    };
+
+    save("REPORT.md", &full_report())?;
+    save(
+        "fig1_stream.csv",
+        &report::curves_csv(&experiment::fig1_data()),
+    )?;
+    save(
+        "fig1_stream.svg",
+        &report::svg_plot("Figure 1 — STREAM copy", "GB/s", &experiment::fig1_data()),
+    )?;
+    for (id, bench) in [
+        (ExperimentId::Fig2Is, BenchmarkId::Is),
+        (ExperimentId::Fig3Mg, BenchmarkId::Mg),
+        (ExperimentId::Fig4Ep, BenchmarkId::Ep),
+        (ExperimentId::Fig5Cg, BenchmarkId::Cg),
+        (ExperimentId::Fig6Ft, BenchmarkId::Ft),
+    ] {
+        let curves = experiment::fig_kernel_data(bench);
+        save(&format!("{}.csv", id.slug()), &report::curves_csv(&curves))?;
+        save(
+            &format!("{}.svg", id.slug()),
+            &report::svg_plot(
+                &format!("{} scaling, class C", bench.name()),
+                "Mop/s",
+                &curves,
+            ),
+        )?;
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_report_covers_every_experiment() {
+        let r = full_report();
+        for needle in [
+            "Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7", "Table 8",
+            "Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+        ] {
+            assert!(r.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn artifacts_are_written() {
+        let dir = std::env::temp_dir().join("rvhpc_artifacts_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let files = write_artifacts(&dir).expect("write artifacts");
+        assert!(files.contains(&"REPORT.md".to_string()));
+        assert!(files.iter().any(|f| f.ends_with(".csv")));
+        assert!(dir.join("REPORT.md").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

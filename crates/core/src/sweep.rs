@@ -1,0 +1,152 @@
+//! Parameter sweeps with serializable raw output — the building block for
+//! custom studies beyond the paper's fixed tables.
+
+use rvhpc_machines::MachineId;
+use rvhpc_npb::{BenchmarkId, Class};
+use serde::Serialize;
+
+use crate::model::{predict, Scenario};
+
+/// One sweep sample.
+#[derive(Debug, Clone, Serialize)]
+pub struct Sample {
+    pub machine: MachineId,
+    pub bench: BenchmarkId,
+    pub class: Class,
+    pub threads: u32,
+    pub seconds: f64,
+    pub mops: f64,
+}
+
+/// Predict `bench`/`class` on `machine` for each thread count (clamped to
+/// the machine's cores; duplicates after clamping are dropped).
+pub fn thread_sweep(
+    machine: MachineId,
+    bench: BenchmarkId,
+    class: Class,
+    threads: &[u32],
+) -> Vec<Sample> {
+    let m = rvhpc_machines::presets::by_id(machine);
+    let profile = rvhpc_npb::profile(bench, class);
+    let mut seen = std::collections::BTreeSet::new();
+    threads
+        .iter()
+        .map(|&t| t.clamp(1, m.cores))
+        .filter(|&t| seen.insert(t))
+        .map(|t| {
+            let pred = predict(&profile, &Scenario::paper_headline(&m, bench, t));
+            Sample {
+                machine,
+                bench,
+                class,
+                threads: t,
+                seconds: pred.seconds,
+                mops: pred.mops,
+            }
+        })
+        .collect()
+}
+
+/// The full (machine × bench × threads) grid for one class.
+pub fn grid_sweep(
+    machines: &[MachineId],
+    benches: &[BenchmarkId],
+    class: Class,
+    threads: &[u32],
+) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for &m in machines {
+        for &b in benches {
+            out.extend(thread_sweep(m, b, class, threads));
+        }
+    }
+    out
+}
+
+/// Serialize samples as a JSON array (hand-rolled: the workspace's
+/// dependency policy stops at `serde` itself; the sample schema is flat
+/// and needs no general serializer).
+pub fn to_json(samples: &[Sample]) -> String {
+    let mut out = String::from("[\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"machine\": \"{}\", \"bench\": \"{}\", \"class\": \"{}\", \
+             \"threads\": {}, \"seconds\": {}, \"mops\": {}}}{}\n",
+            s.machine.name(),
+            s.bench.name(),
+            s.class.name(),
+            s.threads,
+            s.seconds,
+            s.mops,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Serialize samples as CSV.
+pub fn to_csv(samples: &[Sample]) -> String {
+    let mut out = String::from("machine,bench,class,threads,seconds,mops\n");
+    for s in samples {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            s.machine.name(),
+            s.bench.name(),
+            s.class.name(),
+            s.threads,
+            s.seconds,
+            s.mops
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_sweep_clamps_and_dedups() {
+        let s = thread_sweep(
+            MachineId::Xeon8170,
+            BenchmarkId::Ep,
+            Class::C,
+            &[1, 2, 26, 32, 64],
+        );
+        // 32 and 64 clamp to 26, deduplicated.
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last().unwrap().threads, 26);
+    }
+
+    #[test]
+    fn grid_covers_the_product() {
+        let g = grid_sweep(
+            &[MachineId::Sg2044, MachineId::Sg2042],
+            &[BenchmarkId::Is, BenchmarkId::Mg],
+            Class::C,
+            &[1, 64],
+        );
+        assert_eq!(g.len(), 2 * 2 * 2);
+        assert!(g.iter().all(|s| s.mops > 0.0 && s.seconds > 0.0));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_sample_plus_header() {
+        let g = thread_sweep(MachineId::Sg2044, BenchmarkId::Ft, Class::B, &[1, 2, 4]);
+        let csv = to_csv(&g);
+        assert_eq!(csv.lines().count(), 1 + g.len());
+        assert!(csv.starts_with("machine,bench,class,threads,seconds,mops"));
+    }
+
+    #[test]
+    fn json_output_is_structurally_sound() {
+        let g = thread_sweep(MachineId::Sg2042, BenchmarkId::Cg, Class::C, &[1, 64]);
+        let json = to_json(&g);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"machine\"").count(), g.len());
+        assert_eq!(json.matches("\"mops\"").count(), g.len());
+        // Exactly len-1 separating commas at line ends.
+        assert_eq!(json.matches("},\n").count(), g.len() - 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # rvhpc-extras
+//!
+//! The benchmarks the paper's §7 names as future work — "it would also be
+//! interesting to expand the number of benchmarks to include other HPC
+//! standard tests including HPCG and Linpack" — implemented in the same
+//! two-layer style as the rest of the workspace:
+//!
+//! * [`hpl`] — a blocked, partially-pivoted LU solve of a dense system
+//!   (the computational core of HPL/LINPACK), host-runnable with the
+//!   standard scaled-residual verification, plus a workload profile for
+//!   the performance model.
+//! * [`hpcg`] — a preconditioned conjugate-gradient solve of the 27-point
+//!   Poisson operator with a multicolored symmetric Gauss–Seidel
+//!   preconditioner (HPCG's computational pattern; the reference HPCG's
+//!   4-level multigrid preconditioner is simplified to its finest-level
+//!   smoother — see DESIGN.md).
+//! * [`experiment`] — the extension experiment: predicted HPL and HPCG
+//!   throughput for the paper's five HPC machines, which answers the
+//!   paper's closing question with the model: the SG2044's HPL
+//!   (compute-bound) stays within the cluster of "a few× slower than the
+//!   x86 machines", while HPCG (bandwidth-bound) looks just like MG —
+//!   competitive at full chip.
+
+pub mod experiment;
+pub mod hpcg;
+pub mod hpl;

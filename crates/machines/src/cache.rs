@@ -1,0 +1,94 @@
+//! Cache-level geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSpec {
+    /// Total capacity of one cache instance, in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (64 on every machine in the study).
+    pub line_bytes: u32,
+    /// Associativity (ways).
+    pub associativity: u32,
+    /// How many cores share one instance of this cache (1 = private,
+    /// 4 = per-cluster like the SG2044's L2, `cores` = chip-wide L3).
+    pub shared_by_cores: u32,
+    /// Load-to-use latency in core cycles.
+    pub latency_cycles: u32,
+}
+
+impl CacheSpec {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes as u64 * self.associativity as u64)
+    }
+
+    /// Capacity available per sharing core, in bytes.
+    pub fn bytes_per_core(&self) -> u64 {
+        self.size_bytes / self.shared_by_cores as u64
+    }
+
+    /// Convenience constructor with KiB capacity.
+    pub fn kib(
+        size_kib: u64,
+        associativity: u32,
+        shared_by_cores: u32,
+        latency_cycles: u32,
+    ) -> Self {
+        Self {
+            size_bytes: size_kib * 1024,
+            line_bytes: 64,
+            associativity,
+            shared_by_cores,
+            latency_cycles,
+        }
+    }
+
+    /// Convenience constructor with MiB capacity.
+    pub fn mib(
+        size_mib: u64,
+        associativity: u32,
+        shared_by_cores: u32,
+        latency_cycles: u32,
+    ) -> Self {
+        Self::kib(
+            size_mib * 1024,
+            associativity,
+            shared_by_cores,
+            latency_cycles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_arithmetic() {
+        let l1 = CacheSpec::kib(64, 4, 1, 4);
+        assert_eq!(l1.size_bytes, 65536);
+        assert_eq!(l1.sets(), 65536 / (64 * 4));
+        assert_eq!(l1.bytes_per_core(), 65536);
+    }
+
+    #[test]
+    fn shared_capacity_divides() {
+        // SG2044 L2: 2 MiB per 4-core cluster.
+        let l2 = CacheSpec::mib(2, 16, 4, 24);
+        assert_eq!(l2.bytes_per_core(), 512 * 1024);
+    }
+
+    #[test]
+    fn geometry_is_power_of_two_for_presets() {
+        for c in [
+            CacheSpec::kib(32, 8, 1, 4),
+            CacheSpec::kib(64, 4, 1, 4),
+            CacheSpec::mib(2, 16, 4, 24),
+            CacheSpec::mib(64, 16, 64, 45),
+        ] {
+            assert!(c.sets().is_power_of_two(), "{c:?}");
+        }
+    }
+}

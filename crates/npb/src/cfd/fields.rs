@@ -1,0 +1,193 @@
+//! The pseudo-application state and auxiliary fields.
+
+use rvhpc_parallel::{Pool, SyncSlice};
+
+use crate::cfd::constants::CfdConstants;
+use crate::cfd::exact::exact_solution;
+use crate::common::array::{Array3, Array4};
+
+/// Conserved variables plus the auxiliary per-point quantities all three
+/// pseudo-applications precompute before each RHS evaluation.
+#[derive(Debug, Clone)]
+pub struct Fields {
+    /// Conserved state `u(i,j,k,m)`: ρ, ρu, ρv, ρw, E.
+    pub u: Array4,
+    /// Right-hand side / residual, same shape.
+    pub rhs: Array4,
+    /// Steady-state forcing (−spatial operator of the exact solution).
+    pub forcing: Array4,
+    /// 1/ρ.
+    pub rho_i: Array3,
+    /// Velocities u, v, w.
+    pub us: Array3,
+    pub vs: Array3,
+    pub ws: Array3,
+    /// Dynamic-pressure helper `0.5 ρ (u²+v²+w²)` (NPB `square`).
+    pub square: Array3,
+    /// Kinetic helper `0.5 (u²+v²+w²)` (NPB `qs`).
+    pub qs: Array3,
+    /// Grid points per dimension.
+    pub n: usize,
+}
+
+impl Fields {
+    /// Allocate zeroed fields for an `n³` grid.
+    pub fn new(n: usize) -> Self {
+        Self {
+            u: Array4::new(n, n, n, 5),
+            rhs: Array4::new(n, n, n, 5),
+            forcing: Array4::new(n, n, n, 5),
+            rho_i: Array3::new(n, n, n),
+            us: Array3::new(n, n, n),
+            vs: Array3::new(n, n, n),
+            ws: Array3::new(n, n, n),
+            square: Array3::new(n, n, n),
+            qs: Array3::new(n, n, n),
+            n,
+        }
+    }
+
+    /// NPB `initialize`: trilinear blend of the exact solution's face
+    /// values in the interior, exact values on the boundary faces.
+    pub fn initialize(&mut self, c: &CfdConstants, pool: &Pool) {
+        let n = self.n;
+        let us = SyncSlice::new(self.u.flat_mut());
+        pool.run(|team| {
+            team.for_static(0, n, |k| {
+                let zeta = c.coord(k);
+                for j in 0..n {
+                    let eta = c.coord(j);
+                    for i in 0..n {
+                        let xi = c.coord(i);
+                        let value =
+                            if i == 0 || i == n - 1 || j == 0 || j == n - 1 || k == 0 || k == n - 1
+                            {
+                                exact_solution(xi, eta, zeta)
+                            } else {
+                                blended_interior(xi, eta, zeta)
+                            };
+                        let base = ((k * n + j) * n + i) * 5;
+                        for (m, &v) in value.iter().enumerate() {
+                            // SAFETY: plane k is exclusively ours.
+                            unsafe { us.set(base + m, v) };
+                        }
+                    }
+                }
+            });
+        });
+    }
+
+    /// Recompute the auxiliary fields from `u` (the prologue of NPB
+    /// `compute_rhs`).
+    pub fn compute_aux(&mut self, pool: &Pool) {
+        let n = self.n;
+        let uf = self.u.flat();
+        let rho_i = SyncSlice::new(self.rho_i.flat_mut());
+        let usx = SyncSlice::new(self.us.flat_mut());
+        let vsx = SyncSlice::new(self.vs.flat_mut());
+        let wsx = SyncSlice::new(self.ws.flat_mut());
+        let square = SyncSlice::new(self.square.flat_mut());
+        let qs = SyncSlice::new(self.qs.flat_mut());
+        pool.run(|team| {
+            team.for_static(0, n, |k| {
+                for j in 0..n {
+                    for i in 0..n {
+                        let p = (k * n + j) * n + i;
+                        let b = p * 5;
+                        let rho = uf[b];
+                        let inv = 1.0 / rho;
+                        let (ru, rv, rw) = (uf[b + 1], uf[b + 2], uf[b + 3]);
+                        // SAFETY: plane k is exclusively ours in every
+                        // auxiliary array.
+                        unsafe {
+                            rho_i.set(p, inv);
+                            usx.set(p, ru * inv);
+                            vsx.set(p, rv * inv);
+                            wsx.set(p, rw * inv);
+                            let sq = 0.5 * (ru * ru + rv * rv + rw * rw) * inv;
+                            square.set(p, sq);
+                            qs.set(p, sq * inv);
+                        }
+                    }
+                }
+            });
+        });
+    }
+}
+
+/// NPB's interior initial guess: a face-to-face trilinear blend of the
+/// exact solution evaluated on the six faces.
+fn blended_interior(xi: f64, eta: f64, zeta: f64) -> [f64; 5] {
+    let pxi_lo = exact_solution(0.0, eta, zeta);
+    let pxi_hi = exact_solution(1.0, eta, zeta);
+    let peta_lo = exact_solution(xi, 0.0, zeta);
+    let peta_hi = exact_solution(xi, 1.0, zeta);
+    let pzeta_lo = exact_solution(xi, eta, 0.0);
+    let pzeta_hi = exact_solution(xi, eta, 1.0);
+    let mut out = [0.0f64; 5];
+    for m in 0..5 {
+        let pxi = (1.0 - xi) * pxi_lo[m] + xi * pxi_hi[m];
+        let peta = (1.0 - eta) * peta_lo[m] + eta * peta_hi[m];
+        let pzeta = (1.0 - zeta) * pzeta_lo[m] + zeta * pzeta_hi[m];
+        out[m] = pxi + peta + pzeta - pxi * peta - pxi * pzeta - peta * pzeta + pxi * peta * pzeta;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialize_sets_exact_boundaries() {
+        let c = CfdConstants::new(8, 0.01);
+        let pool = Pool::new(2);
+        let mut f = Fields::new(8);
+        f.initialize(&c, &pool);
+        // Check a boundary point matches the exact solution exactly.
+        let e = exact_solution(0.0, c.coord(3), c.coord(5));
+        for m in 0..5 {
+            assert_eq!(f.u[(5, 3, 0, m)], e[m], "component {m}");
+        }
+    }
+
+    #[test]
+    fn interior_guess_is_bounded_by_problem_scale() {
+        let c = CfdConstants::new(8, 0.01);
+        let pool = Pool::new(2);
+        let mut f = Fields::new(8);
+        f.initialize(&c, &pool);
+        for &v in f.u.flat() {
+            // The transfinite blend of O(10) face values can reach O(10^3)
+            // for the energy component; it must stay finite and bounded.
+            assert!(v.is_finite() && v.abs() < 5000.0, "wild initial value {v}");
+        }
+    }
+
+    #[test]
+    fn aux_fields_are_consistent_with_state() {
+        let c = CfdConstants::new(8, 0.01);
+        let pool = Pool::new(2);
+        let mut f = Fields::new(8);
+        f.initialize(&c, &pool);
+        f.compute_aux(&pool);
+        let (i, j, k) = (3, 4, 2);
+        let rho = f.u[(k, j, i, 0)];
+        assert!((f.rho_i[(k, j, i)] - 1.0 / rho).abs() < 1e-15);
+        assert!((f.us[(k, j, i)] - f.u[(k, j, i, 1)] / rho).abs() < 1e-15);
+        let q = 0.5
+            * (f.u[(k, j, i, 1)].powi(2) + f.u[(k, j, i, 2)].powi(2) + f.u[(k, j, i, 3)].powi(2))
+            / rho;
+        assert!((f.square[(k, j, i)] - q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initialization_is_thread_invariant() {
+        let c = CfdConstants::new(8, 0.01);
+        let mut f1 = Fields::new(8);
+        f1.initialize(&c, &Pool::new(1));
+        let mut f3 = Fields::new(8);
+        f3.initialize(&c, &Pool::new(3));
+        assert_eq!(f1.u.flat(), f3.u.flat());
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared substrate for the three NPB pseudo-applications.
+//!
+//! BT, SP and LU all march the same problem: the 3-D compressible
+//! Navier–Stokes equations, discretized with second-order central
+//! differences plus fourth-order artificial dissipation on the unit cube,
+//! with Dirichlet boundaries set from a polynomial "exact solution" and a
+//! forcing term chosen so that exact solution is a steady state. They
+//! differ only in the implicit solver: block-tridiagonal ADI (BT),
+//! diagonalized scalar-pentadiagonal ADI (SP), and SSOR (LU).
+//!
+//! This module implements the shared parts once:
+//!
+//! * [`exact`] — the 13-coefficient polynomial exact solution (NPB's `ce`
+//!   table and `exact_solution`).
+//! * [`constants`] — gas constants, grid metrics, dissipation constants.
+//! * [`fields`] — the 5-component state and auxiliary fields.
+//! * [`rhs`] — the spatial right-hand-side operator (convective fluxes,
+//!   viscous terms, fourth-order dissipation) and the forcing term, which
+//!   is *defined* as the negated spatial operator applied to the exact
+//!   solution sampled on the grid — the same quantity NPB's `exact_rhs`
+//!   computes, obtained by construction rather than by 400 lines of
+//!   expanded differences, and guaranteeing the discrete steady-state
+//!   property `RHS(u_exact) = 0` that the stability invariants test.
+//! * [`norms`] — RMS residual and solution-error norms used for
+//!   verification.
+
+pub mod constants;
+pub mod exact;
+pub mod fields;
+pub mod jacobians;
+pub mod matrix5;
+pub mod norms;
+pub mod rhs;
+
+pub use constants::CfdConstants;
+pub use exact::exact_solution;
+pub use fields::Fields;

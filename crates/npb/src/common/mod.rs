@@ -1,0 +1,11 @@
+//! Infrastructure shared by every NPB port: the NPB pseudo-random
+//! generator, problem classes, verification, official operation counts,
+//! timers, and dense-array helpers.
+
+pub mod array;
+pub mod class;
+pub mod mops;
+pub mod randdp;
+pub mod result;
+pub mod timers;
+pub mod verify;

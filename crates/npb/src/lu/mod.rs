@@ -1,0 +1,586 @@
+//! LU — the Lower-Upper symmetric Gauss–Seidel pseudo-application.
+//!
+//! Marches the same 3-D Navier–Stokes system as BT/SP, but solves the
+//! implicit system with SSOR: a regular-sparse block-lower-triangular
+//! sweep followed by a block-upper-triangular sweep (5×5 blocks), with
+//! relaxation factor ω = 1.2 (NPB `ssor`, `jacld`/`blts`, `jacu`/`buts`).
+//!
+//! The triangular sweeps carry a data dependence on the (i−1, j−1, k−1)
+//! — respectively (i+1, j+1, k+1) — neighbours, so they are parallelized
+//! over *hyperplanes* i+j+k = const (the formulation NPB ships as LU-HP);
+//! every point within a hyperplane is independent. This gives LU by far
+//! the highest synchronization density of the suite: one barrier per
+//! hyperplane per sweep.
+//!
+//! Verification is self-referenced plus stability invariants (DESIGN.md
+//! §2).
+
+use rvhpc_parallel::{Pool, SyncSlice};
+
+use crate::bt::{verify_app, AppOutput};
+use crate::cfd::constants::CfdConstants;
+use crate::cfd::fields::Fields;
+use crate::cfd::jacobians::{flux_jacobian, viscous_jacobian};
+use crate::cfd::matrix5::{binvrhs, Mat5, Vec5};
+use crate::cfd::norms::{error_norm, norm_scalar, rhs_norm};
+use crate::cfd::rhs::{compute_forcing, compute_rhs, scale_rhs_by_dt, Direction};
+use crate::common::class::{self, Class};
+use crate::common::mops;
+use crate::common::result::BenchResult;
+use crate::common::timers::Timers;
+use crate::profile::{AccessPattern, PhaseProfile, WorkloadProfile};
+use crate::{Benchmark, BenchmarkId};
+
+/// SSOR relaxation factor (NPB `omega`).
+const OMEGA: f64 = 1.2;
+
+/// The LU benchmark.
+pub struct Lu;
+
+/// Interior points grouped by hyperplane `i + j + k = h`, as flat indices.
+/// Hyperplane order is ascending; reversing gives the upper sweep order.
+pub fn hyperplanes(n: usize) -> Vec<Vec<u32>> {
+    let lo = 3; // smallest interior i+j+k (1+1+1)
+    let hi = 3 * (n - 2); // largest
+    let mut planes: Vec<Vec<u32>> = vec![Vec::new(); hi - lo + 1];
+    for k in 1..n - 1 {
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                let h = i + j + k;
+                planes[h - lo].push(((k * n + j) * n + i) as u32);
+            }
+        }
+    }
+    planes
+}
+
+/// The block-diagonal matrix `D` at point `p` (NPB `jacld`/`jacu` `d`
+/// block): identity plus the time-step-scaled viscous Jacobians and
+/// second-difference dissipation of all three directions.
+fn d_block(uf: &[f64], p: usize, c: &CfdConstants) -> Mat5 {
+    let ub = &uf[p * 5..p * 5 + 5];
+    let dt = c.dt;
+    let mut d = [[0.0f64; 5]; 5];
+    let dias = c.tx1 * c.dx + c.ty1 * c.dy + c.tz1 * c.dz;
+    for (dir, t1) in [
+        (Direction::X, c.tx1),
+        (Direction::Y, c.ty1),
+        (Direction::Z, c.tz1),
+    ] {
+        let nj = viscous_jacobian(ub, dir, c);
+        for i in 0..5 {
+            for j in 0..5 {
+                d[i][j] += 2.0 * dt * t1 * nj[i][j];
+            }
+        }
+    }
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] += 1.0 + 2.0 * dt * dias;
+        let _ = i;
+    }
+    d
+}
+
+/// Off-diagonal block coupling point `p` to its neighbour along `dir`
+/// (`lower = true` for the (·−1) neighbour, `false` for (·+1)), evaluated
+/// at the neighbour's state — exactly the BT `aa`/`cc` construction.
+fn offdiag_block(uf: &[f64], q: usize, dir: Direction, lower: bool, c: &CfdConstants) -> Mat5 {
+    let ub = &uf[q * 5..q * 5 + 5];
+    let (t1, t2) = (c.tx1, c.tx2);
+    let dcoef = match dir {
+        Direction::X => c.dx,
+        Direction::Y => c.dy,
+        Direction::Z => c.dz,
+    };
+    let dt = c.dt;
+    let fj = flux_jacobian(ub, dir, c);
+    let nj = viscous_jacobian(ub, dir, c);
+    let sign = if lower { -1.0 } else { 1.0 };
+    let mut m = [[0.0f64; 5]; 5];
+    for i in 0..5 {
+        for j in 0..5 {
+            m[i][j] = sign * dt * t2 * fj[i][j] - dt * t1 * nj[i][j];
+        }
+        m[i][i] -= dt * t1 * dcoef;
+    }
+    m
+}
+
+/// One lower-sweep point update:
+/// `Δ_p ← D_p⁻¹ (r_p − ω Σ_d L_d Δ_{p−s_d})`.
+///
+/// # Safety
+/// The caller must guarantee point `p` is exclusively owned and all three
+/// lower neighbours' updates are complete and visible.
+unsafe fn lower_update(p: usize, n: usize, uf: &[f64], rsd: &SyncSlice<'_, f64>, c: &CfdConstants) {
+    let mut v: Vec5 = [0.0; 5];
+    for m in 0..5 {
+        v[m] = rsd.get(p * 5 + m);
+    }
+    for dir in Direction::ALL {
+        let s = dir.stride(n);
+        let q = p - s;
+        let block = offdiag_block(uf, q, dir, true, c);
+        let mut dv: Vec5 = [0.0; 5];
+        for m in 0..5 {
+            dv[m] = rsd.get(q * 5 + m);
+        }
+        for i in 0..5 {
+            let mut acc = 0.0;
+            for k in 0..5 {
+                acc += block[i][k] * dv[k];
+            }
+            v[i] -= OMEGA * acc;
+        }
+    }
+    let mut d = d_block(uf, p, c);
+    binvrhs(&mut d, &mut v);
+    for m in 0..5 {
+        rsd.set(p * 5 + m, v[m]);
+    }
+}
+
+/// One upper-sweep point update:
+/// `Δ_p ← Δ_p − D_p⁻¹ ω Σ_d U_d Δ_{p+s_d}`.
+///
+/// # Safety
+/// As [`lower_update`], with the three *upper* neighbours complete.
+unsafe fn upper_update(p: usize, n: usize, uf: &[f64], rsd: &SyncSlice<'_, f64>, c: &CfdConstants) {
+    let mut tv: Vec5 = [0.0; 5];
+    for dir in Direction::ALL {
+        let s = dir.stride(n);
+        let q = p + s;
+        let block = offdiag_block(uf, q, dir, false, c);
+        let mut dv: Vec5 = [0.0; 5];
+        for m in 0..5 {
+            dv[m] = rsd.get(q * 5 + m);
+        }
+        for i in 0..5 {
+            let mut acc = 0.0;
+            for k in 0..5 {
+                acc += block[i][k] * dv[k];
+            }
+            tv[i] += OMEGA * acc;
+        }
+    }
+    let mut d = d_block(uf, p, c);
+    binvrhs(&mut d, &mut tv);
+    for m in 0..5 {
+        let v = rsd.get(p * 5 + m);
+        rsd.set(p * 5 + m, v - tv[m]);
+    }
+}
+
+/// Lower-triangular SSOR sweep over hyperplanes (the LU-HP formulation).
+fn lower_sweep(f: &mut Fields, c: &CfdConstants, planes: &[Vec<u32>], pool: &Pool) {
+    let n = f.n;
+    let uf = f.u.flat();
+    let rsd = SyncSlice::new(f.rhs.flat_mut());
+    pool.run(|team| {
+        for plane in planes {
+            team.for_static(0, plane.len(), |pi| {
+                // SAFETY: the point is exclusively owned within its
+                // hyperplane; lower neighbours lie on earlier,
+                // barrier-separated hyperplanes.
+                unsafe { lower_update(plane[pi] as usize, n, uf, &rsd, c) };
+            });
+        }
+    });
+}
+
+/// Upper-triangular SSOR sweep over hyperplanes, in descending order.
+fn upper_sweep(f: &mut Fields, c: &CfdConstants, planes: &[Vec<u32>], pool: &Pool) {
+    let n = f.n;
+    let uf = f.u.flat();
+    let rsd = SyncSlice::new(f.rhs.flat_mut());
+    pool.run(|team| {
+        for plane in planes.iter().rev() {
+            team.for_static(0, plane.len(), |pi| {
+                // SAFETY: upper neighbours lie on later hyperplanes,
+                // finalized before this one started.
+                unsafe { upper_update(plane[pi] as usize, n, uf, &rsd, c) };
+            });
+        }
+    });
+}
+
+/// Lower sweep in NPB's classic *pipelined* formulation: the j-range is
+/// split across the team; k-planes flow through the pipeline, with thread
+/// t starting plane k only after thread t−1 finished its j-block of the
+/// same plane. Both formulations are topological orders of the same
+/// dependence DAG, so their results are bit-identical (tested).
+fn lower_sweep_pipelined(f: &mut Fields, c: &CfdConstants, pool: &Pool) {
+    let n = f.n;
+    let uf = f.u.flat();
+    let rsd = SyncSlice::new(f.rhs.flat_mut());
+    let progress: Vec<crossbeam_pad::Padded> = (0..pool.nthreads())
+        .map(|_| crossbeam_pad::Padded::default())
+        .collect();
+    pool.run(|team| {
+        let t = team.tid();
+        let jr = team.static_range(1, n - 1);
+        for k in 1..n - 1 {
+            if t > 0 {
+                // Wait until the neighbour finished this plane.
+                while progress[t - 1].0.load(std::sync::atomic::Ordering::Acquire) < k {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
+            for j in jr.clone() {
+                for i in 1..n - 1 {
+                    let p = (k * n + j) * n + i;
+                    // SAFETY: (i−1) precedes in this loop; (j−1) was
+                    // completed by thread t−1 (waited on above) or by this
+                    // thread; (k−1) completed in the previous pipeline
+                    // stage of this thread.
+                    unsafe { lower_update(p, n, uf, &rsd, c) };
+                }
+            }
+            progress[t].0.store(k, std::sync::atomic::Ordering::Release);
+        }
+        team.barrier();
+    });
+}
+
+/// Upper sweep, pipelined in the reverse direction.
+fn upper_sweep_pipelined(f: &mut Fields, c: &CfdConstants, pool: &Pool) {
+    let n = f.n;
+    let uf = f.u.flat();
+    let rsd = SyncSlice::new(f.rhs.flat_mut());
+    // progress[t] = number of planes completed by thread t.
+    let progress: Vec<crossbeam_pad::Padded> = (0..pool.nthreads())
+        .map(|_| crossbeam_pad::Padded::default())
+        .collect();
+    pool.run(|team| {
+        let t = team.tid();
+        let p_threads = team.nthreads();
+        let jr = team.static_range(1, n - 1);
+        let mut done = 0usize;
+        for k in (1..n - 1).rev() {
+            if t + 1 < p_threads {
+                while progress[t + 1].0.load(std::sync::atomic::Ordering::Acquire) <= done {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
+            for j in jr.clone().rev() {
+                for i in (1..n - 1).rev() {
+                    let p = (k * n + j) * n + i;
+                    // SAFETY: mirror of the lower sweep with upper
+                    // neighbours.
+                    unsafe { upper_update(p, n, uf, &rsd, c) };
+                }
+            }
+            done += 1;
+            progress[t]
+                .0
+                .store(done, std::sync::atomic::Ordering::Release);
+        }
+        team.barrier();
+    });
+}
+
+/// Cache-line padded atomic used by the pipelined sweeps.
+mod crossbeam_pad {
+    /// An atomic on its own cache line (manual padding keeps the
+    /// pipeline's progress flags from false sharing).
+    pub struct Padded(
+        pub std::sync::atomic::AtomicUsize,
+        /// Pad out the rest of the cache line (structural, never read).
+        #[allow(dead_code)]
+        pub [u8; 56],
+    );
+
+    impl Default for Padded {
+        fn default() -> Self {
+            let pad = [0u8; 56];
+            let _ = pad; // the padding is structural, never read
+            Padded(std::sync::atomic::AtomicUsize::new(0), pad)
+        }
+    }
+}
+
+/// Which SSOR parallelization to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SsorStrategy {
+    /// Wavefront over i+j+k hyperplanes (LU-HP; the default here).
+    #[default]
+    Hyperplane,
+    /// NPB's classic software pipeline over k-planes.
+    Pipelined,
+}
+
+/// `u += Δ/(ω(2−ω))` on the interior (NPB `ssor`'s final update).
+fn add_scaled(f: &mut Fields, pool: &Pool) {
+    let n = f.n;
+    let tmp = 1.0 / (OMEGA * (2.0 - OMEGA));
+    let rhsf = f.rhs.flat();
+    let us = SyncSlice::new(f.u.flat_mut());
+    pool.run(|team| {
+        team.for_static(1, n - 1, |k| {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    let b = ((k * n + j) * n + i) * 5;
+                    for m in 0..5 {
+                        // SAFETY: plane k is exclusively ours.
+                        unsafe {
+                            let v = us.get(b + m);
+                            us.set(b + m, v + tmp * rhsf[b + m]);
+                        }
+                    }
+                }
+            }
+        });
+    });
+}
+
+/// One SSOR iteration (hyperplane strategy).
+pub fn ssor_step(f: &mut Fields, c: &CfdConstants, planes: &[Vec<u32>], pool: &Pool) {
+    ssor_step_with(f, c, planes, pool, SsorStrategy::Hyperplane);
+}
+
+/// One SSOR iteration with an explicit sweep strategy.
+pub fn ssor_step_with(
+    f: &mut Fields,
+    c: &CfdConstants,
+    planes: &[Vec<u32>],
+    pool: &Pool,
+    strategy: SsorStrategy,
+) {
+    f.compute_aux(pool);
+    compute_rhs(f, c, pool);
+    scale_rhs_by_dt(f, c, pool);
+    match strategy {
+        SsorStrategy::Hyperplane => {
+            lower_sweep(f, c, planes, pool);
+            upper_sweep(f, c, planes, pool);
+        }
+        SsorStrategy::Pipelined => {
+            lower_sweep_pipelined(f, c, pool);
+            upper_sweep_pipelined(f, c, pool);
+        }
+    }
+    add_scaled(f, pool);
+}
+
+/// Run the full LU benchmark computation.
+pub fn compute(class: Class, pool: &Pool) -> AppOutput {
+    let p = class::lu_params(class);
+    let n = p.problem_size;
+    let c = CfdConstants::new(n, p.dt);
+    let planes = hyperplanes(n);
+    let mut f = Fields::new(n);
+    f.initialize(&c, pool);
+    compute_forcing(&mut f, &c, pool);
+    let initial_error = norm_scalar(&error_norm(&f, &c, pool));
+
+    ssor_step(&mut f, &c, &planes, pool); // untimed warm-up
+    f.initialize(&c, pool);
+
+    let mut timers = Timers::new(1);
+    timers.start(0);
+    for _ in 0..p.niter {
+        ssor_step(&mut f, &c, &planes, pool);
+    }
+    timers.stop(0);
+
+    f.compute_aux(pool);
+    compute_rhs(&mut f, &c, pool);
+    AppOutput {
+        rhs_norm: norm_scalar(&rhs_norm(&f, pool)),
+        error_norm: norm_scalar(&error_norm(&f, &c, pool)),
+        initial_error,
+        timed_seconds: timers.read(0),
+    }
+}
+
+/// Self-referenced golden norms per class (`(rhs_norm, error_norm)`).
+fn reference(class: Class) -> Option<(f64, f64)> {
+    match class {
+        Class::T => Some((1.565212108847e-1, 5.980881098052e-3)),
+        Class::S => Some((5.631428848472e-2, 2.181439279995e-3)),
+        _ => None,
+    }
+}
+
+impl Benchmark for Lu {
+    fn id(&self) -> BenchmarkId {
+        BenchmarkId::Lu
+    }
+
+    fn run(&self, class: Class, pool: &Pool) -> BenchResult {
+        let out = compute(class, pool);
+        let verified = verify_app(&out, reference(class));
+        BenchResult {
+            name: "LU",
+            class,
+            threads: pool.nthreads(),
+            time_seconds: out.timed_seconds,
+            mops: mops::mops(BenchmarkId::Lu, class, out.timed_seconds),
+            verified,
+            check_value: out.error_norm,
+        }
+    }
+}
+
+/// Analytic workload profile.
+///
+/// Two triangular block sweeps per step (Jacobian rebuilds plus one 5×5
+/// solve per point per sweep), with a barrier per hyperplane — ~6n
+/// barriers per step, the suite's heaviest synchronization load, plus the
+/// wavefront imbalance of triangular hyperplane sizes.
+pub fn profile(class: Class) -> WorkloadProfile {
+    let p = class::lu_params(class);
+    let n = p.problem_size as f64;
+    let n3 = n.powi(3);
+    let steps = p.niter as f64;
+    let sweep_flops = steps * 2.0 * n3 * 1200.0;
+    let rhs_flops = steps * n3 * 350.0;
+    let state_bytes = n3 * 5.0 * 8.0;
+    WorkloadProfile {
+        bench: BenchmarkId::Lu,
+        class,
+        total_ops: mops::total_ops(BenchmarkId::Lu, class),
+        phases: vec![
+            PhaseProfile {
+                name: "rhs-stencil",
+                instructions: rhs_flops * 1.6,
+                flops: rhs_flops,
+                mem_refs: steps * n3 * 5.0 * 14.0,
+                elem_bytes: 8,
+                working_set_bytes: 3.0 * state_bytes,
+                pattern: AccessPattern::Streaming,
+                ws_partitioned: true,
+                vectorizable: 0.85,
+                branch_rate: 0.03,
+                branch_misrate: 0.02,
+            },
+            PhaseProfile {
+                name: "ssor-sweeps",
+                instructions: sweep_flops * 1.4,
+                flops: sweep_flops,
+                mem_refs: steps * 2.0 * n3 * 5.0 * 10.0,
+                elem_bytes: 8,
+                working_set_bytes: 2.0 * state_bytes,
+                // Hyperplane traversal touches all three strides at once.
+                pattern: AccessPattern::Strided {
+                    stride_bytes: (p.problem_size * p.problem_size * 40) as u32,
+                },
+                ws_partitioned: true,
+                vectorizable: 0.50,
+                branch_rate: 0.05,
+                branch_misrate: 0.03,
+            },
+        ],
+        barriers: steps * 6.0 * n,
+        imbalance: 1.15, // triangular hyperplane sizes
+        parallel_fraction: 0.97,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperplanes_cover_interior_exactly_once() {
+        let n = 8;
+        let planes = hyperplanes(n);
+        let total: usize = planes.iter().map(|p| p.len()).sum();
+        assert_eq!(total, (n - 2) * (n - 2) * (n - 2));
+        let mut seen = std::collections::HashSet::new();
+        for plane in &planes {
+            for &p in plane {
+                assert!(seen.insert(p), "point {p} in two hyperplanes");
+            }
+        }
+        // Dependence property: every point's lower neighbours live on
+        // earlier hyperplanes.
+        for (h, plane) in planes.iter().enumerate() {
+            for &p in plane {
+                let p = p as usize;
+                let (i, j, k) = (p % n, (p / n) % n, p / (n * n));
+                assert_eq!(i + j + k - 3, h);
+            }
+        }
+    }
+
+    #[test]
+    fn march_reduces_error_and_stays_stable() {
+        let pool = Pool::new(2);
+        let out = compute(Class::T, &pool);
+        assert!(out.error_norm.is_finite() && out.rhs_norm.is_finite());
+        assert!(
+            out.error_norm < out.initial_error,
+            "error grew: {} -> {}",
+            out.initial_error,
+            out.error_norm
+        );
+    }
+
+    #[test]
+    fn result_is_thread_count_stable() {
+        let base = compute(Class::T, &Pool::new(1));
+        let par = compute(Class::T, &Pool::new(4));
+        let rel = ((par.error_norm - base.error_norm) / base.error_norm).abs();
+        assert!(rel < 1e-10, "error norm differs: rel {rel}");
+    }
+
+    #[test]
+    fn class_t_norms_are_pinned() {
+        let out = compute(Class::T, &Pool::new(2));
+        let (rref, eref) = reference(Class::T).unwrap();
+        assert!(
+            ((out.rhs_norm - rref) / rref).abs() < 1e-6,
+            "rhs_norm = {:.12e}",
+            out.rhs_norm
+        );
+        assert!(
+            ((out.error_norm - eref) / eref).abs() < 1e-6,
+            "error_norm = {:.12e}",
+            out.error_norm
+        );
+    }
+
+    #[test]
+    fn pipelined_and_hyperplane_sweeps_agree_bitwise() {
+        // Both are topological orders of the same dependence DAG: every
+        // point consumes exactly its three lower (resp. upper) neighbours'
+        // *new* values, so the results must be identical to the last bit.
+        let p = class::lu_params(Class::T);
+        let c = CfdConstants::new(p.problem_size, p.dt);
+        let planes = hyperplanes(p.problem_size);
+        let run_with = |strategy: SsorStrategy, threads: usize| -> Vec<u64> {
+            let pool = Pool::new(threads);
+            let mut f = Fields::new(p.problem_size);
+            f.initialize(&c, &pool);
+            compute_forcing(&mut f, &c, &pool);
+            for _ in 0..3 {
+                ssor_step_with(&mut f, &c, &planes, &pool, strategy);
+            }
+            f.u.flat().iter().map(|v| v.to_bits()).collect()
+        };
+        let hp = run_with(SsorStrategy::Hyperplane, 1);
+        for (strategy, threads) in [
+            (SsorStrategy::Hyperplane, 4),
+            (SsorStrategy::Pipelined, 1),
+            (SsorStrategy::Pipelined, 3),
+        ] {
+            let other = run_with(strategy, threads);
+            assert_eq!(
+                hp, other,
+                "{strategy:?} with {threads} threads diverged from serial hyperplane"
+            );
+        }
+    }
+
+    #[test]
+    fn run_reports_pass_for_class_t() {
+        let pool = Pool::new(2);
+        let r = Lu.run(Class::T, &pool);
+        assert!(r.verified.passed(), "{:?}", r.verified);
+        assert!(r.mops > 0.0);
+        assert_eq!(r.name, "LU");
+    }
+}

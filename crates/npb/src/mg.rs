@@ -1,0 +1,733 @@
+//! MG — the Multi-Grid kernel.
+//!
+//! Approximates the solution of a 3-D Poisson problem `∇²u = v` with
+//! periodic boundaries using V-cycles of a four-coefficient 27-point
+//! multigrid: full-weighting restriction (`rprj3`), trilinear prolongation
+//! (`interp`), the residual operator `A` (`resid`) and the smoother `S`
+//! (`psinv`). The right-hand side is zero except for +1 at the ten grid
+//! points where a pseudo-random field is largest and −1 at the ten where
+//! it is smallest (`zran3`).
+//!
+//! MG streams several full grids per sweep: it is the paper's memory-
+//! *bandwidth* probe (§5.2; Table 1: 88% of its time DDR-bandwidth bound
+//! on the Xeon).
+//!
+//! Port of NPB 3.4 `MG/mg.f`: same stencil coefficients (class-dependent
+//! smoother), same V-cycle schedule, same `zran3` generator consumption,
+//! and the published residual-norm verification constants.
+
+use rvhpc_parallel::{Pool, SyncSlice};
+
+use crate::common::array::Array3;
+use crate::common::class::{self, Class};
+use crate::common::mops;
+use crate::common::randdp::{randlc, skip_ahead, vranlc, A as AMULT, SEED};
+use crate::common::result::{BenchResult, Provenance};
+use crate::common::timers::Timers;
+use crate::common::verify;
+use crate::profile::{AccessPattern, PhaseProfile, WorkloadProfile};
+use crate::{Benchmark, BenchmarkId};
+
+/// The MG benchmark.
+pub struct Mg;
+
+/// Residual-operator coefficients (NPB's `a`): center, faces, edges,
+/// corners. The face coefficient is exactly zero and its term is skipped,
+/// as in the reference.
+const A_COEF: [f64; 4] = [-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0];
+
+/// Smoother coefficients (NPB's `c`), class-dependent.
+fn c_coef(class: Class) -> [f64; 4] {
+    match class {
+        // S(a) smoother for the small classes.
+        Class::T | Class::S | Class::W | Class::A => [-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0],
+        // S(b) smoother for the big classes.
+        Class::B | Class::C => [-3.0 / 17.0, 1.0 / 33.0, -1.0 / 61.0, 0.0],
+    }
+}
+
+/// Periodic ghost-cell exchange (NPB `comm3`): copy the opposing interior
+/// face into each ghost face, axis by axis so edges and corners resolve.
+fn comm3(g: &mut Array3, pool: &Pool) {
+    let (m, _, _) = g.dims();
+    let hi = m - 1;
+    let flat = SyncSlice::new(g.flat_mut());
+    let idx = |i3: usize, i2: usize, i1: usize| (i3 * m + i2) * m + i1;
+    pool.run(|team| {
+        // Axis 1 (contiguous index): interior planes only.
+        team.for_static(1, hi, |i3| {
+            for i2 in 1..hi {
+                unsafe {
+                    flat.set(idx(i3, i2, 0), flat.get(idx(i3, i2, hi - 1)));
+                    flat.set(idx(i3, i2, hi), flat.get(idx(i3, i2, 1)));
+                }
+            }
+        });
+        // Axis 2: interior i3, full i1 range.
+        team.for_static(1, hi, |i3| {
+            for i1 in 0..=hi {
+                unsafe {
+                    flat.set(idx(i3, 0, i1), flat.get(idx(i3, hi - 1, i1)));
+                    flat.set(idx(i3, hi, i1), flat.get(idx(i3, 1, i1)));
+                }
+            }
+        });
+        // Axis 3: full i2/i1 ranges; parallel over i2.
+        team.for_static(0, hi + 1, |i2| {
+            for i1 in 0..=hi {
+                unsafe {
+                    flat.set(idx(0, i2, i1), flat.get(idx(hi - 1, i2, i1)));
+                    flat.set(idx(hi, i2, i1), flat.get(idx(1, i2, i1)));
+                }
+            }
+        });
+    });
+}
+
+/// Where `resid` reads its right-hand side from.
+enum VSource<'a> {
+    /// A separate array.
+    Separate(&'a Array3),
+    /// The output array itself (`r ← r − A u`); only the center value is
+    /// read, before it is overwritten, so in-place is safe.
+    InPlace,
+}
+
+/// `r = v − A u` (NPB `resid`), followed by `comm3(r)`.
+fn resid(u: &Array3, v: VSource<'_>, r: &mut Array3, pool: &Pool) {
+    let (m, _, _) = u.dims();
+    let hi = m - 1;
+    {
+        let rs = SyncSlice::new(r.flat_mut());
+        let uf = u.flat();
+        let idx = |i3: usize, i2: usize, i1: usize| (i3 * m + i2) * m + i1;
+        pool.run(|team| {
+            let mut u1 = vec![0.0f64; m];
+            let mut u2 = vec![0.0f64; m];
+            team.for_static(1, hi, |i3| {
+                for i2 in 1..hi {
+                    for i1 in 0..m {
+                        u1[i1] = uf[idx(i3, i2 - 1, i1)]
+                            + uf[idx(i3, i2 + 1, i1)]
+                            + uf[idx(i3 - 1, i2, i1)]
+                            + uf[idx(i3 + 1, i2, i1)];
+                        u2[i1] = uf[idx(i3 - 1, i2 - 1, i1)]
+                            + uf[idx(i3 - 1, i2 + 1, i1)]
+                            + uf[idx(i3 + 1, i2 - 1, i1)]
+                            + uf[idx(i3 + 1, i2 + 1, i1)];
+                    }
+                    for i1 in 1..hi {
+                        let center = idx(i3, i2, i1);
+                        let vv = match &v {
+                            VSource::Separate(va) => va.flat()[center],
+                            // SAFETY: this thread owns plane i3; the center
+                            // is read before being overwritten.
+                            VSource::InPlace => unsafe { rs.get(center) },
+                        };
+                        let val = vv
+                            - A_COEF[0] * uf[center]
+                            - A_COEF[2] * (u2[i1] + u1[i1 - 1] + u1[i1 + 1])
+                            - A_COEF[3] * (u2[i1 - 1] + u2[i1 + 1]);
+                        // SAFETY: plane i3 is exclusively ours.
+                        unsafe { rs.set(center, val) };
+                    }
+                }
+            });
+        });
+    }
+    comm3(r, pool);
+}
+
+/// `u += S r` (NPB `psinv`), followed by `comm3(u)`.
+fn psinv(r: &Array3, u: &mut Array3, c: &[f64; 4], pool: &Pool) {
+    let (m, _, _) = r.dims();
+    let hi = m - 1;
+    {
+        let us = SyncSlice::new(u.flat_mut());
+        let rf = r.flat();
+        let idx = |i3: usize, i2: usize, i1: usize| (i3 * m + i2) * m + i1;
+        pool.run(|team| {
+            let mut r1 = vec![0.0f64; m];
+            let mut r2 = vec![0.0f64; m];
+            team.for_static(1, hi, |i3| {
+                for i2 in 1..hi {
+                    for i1 in 0..m {
+                        r1[i1] = rf[idx(i3, i2 - 1, i1)]
+                            + rf[idx(i3, i2 + 1, i1)]
+                            + rf[idx(i3 - 1, i2, i1)]
+                            + rf[idx(i3 + 1, i2, i1)];
+                        r2[i1] = rf[idx(i3 - 1, i2 - 1, i1)]
+                            + rf[idx(i3 - 1, i2 + 1, i1)]
+                            + rf[idx(i3 + 1, i2 - 1, i1)]
+                            + rf[idx(i3 + 1, i2 + 1, i1)];
+                    }
+                    for i1 in 1..hi {
+                        let center = idx(i3, i2, i1);
+                        // SAFETY: plane i3 is exclusively ours.
+                        unsafe {
+                            let cur = us.get(center);
+                            us.set(
+                                center,
+                                cur + c[0] * rf[center]
+                                    + c[1] * (rf[center - 1] + rf[center + 1] + r1[i1])
+                                    + c[2] * (r2[i1] + r1[i1 - 1] + r1[i1 + 1]),
+                            );
+                        }
+                    }
+                }
+            });
+        });
+    }
+    comm3(u, pool);
+}
+
+/// Full-weighting restriction fine `rf` → coarse `rc` (NPB `rprj3`),
+/// followed by `comm3(rc)`.
+fn rprj3(rfine: &Array3, rcoarse: &mut Array3, pool: &Pool) {
+    let (mf, _, _) = rfine.dims();
+    let (mc, _, _) = rcoarse.dims();
+    let nc = mc - 2;
+    {
+        let cs = SyncSlice::new(rcoarse.flat_mut());
+        let ff = rfine.flat();
+        let fidx = |i3: usize, i2: usize, i1: usize| (i3 * mf + i2) * mf + i1;
+        let cidx = |j3: usize, j2: usize, j1: usize| (j3 * mc + j2) * mc + j1;
+        pool.run(|team| {
+            // Alignment: the fine point coincident with coarse j is 2j
+            // (0-based) — the same parity `interp` injects at (NPB's d=1
+            // offsets). x1/y1 hold first-sum rows at the *odd* fine
+            // neighbours (1, 3, ..., 2nc+1).
+            let mut x1 = vec![0.0f64; mf];
+            let mut y1 = vec![0.0f64; mf];
+            team.for_static(1, nc + 1, |j3| {
+                let i3 = 2 * j3;
+                for j2 in 1..=nc {
+                    let i2 = 2 * j2;
+                    for jj in 0..=nc {
+                        let i1 = 2 * jj + 1; // odd positions f−1/f+1
+                        x1[i1] = ff[fidx(i3, i2 - 1, i1)]
+                            + ff[fidx(i3, i2 + 1, i1)]
+                            + ff[fidx(i3 - 1, i2, i1)]
+                            + ff[fidx(i3 + 1, i2, i1)];
+                        y1[i1] = ff[fidx(i3 - 1, i2 - 1, i1)]
+                            + ff[fidx(i3 - 1, i2 + 1, i1)]
+                            + ff[fidx(i3 + 1, i2 - 1, i1)]
+                            + ff[fidx(i3 + 1, i2 + 1, i1)];
+                    }
+                    for j1 in 1..=nc {
+                        let i1 = 2 * j1; // the fine center
+                        let y2 = ff[fidx(i3 - 1, i2 - 1, i1)]
+                            + ff[fidx(i3 - 1, i2 + 1, i1)]
+                            + ff[fidx(i3 + 1, i2 - 1, i1)]
+                            + ff[fidx(i3 + 1, i2 + 1, i1)];
+                        let x2 = ff[fidx(i3, i2 - 1, i1)]
+                            + ff[fidx(i3, i2 + 1, i1)]
+                            + ff[fidx(i3 - 1, i2, i1)]
+                            + ff[fidx(i3 + 1, i2, i1)];
+                        let val = 0.5 * ff[fidx(i3, i2, i1)]
+                            + 0.25 * (ff[fidx(i3, i2, i1 - 1)] + ff[fidx(i3, i2, i1 + 1)] + x2)
+                            + 0.125 * (x1[i1 - 1] + x1[i1 + 1] + y2)
+                            + 0.0625 * (y1[i1 - 1] + y1[i1 + 1]);
+                        // SAFETY: coarse plane j3 is exclusively ours.
+                        unsafe { cs.set(cidx(j3, j2, j1), val) };
+                    }
+                }
+            });
+        });
+    }
+    comm3(rcoarse, pool);
+}
+
+/// Trilinear prolongation coarse `z` → fine `u` (additive; NPB `interp`).
+fn interp(z: &Array3, u: &mut Array3, pool: &Pool) {
+    let (mc, _, _) = z.dims();
+    let (mf, _, _) = u.dims();
+    let nc = mc - 2;
+    let us = SyncSlice::new(u.flat_mut());
+    let zf = z.flat();
+    let zidx = |i3: usize, i2: usize, i1: usize| (i3 * mc + i2) * mc + i1;
+    let fidx = |i3: usize, i2: usize, i1: usize| (i3 * mf + i2) * mf + i1;
+    pool.run(|team| {
+        let mut z1 = vec![0.0f64; mc];
+        let mut z2 = vec![0.0f64; mc];
+        let mut z3 = vec![0.0f64; mc];
+        // Coarse plane c3 writes fine planes 2c3 and 2c3+1: disjoint pairs.
+        team.for_static(0, nc + 1, |c3| {
+            for c2 in 0..=nc {
+                for c1 in 0..=nc + 1 {
+                    z1[c1] = zf[zidx(c3, c2 + 1, c1)] + zf[zidx(c3, c2, c1)];
+                    z2[c1] = zf[zidx(c3 + 1, c2, c1)] + zf[zidx(c3, c2, c1)];
+                    z3[c1] = zf[zidx(c3 + 1, c2 + 1, c1)] + zf[zidx(c3 + 1, c2, c1)] + z1[c1];
+                }
+                for c1 in 0..=nc {
+                    let zc = zf[zidx(c3, c2, c1)];
+                    // SAFETY: fine planes 2c3/2c3+1 are exclusively ours.
+                    unsafe {
+                        let t = us.get_mut(fidx(2 * c3, 2 * c2, 2 * c1));
+                        *t += zc;
+                        let t = us.get_mut(fidx(2 * c3, 2 * c2, 2 * c1 + 1));
+                        *t += 0.5 * (zf[zidx(c3, c2, c1 + 1)] + zc);
+                        let t = us.get_mut(fidx(2 * c3, 2 * c2 + 1, 2 * c1));
+                        *t += 0.5 * z1[c1];
+                        let t = us.get_mut(fidx(2 * c3, 2 * c2 + 1, 2 * c1 + 1));
+                        *t += 0.25 * (z1[c1] + z1[c1 + 1]);
+                        let t = us.get_mut(fidx(2 * c3 + 1, 2 * c2, 2 * c1));
+                        *t += 0.5 * z2[c1];
+                        let t = us.get_mut(fidx(2 * c3 + 1, 2 * c2, 2 * c1 + 1));
+                        *t += 0.25 * (z2[c1] + z2[c1 + 1]);
+                        let t = us.get_mut(fidx(2 * c3 + 1, 2 * c2 + 1, 2 * c1));
+                        *t += 0.25 * z3[c1];
+                        let t = us.get_mut(fidx(2 * c3 + 1, 2 * c2 + 1, 2 * c1 + 1));
+                        *t += 0.125 * (z3[c1] + z3[c1 + 1]);
+                    }
+                }
+            }
+        });
+    });
+}
+
+/// Fill `z` with the NPB right-hand side: +1 at the ten interior positions
+/// where the generator field is largest, −1 at the ten smallest
+/// (NPB `zran3`). Serial (setup is untimed).
+fn zran3(z: &mut Array3, n: usize) {
+    let (m, _, _) = z.dims();
+    debug_assert_eq!(m, n + 2);
+    z.zero();
+    // Fill the interior with the random field, row by row: row (i2,i3)
+    // starts at generator offset n·((i2−1) + n·(i3−1)). For the single-
+    // process grid the NPB pre-jump `randlc(x, power(a, 0))` is the
+    // identity, so the base seed is used directly.
+    let a1 = skip_ahead_mult(n as u64);
+    let a2 = skip_ahead_mult((n * n) as u64);
+    let mut field = Array3::new(m, m, m);
+    let mut x0 = SEED;
+    for i3 in 1..=n {
+        let mut x1 = x0;
+        for i2 in 1..=n {
+            let mut xx = x1;
+            let row = &mut field.row_mut(i3, i2)[1..=n];
+            vranlc(&mut xx, AMULT, row);
+            randlc(&mut x1, a1);
+        }
+        randlc(&mut x0, a2);
+    }
+    // Find the ten largest and ten smallest interior values.
+    let mut largest: Vec<(f64, (usize, usize, usize))> = Vec::new();
+    let mut smallest: Vec<(f64, (usize, usize, usize))> = Vec::new();
+    for i3 in 1..=n {
+        for i2 in 1..=n {
+            for i1 in 1..=n {
+                let v = field[(i3, i2, i1)];
+                insert_extreme(&mut largest, v, (i3, i2, i1), true);
+                insert_extreme(&mut smallest, v, (i3, i2, i1), false);
+            }
+        }
+    }
+    for &(_, (i3, i2, i1)) in &smallest {
+        z[(i3, i2, i1)] = -1.0;
+    }
+    for &(_, (i3, i2, i1)) in &largest {
+        z[(i3, i2, i1)] = 1.0;
+    }
+}
+
+/// Maintain a 10-element extreme list.
+fn insert_extreme(
+    list: &mut Vec<(f64, (usize, usize, usize))>,
+    v: f64,
+    pos: (usize, usize, usize),
+    want_max: bool,
+) {
+    const MM: usize = 10;
+    let better = |a: f64, b: f64| if want_max { a > b } else { a < b };
+    if list.len() < MM {
+        list.push((v, pos));
+        list.sort_by(|a, b| {
+            if want_max {
+                b.0.partial_cmp(&a.0).expect("no NaNs")
+            } else {
+                a.0.partial_cmp(&b.0).expect("no NaNs")
+            }
+        });
+        return;
+    }
+    let worst = list.last().expect("list full").0;
+    if better(v, worst) {
+        list.pop();
+        list.push((v, pos));
+        list.sort_by(|a, b| {
+            if want_max {
+                b.0.partial_cmp(&a.0).expect("no NaNs")
+            } else {
+                a.0.partial_cmp(&b.0).expect("no NaNs")
+            }
+        });
+    }
+}
+
+/// `a^n mod 2^46` expressed as a multiplier (NPB `power`).
+fn skip_ahead_mult(n: u64) -> f64 {
+    // power(a, n): computes a^n by the same binary method; equivalent to
+    // jumping the generator from 1.0... NPB's power() starts from 1 and
+    // multiplies by a^bit. skip_ahead(1,...) would break the 23-bit split
+    // (state 1.0 is fine: integral). Use it directly.
+    skip_ahead(1.0, AMULT, n)
+}
+
+/// L2 norm of the interior of `r`, normalized by the point count
+/// (NPB `norm2u3`).
+fn norm2u3(r: &Array3, n: usize, pool: &Pool) -> f64 {
+    let (m, _, _) = r.dims();
+    let rf = r.flat();
+    let idx = |i3: usize, i2: usize, i1: usize| (i3 * m + i2) * m + i1;
+    let sums = pool.run(|team| {
+        let mut local = 0.0f64;
+        for i3 in team.static_range(1, n + 1) {
+            for i2 in 1..=n {
+                for i1 in 1..=n {
+                    let v = rf[idx(i3, i2, i1)];
+                    local += v * v;
+                }
+            }
+        }
+        team.reduce_sum(local)
+    });
+    (sums[0] / (n as f64).powi(3)).sqrt()
+}
+
+/// Grid hierarchy state.
+struct MgState {
+    /// Solution grids, coarsest (index 0, 2³) to finest.
+    u: Vec<Array3>,
+    /// Residual grids, same shape.
+    r: Vec<Array3>,
+    /// Right-hand side at the finest level.
+    v: Array3,
+    /// Number of levels (finest grid is 2^lt).
+    lt: usize,
+}
+
+impl MgState {
+    fn new(n: usize) -> Self {
+        let lt = n.trailing_zeros() as usize;
+        assert_eq!(1 << lt, n, "MG grid must be a power of two");
+        let mk = |k: usize| {
+            let nk = 1usize << (k + 1); // level index 0 ↔ NPB level lb+? see below
+            Array3::new(nk + 2, nk + 2, nk + 2)
+        };
+        // Levels 0..lt-1 have sizes 2^1..2^lt; NPB's lb=1 coarsest is 2¹=2.
+        let u: Vec<Array3> = (0..lt).map(&mk).collect();
+        let r: Vec<Array3> = (0..lt).map(&mk).collect();
+        let v = Array3::new(n + 2, n + 2, n + 2);
+        Self { u, r, lt, v }
+    }
+
+    /// One V-cycle (NPB `mg3P`).
+    fn mg3p(&mut self, c: &[f64; 4], pool: &Pool) {
+        let top = self.lt - 1;
+        // Restrict the residual down to the coarsest level.
+        for k in (1..=top).rev() {
+            let (coarse, fine) = self.r.split_at_mut(k);
+            rprj3(&fine[0], &mut coarse[k - 1], pool);
+        }
+        // Coarsest: u = S r.
+        self.u[0].zero();
+        psinv(&self.r[0], &mut self.u[0], c, pool);
+        // Back up the hierarchy.
+        for k in 1..top {
+            self.u[k].zero();
+            let (lo, hi) = self.u.split_at_mut(k);
+            interp(&lo[k - 1], &mut hi[0], pool);
+            resid(&self.u[k], VSource::InPlace, &mut self.r[k], pool);
+            psinv(&self.r[k], &mut self.u[k], c, pool);
+        }
+        // Finest level: prolongate, recompute the true residual, smooth.
+        let (lo, hi) = self.u.split_at_mut(top);
+        interp(&lo[top - 1], &mut hi[0], pool);
+        resid(
+            &self.u[top],
+            VSource::Separate(&self.v),
+            &mut self.r[top],
+            pool,
+        );
+        psinv(&self.r[top], &mut self.u[top], c, pool);
+    }
+}
+
+/// Raw outputs of an MG run.
+#[derive(Debug, Clone)]
+pub struct MgOutput {
+    /// Final residual L2 norm.
+    pub rnm2: f64,
+    /// Seconds in the timed section.
+    pub timed_seconds: f64,
+}
+
+/// Run the full MG benchmark computation.
+pub fn compute(class: Class, pool: &Pool) -> MgOutput {
+    let params = class::mg_params(class);
+    let n = params.n;
+    let c = c_coef(class);
+    let mut st = MgState::new(n);
+    let top = st.lt - 1;
+
+    // Setup + one untimed iteration (NPB warms code paths), then reinit.
+    zran3(&mut st.v, n);
+    comm3(&mut st.v, pool);
+    resid(&st.u[top], VSource::Separate(&st.v), &mut st.r[top], pool);
+    st.mg3p(&c, pool);
+    resid(&st.u[top], VSource::Separate(&st.v), &mut st.r[top], pool);
+
+    // Re-initialize exactly as the reference does.
+    for u in &mut st.u {
+        u.zero();
+    }
+    for r in &mut st.r {
+        r.zero();
+    }
+    zran3(&mut st.v, n);
+    comm3(&mut st.v, pool);
+
+    let mut timers = Timers::new(1);
+    timers.start(0);
+    resid(&st.u[top], VSource::Separate(&st.v), &mut st.r[top], pool);
+    for _ in 0..params.nit {
+        st.mg3p(&c, pool);
+        resid(&st.u[top], VSource::Separate(&st.v), &mut st.r[top], pool);
+    }
+    timers.stop(0);
+    let rnm2 = norm2u3(&st.r[top], n, pool);
+    MgOutput {
+        rnm2,
+        timed_seconds: timers.read(0),
+    }
+}
+
+/// NPB-published residual-norm verification values (`mg.f`); `T` is
+/// self-referenced.
+fn reference_rnm2(class: Class) -> (f64, Provenance) {
+    match class {
+        Class::T => (1.6695011374808e-4, Provenance::SelfReference),
+        Class::S => (0.5307707005734e-4, Provenance::NpbReference),
+        Class::W => (0.6467329375339e-5, Provenance::NpbReference),
+        Class::A => (0.2433365309069e-5, Provenance::NpbReference),
+        Class::B => (0.1800564401355e-5, Provenance::NpbReference),
+        Class::C => (0.5706732285740e-6, Provenance::NpbReference),
+    }
+}
+
+impl Benchmark for Mg {
+    fn id(&self) -> BenchmarkId {
+        BenchmarkId::Mg
+    }
+
+    fn run(&self, class: Class, pool: &Pool) -> BenchResult {
+        let out = compute(class, pool);
+        let (rref, prov) = reference_rnm2(class);
+        let verified = verify::check(out.rnm2, rref, verify::EPSILON, prov);
+        BenchResult {
+            name: "MG",
+            class,
+            threads: pool.nthreads(),
+            time_seconds: out.timed_seconds,
+            mops: mops::mops(BenchmarkId::Mg, class, out.timed_seconds),
+            verified,
+            check_value: out.rnm2,
+        }
+    }
+}
+
+/// Analytic workload profile.
+///
+/// Each V-cycle sweeps the finest grid ~4 times (resid ×2, psinv, interp)
+/// plus a geometric tail over the coarser levels (× 8/7). Stencils stream
+/// three planes of the input array plus the output — the paper's
+/// bandwidth-bound workload.
+pub fn profile(class: Class) -> WorkloadProfile {
+    let p = class::mg_params(class);
+    let n3 = (p.n * p.n * p.n) as f64;
+    let nit = p.nit as f64;
+    let level_tail = 8.0 / 7.0; // Σ (1/8)^k
+    let sweeps = nit * 4.0 * level_tail;
+    let grid_bytes = n3 * 8.0;
+    WorkloadProfile {
+        bench: BenchmarkId::Mg,
+        class,
+        total_ops: mops::total_ops(BenchmarkId::Mg, class),
+        phases: vec![
+            PhaseProfile {
+                name: "stencil-sweeps",
+                instructions: nit * n3 * 58.0 * 1.7 * level_tail,
+                flops: nit * n3 * 58.0 * level_tail,
+                mem_refs: sweeps * n3 * 3.5, // ~2.5 reads + 1 write per point
+                elem_bytes: 8,
+                working_set_bytes: 3.0 * grid_bytes, // u, r, v live together
+                pattern: AccessPattern::Streaming,
+                ws_partitioned: true,
+                vectorizable: 0.95,
+                branch_rate: 0.02,
+                branch_misrate: 0.01,
+            },
+            PhaseProfile {
+                name: "comm3-ghost",
+                instructions: sweeps * n3.powf(2.0 / 3.0) * 6.0 * 3.0,
+                flops: 0.0,
+                mem_refs: sweeps * n3.powf(2.0 / 3.0) * 2.0 * 3.0,
+                elem_bytes: 8,
+                working_set_bytes: grid_bytes,
+                pattern: AccessPattern::Strided {
+                    stride_bytes: (p.n as u32 + 2) * 8,
+                },
+                ws_partitioned: true,
+                vectorizable: 0.5,
+                branch_rate: 0.05,
+                branch_misrate: 0.02,
+            },
+        ],
+        // ~6 parallel regions per level per V-cycle.
+        barriers: nit * 6.0 * (p.n as f64).log2() * 3.0,
+        imbalance: 1.04,
+        parallel_fraction: 0.99,
+    }
+}
+
+/// Debug helper: print the rnm2 sequence for `iters` V-cycles (used during
+/// development to compare convergence factors against the reference).
+#[doc(hidden)]
+pub fn debug_sequence(class: Class, pool: &Pool, iters: usize) {
+    let params = class::mg_params(class);
+    let n = params.n;
+    let c = c_coef(class);
+    let mut st = MgState::new(n);
+    let top = st.lt - 1;
+    zran3(&mut st.v, n);
+    comm3(&mut st.v, pool);
+    resid(&st.u[top], VSource::Separate(&st.v), &mut st.r[top], pool);
+    println!("r0 = {:.6e}", norm2u3(&st.r[top], n, pool));
+    let mut prev = norm2u3(&st.r[top], n, pool);
+    for it in 1..=iters {
+        st.mg3p(&c, pool);
+        resid(&st.u[top], VSource::Separate(&st.v), &mut st.r[top], pool);
+        let r = norm2u3(&st.r[top], n, pool);
+        println!("it {it}: rnm2 = {:.6e}  factor {:.4}", r, r / prev);
+        prev = r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zran3_places_exactly_ten_of_each() {
+        let n = 16;
+        let mut z = Array3::new(n + 2, n + 2, n + 2);
+        zran3(&mut z, n);
+        let mut pos = 0;
+        let mut neg = 0;
+        for i3 in 1..=n {
+            for i2 in 1..=n {
+                for i1 in 1..=n {
+                    let v = z[(i3, i2, i1)];
+                    if v == 1.0 {
+                        pos += 1;
+                    } else if v == -1.0 {
+                        neg += 1;
+                    } else {
+                        assert_eq!(v, 0.0);
+                    }
+                }
+            }
+        }
+        assert_eq!((pos, neg), (10, 10));
+    }
+
+    #[test]
+    fn comm3_makes_faces_periodic() {
+        let pool = Pool::new(2);
+        let n = 8;
+        let mut g = Array3::new(n + 2, n + 2, n + 2);
+        // Distinct interior values.
+        for i3 in 1..=n {
+            for i2 in 1..=n {
+                for i1 in 1..=n {
+                    g[(i3, i2, i1)] = (i3 * 100 + i2 * 10 + i1) as f64;
+                }
+            }
+        }
+        comm3(&mut g, &pool);
+        // Ghost faces mirror the opposite interior faces.
+        for i3 in 1..=n {
+            for i2 in 1..=n {
+                assert_eq!(g[(i3, i2, 0)], g[(i3, i2, n)]);
+                assert_eq!(g[(i3, i2, n + 1)], g[(i3, i2, 1)]);
+            }
+        }
+        for i2 in 0..n + 2 {
+            for i1 in 0..n + 2 {
+                assert_eq!(g[(0, i2, i1)], g[(n, i2, i1)]);
+                assert_eq!(g[(n + 1, i2, i1)], g[(1, i2, i1)]);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_norm_decreases_across_iterations() {
+        // The V-cycle must actually converge on the tiny grid.
+        let pool = Pool::new(2);
+        let n = 16;
+        let c = c_coef(Class::T);
+        let mut st = MgState::new(n);
+        let top = st.lt - 1;
+        zran3(&mut st.v, n);
+        comm3(&mut st.v, &pool);
+        resid(&st.u[top], VSource::Separate(&st.v), &mut st.r[top], &pool);
+        let r0 = norm2u3(&st.r[top], n, &pool);
+        st.mg3p(&c, &pool);
+        resid(&st.u[top], VSource::Separate(&st.v), &mut st.r[top], &pool);
+        let r1 = norm2u3(&st.r[top], n, &pool);
+        st.mg3p(&c, &pool);
+        resid(&st.u[top], VSource::Separate(&st.v), &mut st.r[top], &pool);
+        let r2 = norm2u3(&st.r[top], n, &pool);
+        assert!(
+            r1 < r0,
+            "first V-cycle did not reduce the residual: {r0} -> {r1}"
+        );
+        assert!(
+            r2 < r1,
+            "second V-cycle did not reduce the residual: {r1} -> {r2}"
+        );
+    }
+
+    #[test]
+    fn result_is_thread_count_stable() {
+        let base = compute(Class::T, &Pool::new(1));
+        for nt in [2, 3] {
+            let out = compute(Class::T, &Pool::new(nt));
+            let rel = ((out.rnm2 - base.rnm2) / base.rnm2).abs();
+            assert!(rel < 1e-10, "rnm2 differs at {nt} threads: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn class_t_rnm2_is_pinned() {
+        let out = compute(Class::T, &Pool::new(2));
+        assert!(
+            (out.rnm2 - 1.6695011374808e-4).abs() / 1.67e-4 < 1e-6,
+            "rnm2 = {:.13e}",
+            out.rnm2
+        );
+    }
+
+    #[test]
+    fn class_s_matches_npb_reference() {
+        let pool = Pool::new(2);
+        let r = Mg.run(Class::S, &pool);
+        assert!(
+            r.verified.passed(),
+            "rnm2 = {:.13e} ({:?})",
+            r.check_value,
+            r.verified
+        );
+    }
+}

@@ -1,0 +1,523 @@
+//! SP — the Scalar Pentadiagonal pseudo-application.
+//!
+//! Solves the same 3-D Navier–Stokes system as BT, but fully
+//! *diagonalizes* the Beam–Warming factorization: each direction's block
+//! system is transformed into characteristic variables (the eigenvector
+//! bases of the inviscid flux Jacobians), leaving five independent
+//! *scalar* pentadiagonal systems per grid line (pentadiagonal because the
+//! fourth-order dissipation is kept in the left-hand side, unlike BT).
+//!
+//! Structure follows NPB 3.4 `SP/` (`adi`: `compute_rhs` → per-direction
+//! transform → scalar pentadiagonal solves → inverse transform → `add`),
+//! with one documented difference: NPB fuses adjacent eigenvector products
+//! into its `txinvr`/`ninvr`/`pinvr`/`tzetar` matrices; this port applies
+//! `T_d⁻¹ … T_d` unfused per direction (numerically equivalent structure).
+//! The eigenvector construction is validated in tests against the
+//! numerical flux Jacobian: `T Λ T⁻¹ = A` to machine precision.
+
+use rvhpc_parallel::{Pool, SyncSlice};
+
+use crate::bt::{verify_app, AppOutput};
+use crate::cfd::constants::CfdConstants;
+use crate::cfd::fields::Fields;
+use crate::cfd::matrix5::{solve5_pivot, Mat5, Vec5};
+use crate::cfd::norms::{error_norm, norm_scalar, rhs_norm};
+use crate::cfd::rhs::{compute_forcing, compute_rhs, scale_rhs_by_dt, Direction};
+use crate::common::class::{self, Class};
+use crate::common::mops;
+use crate::common::result::BenchResult;
+use crate::common::timers::Timers;
+use crate::profile::{AccessPattern, PhaseProfile, WorkloadProfile};
+use crate::{Benchmark, BenchmarkId};
+
+/// The SP benchmark.
+pub struct Sp;
+
+/// Right eigenvector matrix `T_d` of the inviscid flux Jacobian `A_d`
+/// (columns: entropy wave, two shear waves, and the two acoustic waves),
+/// plus the eigenvalues `(w, w, w, w+a, w−a)`.
+pub fn eigen_decomposition(u: &[f64], dir: Direction, c: &CfdConstants) -> (Mat5, [f64; 5]) {
+    let d = dir.momentum();
+    let rho_i = 1.0 / u[0];
+    let vel = [u[1] * rho_i, u[2] * rho_i, u[3] * rho_i];
+    let w = vel[d - 1];
+    let q = 0.5 * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
+    let p = c.c2 * (u[4] - u[0] * q);
+    let a = (c.c1 * p * rho_i).max(1e-30).sqrt();
+    let h = (u[4] + p) * rho_i; // total enthalpy
+
+    // The two transverse velocity component indices (0-based into vel).
+    let (t1, t2) = match dir {
+        Direction::X => (1usize, 2usize),
+        Direction::Y => (0, 2),
+        Direction::Z => (0, 1),
+    };
+
+    let mut t = [[0.0f64; 5]; 5];
+    // Column 0: entropy wave (speed w).
+    t[0][0] = 1.0;
+    t[1][0] = vel[0];
+    t[2][0] = vel[1];
+    t[3][0] = vel[2];
+    t[4][0] = q;
+    // Columns 1, 2: shear waves (speed w) along the transverse directions.
+    t[t1 + 1][1] = 1.0;
+    t[4][1] = vel[t1];
+    t[t2 + 1][2] = 1.0;
+    t[4][2] = vel[t2];
+    // Column 3: acoustic wave (speed w + a).
+    t[0][3] = 1.0;
+    t[1][3] = vel[0];
+    t[2][3] = vel[1];
+    t[3][3] = vel[2];
+    t[d][3] += a;
+    t[4][3] = h + w * a;
+    // Column 4: acoustic wave (speed w − a).
+    t[0][4] = 1.0;
+    t[1][4] = vel[0];
+    t[2][4] = vel[1];
+    t[3][4] = vel[2];
+    t[d][4] -= a;
+    t[4][4] = h - w * a;
+
+    (t, [w, w, w, w + a, w - a])
+}
+
+/// Solve `T x = r` for one point's 5-vector (applies `T⁻¹`). The
+/// eigenvector matrix has structural zeros on its diagonal, so this uses
+/// the pivoting solver.
+#[inline]
+fn apply_inverse(t: &Mat5, r: &mut Vec5) {
+    let mut m = *t;
+    solve5_pivot(&mut m, r);
+}
+
+/// Apply `T`: `r ← T · r`.
+#[inline]
+fn apply_forward(t: &Mat5, r: &mut Vec5) {
+    let mut out = [0.0f64; 5];
+    for (i, o) in out.iter_mut().enumerate() {
+        for k in 0..5 {
+            *o += t[i][k] * r[k];
+        }
+    }
+    *r = out;
+}
+
+/// Scalar pentadiagonal solve along one line. Bands are indexed
+/// `[l2, l1, diag, u1, u2]`; boundary unknowns (pos 0 and n−1) are pinned
+/// to the identity.
+fn penta_solve(bands: &mut [[f64; 5]], r: &mut [f64]) {
+    let n = bands.len();
+    // Forward elimination: clear each row's l2 with row i−2, then its l1
+    // with row i−1 (both already reduced to upper form).
+    for i in 1..n {
+        if i >= 2 {
+            let f = bands[i][0] / bands[i - 2][2];
+            if f != 0.0 {
+                bands[i][1] -= f * bands[i - 2][3];
+                bands[i][2] -= f * bands[i - 2][4];
+                r[i] -= f * r[i - 2];
+            }
+        }
+        let f = bands[i][1] / bands[i - 1][2];
+        if f != 0.0 {
+            bands[i][2] -= f * bands[i - 1][3];
+            bands[i][3] -= f * bands[i - 1][4];
+            r[i] -= f * r[i - 1];
+        }
+    }
+    // Back substitution.
+    r[n - 1] /= bands[n - 1][2];
+    r[n - 2] = (r[n - 2] - bands[n - 2][3] * r[n - 1]) / bands[n - 2][2];
+    for i in (0..n - 2).rev() {
+        r[i] = (r[i] - bands[i][3] * r[i + 1] - bands[i][4] * r[i + 2]) / bands[i][2];
+    }
+}
+
+/// One diagonalized line solve along `dir`: transform, five scalar
+/// pentadiagonal solves, inverse transform.
+fn diagonal_solve(f: &mut Fields, c: &CfdConstants, dir: Direction, pool: &Pool) {
+    let n = f.n;
+    let s = dir.stride(n);
+    let (t1m, t2m) = (c.tx1, c.tx2);
+    let dcoef = match dir {
+        Direction::X => c.dx,
+        Direction::Y => c.dy,
+        Direction::Z => c.dz,
+    };
+    let dt = c.dt;
+    let diss = c.dssp * dt; // fourth-difference lhs coefficient
+
+    let uf = f.u.flat();
+    let rho_if = f.rho_i.flat();
+    let rhs = SyncSlice::new(f.rhs.flat_mut());
+
+    pool.run(|team| {
+        let mut eig: Vec<(Mat5, [f64; 5])> = vec![([[0.0; 5]; 5], [0.0; 5]); n];
+        let mut rr: Vec<Vec5> = vec![[0.0; 5]; n];
+        let mut bands: Vec<[f64; 5]> = vec![[0.0; 5]; n];
+        let mut comp: Vec<f64> = vec![0.0; n];
+
+        team.for_static(1, n - 1, |slow| {
+            for fast in 1..n - 1 {
+                let base = match dir {
+                    Direction::X => (slow * n + fast) * n,
+                    Direction::Y => slow * n * n + fast,
+                    Direction::Z => slow * n + fast,
+                };
+                // Per-point eigen systems and characteristic rhs.
+                for pos in 0..n {
+                    let p = base + pos * s;
+                    let ub = &uf[p * 5..p * 5 + 5];
+                    eig[pos] = eigen_decomposition(ub, dir, c);
+                    for m in 0..5 {
+                        // SAFETY: this line is exclusively ours.
+                        rr[pos][m] = unsafe { rhs.get(p * 5 + m) };
+                    }
+                    apply_inverse(&eig[pos].0, &mut rr[pos]);
+                }
+                // Five scalar pentadiagonal systems.
+                for m in 0..5 {
+                    for pos in 0..n {
+                        comp[pos] = rr[pos][m];
+                    }
+                    for (pos, band) in bands.iter_mut().enumerate() {
+                        if pos == 0 || pos == n - 1 {
+                            *band = [0.0, 0.0, 1.0, 0.0, 0.0];
+                            continue;
+                        }
+                        let p = base + pos * s;
+                        // Viscous + second-difference diagonal weight
+                        // (NPB's rhon/rhoq/rhos role).
+                        let visc = |pp: usize| dcoef + c.con43 * c.c3c4 * rho_if[pp];
+                        let lamm = eig[pos - 1].1[m];
+                        let lamp = eig[pos + 1].1[m];
+                        let mut b = [
+                            0.0,
+                            -dt * t2m * lamm - dt * t1m * visc(p - s),
+                            1.0 + 2.0 * dt * t1m * visc(p),
+                            dt * t2m * lamp - dt * t1m * visc(p + s),
+                            0.0,
+                        ];
+                        // Fourth-order dissipation bands, boundary-adapted
+                        // exactly like the rhs operator.
+                        if pos == 1 {
+                            b[2] += 5.0 * diss;
+                            b[3] -= 4.0 * diss;
+                            b[4] += diss;
+                        } else if pos == 2 {
+                            b[1] -= 4.0 * diss;
+                            b[2] += 6.0 * diss;
+                            b[3] -= 4.0 * diss;
+                            b[4] += diss;
+                        } else if pos == n - 3 {
+                            b[0] += diss;
+                            b[1] -= 4.0 * diss;
+                            b[2] += 6.0 * diss;
+                            b[3] -= 4.0 * diss;
+                        } else if pos == n - 2 {
+                            b[0] += diss;
+                            b[1] -= 4.0 * diss;
+                            b[2] += 5.0 * diss;
+                        } else {
+                            b[0] += diss;
+                            b[1] -= 4.0 * diss;
+                            b[2] += 6.0 * diss;
+                            b[3] -= 4.0 * diss;
+                            b[4] += diss;
+                        }
+                        *band = b;
+                    }
+                    penta_solve(&mut bands, &mut comp);
+                    for pos in 1..n - 1 {
+                        rr[pos][m] = comp[pos];
+                    }
+                }
+                // Inverse transform and store.
+                for pos in 1..n - 1 {
+                    apply_forward(&eig[pos].0, &mut rr[pos]);
+                    let p = base + pos * s;
+                    for m in 0..5 {
+                        // SAFETY: this line is exclusively ours.
+                        unsafe { rhs.set(p * 5 + m, rr[pos][m]) };
+                    }
+                }
+            }
+        });
+    });
+}
+
+/// `u += Δu` on the interior (NPB `add`).
+fn add_increment(f: &mut Fields, pool: &Pool) {
+    let n = f.n;
+    let rhsf = f.rhs.flat();
+    let us = SyncSlice::new(f.u.flat_mut());
+    pool.run(|team| {
+        team.for_static(1, n - 1, |k| {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    let b = ((k * n + j) * n + i) * 5;
+                    for m in 0..5 {
+                        // SAFETY: plane k is exclusively ours.
+                        unsafe {
+                            let v = us.get(b + m);
+                            us.set(b + m, v + rhsf[b + m]);
+                        }
+                    }
+                }
+            }
+        });
+    });
+}
+
+/// One diagonalized ADI time step (NPB SP `adi`).
+pub fn adi_step(f: &mut Fields, c: &CfdConstants, pool: &Pool) {
+    f.compute_aux(pool);
+    compute_rhs(f, c, pool);
+    scale_rhs_by_dt(f, c, pool);
+    diagonal_solve(f, c, Direction::X, pool);
+    diagonal_solve(f, c, Direction::Y, pool);
+    diagonal_solve(f, c, Direction::Z, pool);
+    add_increment(f, pool);
+}
+
+/// Run the full SP benchmark computation.
+pub fn compute(class: Class, pool: &Pool) -> AppOutput {
+    let p = class::sp_params(class);
+    let n = p.problem_size;
+    let c = CfdConstants::new(n, p.dt);
+    let mut f = Fields::new(n);
+    f.initialize(&c, pool);
+    compute_forcing(&mut f, &c, pool);
+    let initial_error = norm_scalar(&error_norm(&f, &c, pool));
+
+    adi_step(&mut f, &c, pool); // untimed warm-up
+    f.initialize(&c, pool);
+
+    let mut timers = Timers::new(1);
+    timers.start(0);
+    for _ in 0..p.niter {
+        adi_step(&mut f, &c, pool);
+    }
+    timers.stop(0);
+
+    f.compute_aux(pool);
+    compute_rhs(&mut f, &c, pool);
+    AppOutput {
+        rhs_norm: norm_scalar(&rhs_norm(&f, pool)),
+        error_norm: norm_scalar(&error_norm(&f, &c, pool)),
+        initial_error,
+        timed_seconds: timers.read(0),
+    }
+}
+
+/// Self-referenced golden norms per class (`(rhs_norm, error_norm)`).
+fn reference(class: Class) -> Option<(f64, f64)> {
+    match class {
+        Class::T => Some((4.239471896139e-1, 1.666077750888e-2)),
+        Class::S => Some((1.587829391993e0, 1.566834530790e-3)),
+        _ => None,
+    }
+}
+
+impl Benchmark for Sp {
+    fn id(&self) -> BenchmarkId {
+        BenchmarkId::Sp
+    }
+
+    fn run(&self, class: Class, pool: &Pool) -> BenchResult {
+        let out = compute(class, pool);
+        let verified = verify_app(&out, reference(class));
+        BenchResult {
+            name: "SP",
+            class,
+            threads: pool.nthreads(),
+            time_seconds: out.timed_seconds,
+            mops: mops::mops(BenchmarkId::Sp, class, out.timed_seconds),
+            verified,
+            check_value: out.error_norm,
+        }
+    }
+}
+
+/// Analytic workload profile.
+///
+/// SP trades BT's 5×5 block algebra for per-point eigen-transforms and
+/// five scalar pentadiagonal sweeps: less compute per point, more passes
+/// over memory — the highest memory-stall pseudo-application in the
+/// paper's Table 1 (20% cache + 21% DDR stalls).
+pub fn profile(class: Class) -> WorkloadProfile {
+    let p = class::sp_params(class);
+    let n3 = (p.problem_size as f64).powi(3);
+    let steps = p.niter as f64;
+    let solve_flops = steps * 3.0 * n3 * 420.0;
+    let rhs_flops = steps * n3 * 350.0;
+    let state_bytes = n3 * 5.0 * 8.0;
+    WorkloadProfile {
+        bench: BenchmarkId::Sp,
+        class,
+        total_ops: mops::total_ops(BenchmarkId::Sp, class),
+        phases: vec![
+            PhaseProfile {
+                name: "rhs-stencil",
+                instructions: rhs_flops * 1.6,
+                flops: rhs_flops,
+                mem_refs: steps * n3 * 5.0 * 14.0,
+                elem_bytes: 8,
+                working_set_bytes: 3.0 * state_bytes,
+                pattern: AccessPattern::Streaming,
+                ws_partitioned: true,
+                vectorizable: 0.85,
+                branch_rate: 0.03,
+                branch_misrate: 0.02,
+            },
+            PhaseProfile {
+                name: "penta-line-solves",
+                instructions: solve_flops * 1.5,
+                flops: solve_flops,
+                mem_refs: steps * 3.0 * n3 * 5.0 * 9.0,
+                elem_bytes: 8,
+                working_set_bytes: 2.0 * state_bytes,
+                pattern: AccessPattern::Strided {
+                    stride_bytes: (p.problem_size * 40) as u32,
+                },
+                ws_partitioned: true,
+                vectorizable: 0.60,
+                branch_rate: 0.05,
+                branch_misrate: 0.02,
+            },
+        ],
+        barriers: steps * 7.0,
+        imbalance: 1.05,
+        parallel_fraction: 0.985,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfd::exact::exact_solution;
+    use crate::cfd::jacobians::flux_jacobian;
+
+    #[test]
+    fn eigendecomposition_reconstructs_flux_jacobian() {
+        // T Λ T⁻¹ must equal A_d exactly (the diagonalization SP rests on).
+        let c = CfdConstants::new(12, 0.001);
+        let u = exact_solution(0.35, 0.65, 0.15);
+        for dir in Direction::ALL {
+            let a = flux_jacobian(&u, dir, &c);
+            let (t, lam) = eigen_decomposition(&u, dir, &c);
+            for col in 0..5 {
+                let mut e = [0.0f64; 5];
+                e[col] = 1.0;
+                apply_inverse(&t, &mut e);
+                for (xi, l) in e.iter_mut().zip(&lam) {
+                    *xi *= l;
+                }
+                apply_forward(&t, &mut e);
+                for row in 0..5 {
+                    assert!(
+                        (e[row] - a[row][col]).abs() < 1e-9 * (1.0 + a[row][col].abs()),
+                        "{dir:?}: (TΛT⁻¹)[{row}][{col}] = {} vs A = {}",
+                        e[row],
+                        a[row][col]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn penta_solver_matches_dense_oracle() {
+        let n = 12;
+        let mut bands = vec![[0.0f64; 5]; n];
+        let mut dense = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            if i == 0 || i == n - 1 {
+                bands[i] = [0.0, 0.0, 1.0, 0.0, 0.0];
+                dense[i][i] = 1.0;
+                continue;
+            }
+            let v = |k: usize| 0.3 * (((i * 7 + k * 13) % 11) as f64 / 11.0 - 0.5);
+            let row = [v(0), v(1), 8.0 + v(2), v(3), v(4)];
+            bands[i] = row;
+            if i >= 2 {
+                dense[i][i - 2] = row[0];
+            }
+            dense[i][i - 1] = row[1];
+            dense[i][i] = row[2];
+            dense[i][i + 1] = row[3];
+            if i + 2 < n {
+                dense[i][i + 2] = row[4];
+            }
+        }
+        let x_true: Vec<f64> = (0..n)
+            .map(|i| {
+                if i == 0 || i == n - 1 {
+                    0.0
+                } else {
+                    (i as f64 * 0.7).sin()
+                }
+            })
+            .collect();
+        let mut r: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| dense[i][j] * x_true[j]).sum())
+            .collect();
+        penta_solve(&mut bands, &mut r);
+        for i in 1..n - 1 {
+            assert!(
+                (r[i] - x_true[i]).abs() < 1e-10,
+                "x[{i}] = {} vs {}",
+                r[i],
+                x_true[i]
+            );
+        }
+    }
+
+    #[test]
+    fn march_reduces_error_and_stays_stable() {
+        let pool = Pool::new(2);
+        let out = compute(Class::T, &pool);
+        assert!(out.error_norm.is_finite() && out.rhs_norm.is_finite());
+        assert!(
+            out.error_norm < out.initial_error,
+            "error grew: {} -> {}",
+            out.initial_error,
+            out.error_norm
+        );
+    }
+
+    #[test]
+    fn result_is_thread_count_stable() {
+        let base = compute(Class::T, &Pool::new(1));
+        let par = compute(Class::T, &Pool::new(3));
+        let rel = ((par.error_norm - base.error_norm) / base.error_norm).abs();
+        assert!(rel < 1e-10, "error norm differs: rel {rel}");
+    }
+
+    #[test]
+    fn class_t_norms_are_pinned() {
+        let out = compute(Class::T, &Pool::new(2));
+        let (rref, eref) = reference(Class::T).unwrap();
+        assert!(
+            ((out.rhs_norm - rref) / rref).abs() < 1e-6,
+            "rhs_norm = {:.12e}",
+            out.rhs_norm
+        );
+        assert!(
+            ((out.error_norm - eref) / eref).abs() < 1e-6,
+            "error_norm = {:.12e}",
+            out.error_norm
+        );
+    }
+
+    #[test]
+    fn run_reports_pass_for_class_t() {
+        let pool = Pool::new(2);
+        let r = Sp.run(Class::T, &pool);
+        assert!(r.verified.passed(), "{:?}", r.verified);
+        assert!(r.mops > 0.0);
+        assert_eq!(r.name, "SP");
+    }
+}

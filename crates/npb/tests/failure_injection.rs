@@ -1,0 +1,105 @@
+//! Failure injection: the verification machinery must actually catch
+//! wrong answers — a verifier that cannot fail is not a verifier.
+
+use rvhpc_npb::common::result::{Provenance, VerifyStatus};
+use rvhpc_npb::common::verify;
+use rvhpc_npb::{cg, ft};
+
+#[test]
+fn epsilon_check_rejects_perturbed_values() {
+    // Perturbations just outside NPB's epsilon must fail; just inside must
+    // pass.
+    let reference = 28.973605592845; // CG class C zeta
+    for (delta, expect_pass) in [
+        (reference * 0.5e-8, true),
+        (reference * 2.0e-8, false),
+        (reference * 1e-3, false),
+        (-reference * 1e-3, false),
+    ] {
+        let status = verify::check_npb(reference + delta, reference);
+        assert_eq!(status.passed(), expect_pass, "delta {delta:+e}: {status:?}");
+    }
+}
+
+#[test]
+fn failed_status_reports_both_values() {
+    match verify::check(1.5, 2.5, 1e-8, Provenance::NpbReference) {
+        VerifyStatus::Failed {
+            computed,
+            reference,
+            provenance,
+        } => {
+            assert_eq!(computed, 1.5);
+            assert_eq!(reference, 2.5);
+            assert_eq!(provenance, Provenance::NpbReference);
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_spmv_breaks_the_zeta_invariant() {
+    // Corrupt one matrix entry: the recomputed zeta must move measurably —
+    // i.e., the CG verification value is actually sensitive to the data it
+    // claims to verify.
+    let params = rvhpc_npb::common::class::cg_params(rvhpc_npb::Class::T);
+    let clean = cg::makea(params);
+    let mut corrupted = cg::makea(params);
+    // Flip the sign of the largest off-diagonal entry.
+    let (mut target, mut best) = (0usize, 0.0f64);
+    for row in 0..corrupted.n {
+        for k in corrupted.rowstr[row]..corrupted.rowstr[row + 1] {
+            if corrupted.colidx[k] as usize != row && corrupted.a[k].abs() > best {
+                best = corrupted.a[k].abs();
+                target = k;
+            }
+        }
+    }
+    corrupted.a[target] = -corrupted.a[target];
+
+    let x: Vec<f64> = (0..clean.n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let mut y_clean = vec![0.0; clean.n];
+    let mut y_bad = vec![0.0; clean.n];
+    clean.spmv(&x, &mut y_clean);
+    corrupted.spmv(&x, &mut y_bad);
+    let diff: f64 = y_clean.iter().zip(&y_bad).map(|(a, b)| (a - b).abs()).sum();
+    assert!(diff > 1.0, "corruption invisible to SpMV: {diff}");
+}
+
+#[test]
+fn ft_checksum_detects_single_element_corruption() {
+    // The checksum touches 1024 specific positions; corrupting one of them
+    // must change it.
+    let p = rvhpc_npb::common::class::ft_params(rvhpc_npb::Class::T);
+    let mut field = vec![ft::C64::new(0.5, 0.5); p.ntotal()];
+    let before = ft::checksum(&field, p);
+    // j = 1 probes (1 mod nx, 3 mod ny, 5 mod nz).
+    let idx = (1 % p.nx) + p.nx * ((3 % p.ny) + p.ny * (5 % p.nz));
+    field[idx] = ft::C64::new(1e6, -1e6);
+    let after = ft::checksum(&field, p);
+    assert!(
+        (before.re - after.re).abs() > 1.0,
+        "checksum blind to corruption: {} vs {}",
+        before.re,
+        after.re
+    );
+}
+
+#[test]
+fn ft_checksum_ignores_unprobed_positions_as_documented() {
+    // Conversely: a position outside the 1024-probe orbit does not affect
+    // the checksum (this is NPB's design, worth pinning as a property).
+    let p = rvhpc_npb::common::class::ft_params(rvhpc_npb::Class::T);
+    let probed: std::collections::HashSet<usize> = (1..=1024usize)
+        .map(|j| (j % p.nx) + p.nx * (((3 * j) % p.ny) + p.ny * ((5 * j) % p.nz)))
+        .collect();
+    let unprobed = (0..p.ntotal())
+        .find(|i| !probed.contains(i))
+        .expect("some unprobed position exists");
+    let mut field = vec![ft::C64::new(0.25, -0.25); p.ntotal()];
+    let before = ft::checksum(&field, p);
+    field[unprobed] = ft::C64::new(42.0, 42.0);
+    let after = ft::checksum(&field, p);
+    assert_eq!(before.re.to_bits(), after.re.to_bits());
+    assert_eq!(before.im.to_bits(), after.im.to_bits());
+}

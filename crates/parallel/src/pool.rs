@@ -1,0 +1,735 @@
+//! Persistent worker pool and fork-join teams.
+//!
+//! [`Pool::new(n)`](Pool::new) starts `n - 1` persistent worker threads; the
+//! calling thread participates in every parallel region as team member 0, so
+//! a pool of size `n` always runs regions with exactly `n` threads — the
+//! OpenMP execution model.
+//!
+//! [`Pool::run`] is the equivalent of `#pragma omp parallel`: the closure is
+//! executed once per team member, receiving a [`Team`] handle that provides
+//! work-sharing loops, barriers, reductions and critical sections.
+//!
+//! ## SPMD discipline
+//!
+//! As in OpenMP, the closure must be *single program, multiple data*: every
+//! team member must execute the same sequence of team-collective operations
+//! (work-sharing loops, barriers, reductions). The runtime debug-asserts
+//! collective sequence numbers where it can, but cannot catch every
+//! divergence.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::{Condvar, Mutex};
+
+use crate::barrier::{Barrier, BarrierKind};
+use crate::schedule::{self, Schedule};
+
+/// Width of the widest array reduction supported by [`Team::reduce_f64_vec`].
+pub const MAX_REDUCE_WIDTH: usize = 64;
+
+/// Type-erased job: executed once per team member with the member's tid.
+type JobFn<'a> = dyn Fn(usize) + Sync + 'a;
+
+/// A raw pointer to the current job, made sendable. Soundness: [`Pool::run`]
+/// does not return until every worker has finished executing the job, so the
+/// pointee outlives all uses.
+struct JobPtr(*const JobFn<'static>);
+unsafe impl Send for JobPtr {}
+
+struct PoolState {
+    /// Incremented once per parallel region; workers watch for changes.
+    epoch: u64,
+    job: Option<JobPtr>,
+    /// Workers still executing the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Panic payloads captured from workers, re-thrown on the caller.
+    panics: Mutex<Vec<Box<dyn Any + Send>>>,
+}
+
+/// Per-team shared structures, reused across parallel regions.
+struct TeamShared {
+    barrier: Box<dyn Barrier>,
+    /// Double-buffered shared counters for dynamic/guided schedules.
+    dyn_counters: [CachePadded<AtomicUsize>; 2],
+    /// Reduction scratch: one slot row per thread.
+    reduce_slots: Vec<CachePadded<[AtomicU64; MAX_REDUCE_WIDTH]>>,
+    /// Lock backing [`Team::critical`].
+    critical: Mutex<()>,
+    /// Collective sequence numbers per thread, for SPMD divergence checks.
+    collective_seq: Vec<CachePadded<AtomicU64>>,
+}
+
+impl TeamShared {
+    fn new(n: usize, barrier_kind: BarrierKind) -> Self {
+        Self {
+            barrier: barrier_kind.build(n),
+            dyn_counters: [
+                CachePadded::new(AtomicUsize::new(0)),
+                CachePadded::new(AtomicUsize::new(0)),
+            ],
+            reduce_slots: (0..n)
+                .map(|_| CachePadded::new(std::array::from_fn(|_| AtomicU64::new(0))))
+                .collect(),
+            critical: Mutex::new(()),
+            collective_seq: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+}
+
+/// A persistent fork-join worker pool (an OpenMP-style thread team factory).
+///
+/// Dropping the pool shuts the workers down and joins them.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    team: Arc<TeamShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    nthreads: usize,
+}
+
+impl Pool {
+    /// Create a pool that runs parallel regions with `nthreads` members
+    /// (the caller plus `nthreads - 1` persistent workers), using the
+    /// default sense-reversing centralized barrier.
+    pub fn new(nthreads: usize) -> Self {
+        Self::with_barrier(nthreads, BarrierKind::default())
+    }
+
+    /// Like [`Pool::new`] but with an explicit barrier algorithm.
+    pub fn with_barrier(nthreads: usize, barrier_kind: BarrierKind) -> Self {
+        assert!(nthreads >= 1, "pool must have at least one thread");
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            panics: Mutex::new(Vec::new()),
+        });
+        let team = Arc::new(TeamShared::new(nthreads, barrier_kind));
+        let mut handles = Vec::with_capacity(nthreads.saturating_sub(1));
+        for tid in 1..nthreads {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rvhpc-worker-{tid}"))
+                    .spawn(move || worker_loop(shared, tid))
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        Self {
+            shared,
+            team,
+            handles,
+            nthreads,
+        }
+    }
+
+    /// Number of threads in every team this pool forks.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Fork a parallel region: run `f` once per team member and collect the
+    /// per-thread results indexed by team-local thread id.
+    ///
+    /// Panics in any team member are propagated to the caller after the
+    /// region has fully quiesced. The pool remains structurally usable
+    /// afterwards, but note that a region that panics between paired
+    /// collectives leaves no way for its surviving members to rendezvous, so
+    /// bodies that panic must not hold pending barriers (the runtime cannot
+    /// recover a half-completed barrier episode).
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Team) -> R + Sync,
+    {
+        let n = self.nthreads;
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        {
+            let team_shared = Arc::clone(&self.team);
+            let results = &results;
+            let job = move |tid: usize| {
+                let team = Team {
+                    tid,
+                    nthreads: n,
+                    shared: &team_shared,
+                };
+                let r = f(&team);
+                *results[tid].lock() = Some(r);
+            };
+            self.run_erased(&job);
+        }
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("team member produced no result"))
+            .collect()
+    }
+
+    /// Dispatch a type-erased job to the workers, run the tid-0 share on the
+    /// calling thread, and wait for full completion.
+    fn run_erased(&self, job: &(dyn Fn(usize) + Sync + '_)) {
+        if self.nthreads == 1 {
+            // Fast path: no workers, still honour panic semantics.
+            job(0);
+            return;
+        }
+        // Erase the borrow lifetime. Sound because we block below until all
+        // workers have finished with the pointer.
+        let ptr: *const JobFn<'_> = job;
+        let ptr: *const JobFn<'static> = unsafe { std::mem::transmute(ptr) };
+        {
+            let mut st = self.shared.state.lock();
+            assert!(st.job.is_none(), "Pool::run is not reentrant");
+            assert!(!st.shutdown, "pool is shut down");
+            st.job = Some(JobPtr(ptr));
+            st.active = self.nthreads - 1;
+            st.epoch += 1;
+            self.shared.work_cv.notify_all();
+        }
+        // Caller participates as tid 0 (and must not poison the region on
+        // its own panic before workers finish, hence catch_unwind).
+        let caller_result = catch_unwind(AssertUnwindSafe(|| job(0)));
+        {
+            let mut st = self.shared.state.lock();
+            while st.active > 0 {
+                self.shared.done_cv.wait(&mut st);
+            }
+            st.job = None;
+        }
+        let mut panics = self.shared.panics.lock();
+        if let Err(p) = caller_result {
+            panics.push(p);
+        }
+        if let Some(p) = panics.pop() {
+            panics.clear();
+            drop(panics);
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, tid: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            while st.epoch == seen_epoch && !st.shutdown {
+                shared.work_cv.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+            seen_epoch = st.epoch;
+            JobPtr(st.job.as_ref().expect("epoch advanced without a job").0)
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(tid) }));
+        if let Err(p) = result {
+            shared.panics.lock().push(p);
+        }
+        let mut st = shared.state.lock();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// The per-thread view of a parallel region (OpenMP's implicit `omp_get_*`
+/// state plus the work-sharing and synchronization constructs).
+pub struct Team<'a> {
+    tid: usize,
+    nthreads: usize,
+    shared: &'a Arc<TeamShared>,
+}
+
+impl Team<'_> {
+    /// Team-local thread id in `0..nthreads` (`omp_get_thread_num`).
+    #[inline]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Team size (`omp_get_num_threads`).
+    #[inline]
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Full team barrier (`#pragma omp barrier`).
+    #[inline]
+    pub fn barrier(&self) {
+        self.shared.barrier.wait(self.tid);
+    }
+
+    /// The contiguous sub-range of `lo..hi` owned by this thread under a
+    /// static block distribution — the building block for loops where the
+    /// caller wants to own the iteration itself.
+    #[inline]
+    pub fn static_range(&self, lo: usize, hi: usize) -> std::ops::Range<usize> {
+        schedule::static_block(lo, hi, self.tid, self.nthreads)
+    }
+
+    /// `#pragma omp for schedule(static)` with an implicit ending barrier.
+    #[inline]
+    pub fn for_static(&self, lo: usize, hi: usize, mut body: impl FnMut(usize)) {
+        for i in self.static_range(lo, hi) {
+            body(i);
+        }
+        self.barrier();
+    }
+
+    /// Static loop without the ending barrier (`nowait`).
+    #[inline]
+    pub fn for_static_nowait(&self, lo: usize, hi: usize, mut body: impl FnMut(usize)) {
+        for i in self.static_range(lo, hi) {
+            body(i);
+        }
+    }
+
+    /// Work-sharing loop with an arbitrary [`Schedule`] and implicit ending
+    /// barrier. Dynamic and guided schedules share work through a team-wide
+    /// counter; static schedules never touch shared state.
+    pub fn for_schedule(&self, lo: usize, hi: usize, sched: Schedule, mut body: impl FnMut(usize)) {
+        match sched {
+            Schedule::Static => {
+                for i in self.static_range(lo, hi) {
+                    body(i);
+                }
+            }
+            Schedule::StaticChunk(chunk) => {
+                let chunk = chunk.max(1);
+                let mut start = lo + self.tid * chunk;
+                while start < hi {
+                    let end = (start + chunk).min(hi);
+                    for i in start..end {
+                        body(i);
+                    }
+                    start += self.nthreads * chunk;
+                }
+            }
+            Schedule::Dynamic(chunk) => {
+                let chunk = chunk.max(1);
+                let counter = self.claim_loop_counter();
+                loop {
+                    let start = lo + counter.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= hi {
+                        break;
+                    }
+                    let end = (start + chunk).min(hi);
+                    for i in start..end {
+                        body(i);
+                    }
+                }
+            }
+            Schedule::Guided(min_chunk) => {
+                let min_chunk = min_chunk.max(1);
+                let total = hi.saturating_sub(lo);
+                let counter = self.claim_loop_counter();
+                loop {
+                    // Claim a chunk proportional to the remaining work.
+                    let claimed;
+                    let mut size;
+                    loop {
+                        let cur = counter.load(Ordering::Relaxed);
+                        if cur >= total {
+                            return self.finish_shared_loop();
+                        }
+                        let remaining = total - cur;
+                        size = (remaining / (2 * self.nthreads))
+                            .max(min_chunk)
+                            .min(remaining);
+                        match counter.compare_exchange_weak(
+                            cur,
+                            cur + size,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => {
+                                claimed = cur;
+                                break;
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                    for i in lo + claimed..lo + claimed + size {
+                        body(i);
+                    }
+                }
+            }
+        }
+        self.finish_shared_loop();
+    }
+
+    /// Dynamic work-sharing loop (`schedule(dynamic, chunk)`).
+    #[inline]
+    pub fn for_dynamic(&self, lo: usize, hi: usize, chunk: usize, body: impl FnMut(usize)) {
+        self.for_schedule(lo, hi, Schedule::Dynamic(chunk), body);
+    }
+
+    /// Guided work-sharing loop (`schedule(guided, min_chunk)`).
+    #[inline]
+    pub fn for_guided(&self, lo: usize, hi: usize, min_chunk: usize, body: impl FnMut(usize)) {
+        self.for_schedule(lo, hi, Schedule::Guided(min_chunk), body);
+    }
+
+    /// Claim the shared counter for the next dynamic/guided loop episode.
+    ///
+    /// Counters are double-buffered by collective parity: the counter a loop
+    /// uses was last touched two shared loops ago, and the intervening
+    /// loop's ending barrier guarantees every thread is done with it, so
+    /// thread 0 can reset it here without a race.
+    fn claim_loop_counter(&self) -> &AtomicUsize {
+        let seq = self.shared.collective_seq[self.tid].load(Ordering::Relaxed);
+        &self.shared.dyn_counters[(seq % 2) as usize]
+    }
+
+    /// End-of-shared-loop bookkeeping: advance this thread's collective
+    /// sequence, barrier, then reset the *other* parity's counter for reuse.
+    fn finish_shared_loop(&self) {
+        let seq = self.shared.collective_seq[self.tid].load(Ordering::Relaxed);
+        self.shared.collective_seq[self.tid].store(seq + 1, Ordering::Relaxed);
+        self.barrier();
+        if self.tid == 0 {
+            // Safe: the counter of parity (seq+1)%2 will next be used by the
+            // next shared loop; every thread has passed the barrier above
+            // and no longer touches it for the *previous* loop of that
+            // parity.
+            self.shared.dyn_counters[((seq + 1) % 2) as usize].store(0, Ordering::Relaxed);
+        }
+        self.barrier();
+    }
+
+    /// Sum-reduce a per-thread `f64`; every member receives the team total.
+    pub fn reduce_sum(&self, local: f64) -> f64 {
+        self.reduce_f64_vec(&[local])[0]
+    }
+
+    /// Sum-reduce a per-thread `u64`; every member receives the team total.
+    pub fn reduce_sum_u64(&self, local: u64) -> u64 {
+        self.store_slot(0, local);
+        self.barrier();
+        let mut acc = 0u64;
+        for row in &self.shared.reduce_slots {
+            acc = acc.wrapping_add(row[0].load(Ordering::Relaxed));
+        }
+        self.barrier();
+        acc
+    }
+
+    /// Max-reduce a per-thread `f64`.
+    pub fn reduce_max(&self, local: f64) -> f64 {
+        self.reduce_with(local, f64::max)
+    }
+
+    /// Min-reduce a per-thread `f64`.
+    pub fn reduce_min(&self, local: f64) -> f64 {
+        self.reduce_with(local, f64::min)
+    }
+
+    /// Reduce with an arbitrary associative combiner.
+    pub fn reduce_with(&self, local: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        self.store_slot(0, local.to_bits());
+        self.barrier();
+        let mut acc = f64::from_bits(self.shared.reduce_slots[0][0].load(Ordering::Relaxed));
+        for row in &self.shared.reduce_slots[1..] {
+            acc = op(acc, f64::from_bits(row[0].load(Ordering::Relaxed)));
+        }
+        self.barrier();
+        acc
+    }
+
+    /// Element-wise sum-reduce a small vector of per-thread `f64` values
+    /// (up to [`MAX_REDUCE_WIDTH`]); every member receives the totals.
+    /// Costs exactly two barriers regardless of width.
+    pub fn reduce_f64_vec(&self, locals: &[f64]) -> Vec<f64> {
+        assert!(
+            locals.len() <= MAX_REDUCE_WIDTH,
+            "reduce width {} exceeds MAX_REDUCE_WIDTH {}",
+            locals.len(),
+            MAX_REDUCE_WIDTH
+        );
+        for (k, &v) in locals.iter().enumerate() {
+            self.store_slot(k, v.to_bits());
+        }
+        self.barrier();
+        let mut out = vec![0.0f64; locals.len()];
+        for row in &self.shared.reduce_slots {
+            for (k, o) in out.iter_mut().enumerate() {
+                *o += f64::from_bits(row[k].load(Ordering::Relaxed));
+            }
+        }
+        self.barrier();
+        out
+    }
+
+    #[inline]
+    fn store_slot(&self, k: usize, bits: u64) {
+        self.shared.reduce_slots[self.tid][k].store(bits, Ordering::Relaxed);
+    }
+
+    /// Execute `f` under the team's critical-section lock
+    /// (`#pragma omp critical`).
+    pub fn critical<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.shared.critical.lock();
+        f()
+    }
+
+    /// Execute `f` on team member 0 only, followed by a barrier
+    /// (`#pragma omp single` semantics for the common master-does-it case).
+    pub fn single(&self, f: impl FnOnce()) {
+        if self.tid == 0 {
+            f();
+        }
+        self.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let r = pool.run(|team| {
+            assert_eq!(team.tid(), 0);
+            assert_eq!(team.nthreads(), 1);
+            42
+        });
+        assert_eq!(r, vec![42]);
+    }
+
+    #[test]
+    fn all_members_run_with_distinct_tids() {
+        let pool = Pool::new(4);
+        let mut tids = pool.run(|team| team.tid());
+        tids.sort_unstable();
+        assert_eq!(tids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_regions() {
+        let pool = Pool::new(3);
+        for round in 0..50 {
+            let r = pool.run(|team| team.tid() + round);
+            assert_eq!(r.len(), 3);
+            assert_eq!(r.iter().sum::<usize>(), 3 * round + 3);
+        }
+    }
+
+    #[test]
+    fn static_loop_covers_range_exactly_once() {
+        let pool = Pool::new(4);
+        let n = 1003usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|team| {
+            team.for_static(0, n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dynamic_loop_covers_range_exactly_once() {
+        let pool = Pool::new(4);
+        let n = 997usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|team| {
+            team.for_dynamic(0, n, 7, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn guided_loop_covers_range_exactly_once() {
+        let pool = Pool::new(3);
+        let n = 1234usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|team| {
+            team.for_guided(0, n, 4, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn consecutive_dynamic_loops_reset_counters() {
+        let pool = Pool::new(4);
+        let n = 100usize;
+        for _ in 0..20 {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(|team| {
+                for _ in 0..5 {
+                    team.for_dynamic(0, n, 3, |i| {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 5));
+        }
+    }
+
+    #[test]
+    fn mixed_dynamic_and_guided_loops_interleave_safely() {
+        let pool = Pool::new(3);
+        let n = 256usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|team| {
+            team.for_dynamic(0, n, 5, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            team.for_guided(0, n, 2, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            team.for_dynamic(0, n, 1, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 3));
+    }
+
+    #[test]
+    fn reduce_sum_matches_serial() {
+        let pool = Pool::new(4);
+        let n = 10_000usize;
+        let out = pool.run(|team| {
+            let mut local = 0.0f64;
+            team.for_static_nowait(0, n, |i| local += i as f64);
+            team.reduce_sum(local)
+        });
+        let expect = (0..n).map(|i| i as f64).sum::<f64>();
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn reduce_min_max() {
+        let pool = Pool::new(4);
+        let out = pool.run(|team| {
+            let local = team.tid() as f64 * 10.0 - 5.0;
+            (team.reduce_min(local), team.reduce_max(local))
+        });
+        for (mn, mx) in out {
+            assert_eq!(mn, -5.0);
+            assert_eq!(mx, 25.0);
+        }
+    }
+
+    #[test]
+    fn reduce_vec_sums_elementwise() {
+        let pool = Pool::new(4);
+        let out = pool.run(|team| {
+            let t = team.tid() as f64;
+            team.reduce_f64_vec(&[t, 2.0 * t, 1.0])
+        });
+        for v in out {
+            assert_eq!(v, vec![6.0, 12.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn critical_section_serializes() {
+        struct SharedCounter(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for SharedCounter {}
+        impl SharedCounter {
+            /// Safety: caller must serialize calls (here: via `critical`).
+            unsafe fn bump(&self) {
+                *self.0.get() += 1;
+            }
+            fn get(&self) -> u64 {
+                unsafe { *self.0.get() }
+            }
+        }
+        let pool = Pool::new(4);
+        let shared = SharedCounter(std::cell::UnsafeCell::new(0));
+        pool.run(|team| {
+            for _ in 0..1000 {
+                team.critical(|| unsafe { shared.bump() });
+            }
+        });
+        assert_eq!(shared.get(), 4000);
+    }
+
+    #[test]
+    fn single_runs_once() {
+        let pool = Pool::new(4);
+        let count = AtomicUsize::new(0);
+        pool.run(|team| {
+            team.single(|| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn worker_panic_propagates_to_caller() {
+        let pool = Pool::new(3);
+        pool.run(|team| {
+            if team.tid() == 2 {
+                panic!("deliberate");
+            }
+            // Other members do un-synchronized work only (a barrier here
+            // would deadlock against the panicked member).
+            std::hint::black_box(team.tid());
+        });
+    }
+
+    #[test]
+    fn dissemination_pool_works() {
+        let pool = Pool::with_barrier(4, BarrierKind::Dissemination);
+        let n = 500usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|team| {
+            team.for_static(0, n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            team.for_dynamic(0, n, 9, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 2));
+    }
+
+    #[test]
+    fn results_are_indexed_by_tid() {
+        let pool = Pool::new(5);
+        let r = pool.run(|team| team.tid() * 2);
+        assert_eq!(r, vec![0, 2, 4, 6, 8]);
+    }
+}

@@ -1,0 +1,47 @@
+use rvhpc_core::model::{predict, Scenario};
+use rvhpc_machines::presets;
+use rvhpc_npb::{BenchmarkId, Class};
+fn main() {
+    let m = presets::sg2044();
+    for (b, paper) in [
+        (BenchmarkId::Is, 63.63),
+        (BenchmarkId::Mg, 1382.91),
+        (BenchmarkId::Ep, 40.76),
+        (BenchmarkId::Cg, 213.82),
+        (BenchmarkId::Ft, 1023.83),
+    ] {
+        let prof = rvhpc_npb::profile(b, Class::C);
+        let k0 = rvhpc_core::calibrate::scale(b);
+        let s = Scenario::paper_headline(&m, b, 1);
+        let pred = predict(&prof, &s);
+        let barrier = pred.seconds - pred.per_phase.iter().map(|p| p.seconds).sum::<f64>();
+        let target = prof.total_ops / paper / 1e6;
+        let (mut lo, mut hi) = (1e-3f64, 1e3f64);
+        for _ in 0..200 {
+            let k = 0.5 * (lo + hi);
+            let t: f64 = pred
+                .per_phase
+                .iter()
+                .map(|p| {
+                    let cr = if p.seconds > p.bw_seconds {
+                        p.seconds / k0
+                    } else {
+                        (p.bw_seconds / k0).min(p.seconds / k0)
+                    };
+                    (k * cr).max(p.bw_seconds)
+                })
+                .sum::<f64>()
+                + barrier;
+            if t < target {
+                lo = k
+            } else {
+                hi = k
+            }
+        }
+        println!(
+            "{b:?}: model {:.2} k0 {k0} -> new {:.4}",
+            pred.mops,
+            0.5 * (lo + hi)
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Reproduce the paper's Figures 2–6: NPB kernel scaling across the five
+//! HPC-class machines (EPYC 7742, Xeon 8170, ThunderX2, SG2042, SG2044),
+//! class C, via the performance model.
+//!
+//! ```sh
+//! cargo run --release --example compare_cpus           # all five kernels
+//! cargo run --release --example compare_cpus IS        # one kernel
+//! ```
+
+use rvhpc::eval::experiment::fig_kernel_data;
+use rvhpc::eval::report::ascii_plot;
+use rvhpc::npb::BenchmarkId;
+
+fn main() {
+    let filter = std::env::args().nth(1).map(|s| s.to_uppercase());
+    let kernels = [
+        (BenchmarkId::Is, "Figure 2 — IS"),
+        (BenchmarkId::Mg, "Figure 3 — MG"),
+        (BenchmarkId::Ep, "Figure 4 — EP"),
+        (BenchmarkId::Cg, "Figure 5 — CG"),
+        (BenchmarkId::Ft, "Figure 6 — FT"),
+    ];
+    for (bench, title) in kernels {
+        if let Some(f) = &filter {
+            if f != bench.name() {
+                continue;
+            }
+        }
+        let curves = fig_kernel_data(bench);
+        println!("{}", ascii_plot(title, "Mop/s", &curves));
+        // Numeric form under the plot.
+        println!("{:>14} {:>8} {:>10}", "machine", "cores", "Mop/s");
+        for c in &curves {
+            for &(p, v) in &c.points {
+                println!("{:>14} {:>8} {:>10.0}", c.machine.name(), p, v);
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! Free-form sweeps beyond the paper's tables, with CSV/JSON output.
+//!
+//! ```sh
+//! cargo run --release --example custom_sweep                # default grid
+//! cargo run --release --example custom_sweep MG C json      # one kernel
+//! ```
+
+use rvhpc::eval::sweep::{grid_sweep, thread_sweep, to_csv, to_json};
+use rvhpc::machines::MachineId;
+use rvhpc::npb::{BenchmarkId, Class};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = [1u32, 2, 4, 8, 16, 26, 32, 64];
+
+    if args.is_empty() {
+        // Default: the five HPC machines × the five kernels at class C.
+        let machines = [
+            MachineId::Epyc7742,
+            MachineId::Xeon8170,
+            MachineId::ThunderX2,
+            MachineId::Sg2042,
+            MachineId::Sg2044,
+        ];
+        let samples = grid_sweep(&machines, &BenchmarkId::KERNELS, Class::C, &threads);
+        print!("{}", to_csv(&samples));
+        return;
+    }
+
+    let bench = BenchmarkId::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&args[0]))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {}", args[0]);
+            std::process::exit(2);
+        });
+    let class = args
+        .get(1)
+        .and_then(|s| {
+            Class::ALL
+                .into_iter()
+                .find(|c| c.name().eq_ignore_ascii_case(s))
+        })
+        .unwrap_or(Class::C);
+    let samples = thread_sweep(MachineId::Sg2044, bench, class, &threads);
+    if args.get(2).map(|s| s == "json").unwrap_or(false) {
+        println!("{}", to_json(&samples));
+    } else {
+        print!("{}", to_csv(&samples));
+    }
+}

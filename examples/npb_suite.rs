@@ -1,0 +1,48 @@
+//! Run the full eight-benchmark NPB suite on the host and print an
+//! NPB-style results table with verification status.
+//!
+//! ```sh
+//! cargo run --release --example npb_suite             # class S (default)
+//! RVHPC_CLASS=W cargo run --release --example npb_suite
+//! RVHPC_NUM_THREADS=4 cargo run --release --example npb_suite
+//! ```
+
+use rvhpc::npb::{self, BenchmarkId, Class};
+use rvhpc::parallel::{Pool, RuntimeConfig};
+
+fn main() {
+    let config = RuntimeConfig::from_env();
+    let class = match std::env::var("RVHPC_CLASS").as_deref() {
+        Ok("T") => Class::T,
+        Ok("W") => Class::W,
+        Ok("A") => Class::A,
+        _ => Class::S,
+    };
+    let pool = Pool::new(config.nthreads);
+    println!(
+        "NAS Parallel Benchmarks (rvhpc Rust port) — class {}, {} thread(s)\n",
+        class.name(),
+        config.nthreads
+    );
+    println!(
+        "{:<4} {:>12} {:>12} {:>14}  verification",
+        "name", "seconds", "Mop/s", "Mop/s/thread"
+    );
+    let mut all_ok = true;
+    for bench in BenchmarkId::ALL {
+        let r = npb::run(bench, class, &pool);
+        let ok = r.verified.passed();
+        all_ok &= ok;
+        println!(
+            "{:<4} {:>12.3} {:>12.2} {:>14.2}  {}",
+            r.name,
+            r.time_seconds,
+            r.mops,
+            r.mops / r.threads as f64,
+            if ok { "PASSED" } else { "FAILED" },
+        );
+    }
+    let verdict = if all_ok { "PASSED" } else { "FAILED" };
+    println!("\nsuite {verdict}");
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

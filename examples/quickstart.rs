@@ -1,0 +1,45 @@
+//! Quickstart: run a couple of NAS Parallel Benchmarks on this machine,
+//! then ask the model what the same kernels would do on the SG2044.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rvhpc::eval::model::{predict, Scenario};
+use rvhpc::machines::presets;
+use rvhpc::npb::{self, BenchmarkId, Class};
+use rvhpc::parallel::Pool;
+
+fn main() {
+    // --- 1. Run real benchmarks on the host. -----------------------------
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool = Pool::new(threads);
+    println!(
+        "host run ({threads} thread{}):",
+        if threads == 1 { "" } else { "s" }
+    );
+    for bench in [BenchmarkId::Ep, BenchmarkId::Cg, BenchmarkId::Mg] {
+        let result = npb::run(bench, Class::S, &pool);
+        println!("  {}", result.summary());
+        assert!(result.verified.passed(), "verification failed!");
+    }
+
+    // --- 2. Predict the paper's machines with the simulator. -------------
+    println!("\nmodel predictions, class C, SG2044 vs SG2042 (paper's Table 4):");
+    let sg2044 = presets::sg2044();
+    let sg2042 = presets::sg2042();
+    for bench in BenchmarkId::KERNELS {
+        let profile = npb::profile(bench, Class::C);
+        let new = predict(&profile, &Scenario::paper_headline(&sg2044, bench, 64)).mops;
+        let old = predict(&profile, &Scenario::paper_headline(&sg2042, bench, 64)).mops;
+        println!(
+            "  {:>2} @ 64 cores: SG2044 {:>8.0} Mop/s   SG2042 {:>8.0} Mop/s   ({:.2}x)",
+            bench.name(),
+            new,
+            old,
+            new / old
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Reproduce the paper's Figure 1: STREAM copy bandwidth scaling on the
+//! SG2044 vs the SG2042 (simulated), alongside a real host STREAM run.
+//!
+//! ```sh
+//! cargo run --release --example stream_scaling
+//! ```
+
+use rvhpc::machines::presets;
+use rvhpc::parallel::Pool;
+use rvhpc::stream::{run_host_stream, simulated_curve, StreamKernel};
+
+fn main() {
+    // --- Host STREAM (real measurement on this machine). -----------------
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool = Pool::new(threads);
+    let n = 4 << 20; // 4 Mi doubles per array = 96 MiB working set
+    let host = run_host_stream(n, 5, &pool);
+    println!(
+        "host STREAM ({} doubles/array, {} threads):",
+        host.n, host.threads
+    );
+    for (k, gbs) in StreamKernel::ALL.iter().zip(host.best_gbs) {
+        println!("  {:<6} {:>8.2} GB/s", k.name(), gbs);
+    }
+    assert!(host.validated, "host STREAM failed validation");
+
+    // --- Simulated Figure 1. ---------------------------------------------
+    println!("\nFigure 1 (simulated copy bandwidth, GB/s):");
+    let cores = [1u32, 2, 4, 8, 16, 32, 64];
+    let c44 = simulated_curve(&presets::sg2044(), &cores);
+    let c42 = simulated_curve(&presets::sg2042(), &cores);
+    println!(
+        "{:>6} {:>10} {:>10} {:>8}",
+        "cores", "SG2044", "SG2042", "ratio"
+    );
+    for (a, b) in c44.iter().zip(&c42) {
+        println!(
+            "{:>6} {:>10.1} {:>10.1} {:>8.2}",
+            a.cores,
+            a.copy_gbs,
+            b.copy_gbs,
+            a.copy_gbs / b.copy_gbs
+        );
+    }
+    let last = (c44.last().unwrap().copy_gbs, c42.last().unwrap().copy_gbs);
+    println!(
+        "\nat 64 cores the SG2044 sustains {:.1}x the SG2042's bandwidth \
+         (paper: 'over three times higher')",
+        last.0 / last.1
+    );
+}

@@ -1,0 +1,34 @@
+//! Reproduce the paper's §6 compiler/vectorisation study (Tables 7 and 8),
+//! including the CG anomaly: vectorised CG on the SG2044 is several times
+//! *slower* than scalar CG.
+//!
+//! ```sh
+//! cargo run --release --example vector_ablation
+//! ```
+
+use rvhpc::eval::experiment::{table7_data, table8_data};
+use rvhpc::eval::report::render_compiler_table;
+
+fn main() {
+    println!("Table 7 — SG2044 single core, class C (Mop/s, paper in parens)\n");
+    let t7 = table7_data();
+    println!("{}", render_compiler_table(&t7));
+
+    println!("Table 8 — SG2044 all 64 cores, class C\n");
+    let t8 = table8_data();
+    println!("{}", render_compiler_table(&t8));
+
+    // Spell out the anomaly.
+    let cg = t7
+        .iter()
+        .find(|r| r.bench == rvhpc::npb::BenchmarkId::Cg)
+        .expect("CG row");
+    println!(
+        "the CG anomaly: scalar CG {:.0} Mop/s vs vectorised {:.0} Mop/s — \
+         {:.1}x slower when vectorised (paper measured {:.1}x)",
+        cg.model_gcc15_novec,
+        cg.model_gcc15_vec,
+        cg.model_gcc15_novec / cg.model_gcc15_vec,
+        cg.paper_gcc15_novec / cg.paper_gcc15_vec,
+    );
+}

@@ -1,0 +1,76 @@
+//! `npb` — command-line runner for the NPB ports, in the spirit of the
+//! reference suite's per-benchmark binaries.
+//!
+//! ```text
+//! npb <BENCH|all> [CLASS] [THREADS]
+//!   BENCH   is ep cg mg ft bt sp lu | all     (default: all)
+//!   CLASS   T S W A B C                       (default: S)
+//!   THREADS team size                         (default: available cores)
+//! ```
+
+use rvhpc::npb::{self, BenchmarkId, Class};
+use rvhpc::parallel::Pool;
+
+fn parse_bench(s: &str) -> Option<Vec<BenchmarkId>> {
+    if s.eq_ignore_ascii_case("all") {
+        return Some(BenchmarkId::ALL.to_vec());
+    }
+    BenchmarkId::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(s))
+        .map(|b| vec![b])
+}
+
+fn parse_class(s: &str) -> Option<Class> {
+    Class::ALL
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(s))
+}
+
+fn usage() -> ! {
+    eprintln!("usage: npb <BENCH|all> [CLASS] [THREADS]");
+    eprintln!(
+        "  BENCH:   {} | all",
+        BenchmarkId::ALL.map(|b| b.name()).join(" ")
+    );
+    eprintln!("  CLASS:   {}", Class::ALL.map(|c| c.name()).join(" "));
+    eprintln!("  THREADS: positive integer (default: available cores)");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benches = match args.first() {
+        None => BenchmarkId::ALL.to_vec(),
+        Some(s) => parse_bench(s).unwrap_or_else(|| usage()),
+    };
+    let class = match args.get(1) {
+        None => Class::S,
+        Some(s) => parse_class(s).unwrap_or_else(|| usage()),
+    };
+    let threads = match args.get(2) {
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| usage()),
+    };
+
+    let pool = Pool::new(threads);
+    println!(
+        "NAS Parallel Benchmarks (rvhpc) — class {}, {threads} thread(s)",
+        class.name()
+    );
+    let mut failures = 0;
+    for bench in benches {
+        let r = npb::run(bench, class, &pool);
+        println!("{}", r.summary());
+        if !r.verified.passed() {
+            failures += 1;
+        }
+    }
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

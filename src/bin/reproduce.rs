@@ -1,0 +1,84 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce              # everything -> results/ + stdout
+//! reproduce table4       # one experiment to stdout
+//! reproduce extensions   # the §7 future-work table (HPL/HPCG)
+//! ```
+
+use rvhpc::eval::{experiment, report, runner};
+use rvhpc::npb::BenchmarkId;
+
+fn one(slug: &str) -> Option<String> {
+    let out = match slug {
+        "table1" => report::render_table1(&experiment::table1_data()),
+        "table2" => report::render_table2(&experiment::table2_data()),
+        "table3" => report::render_sg_compare(&experiment::table3_data()),
+        "table4" => report::render_sg_compare(&experiment::table4_data()),
+        "table5" => {
+            let rows: Vec<Vec<String>> = experiment::table5_data()
+                .iter()
+                .map(|r| r.to_vec())
+                .collect();
+            let header: Vec<String> = ["CPU", "ISA", "Part", "Base clock", "Cores", "Vector"]
+                .map(String::from)
+                .to_vec();
+            report::markdown_table(&header, &rows)
+        }
+        "table6" => report::render_table6(&experiment::table6_data()),
+        "table7" => report::render_compiler_table(&experiment::table7_data()),
+        "table8" => report::render_compiler_table(&experiment::table8_data()),
+        "fig1" => report::ascii_plot("Figure 1 — STREAM copy", "GB/s", &experiment::fig1_data()),
+        "fig2" => report::ascii_plot(
+            "Figure 2 — IS",
+            "Mop/s",
+            &experiment::fig_kernel_data(BenchmarkId::Is),
+        ),
+        "fig3" => report::ascii_plot(
+            "Figure 3 — MG",
+            "Mop/s",
+            &experiment::fig_kernel_data(BenchmarkId::Mg),
+        ),
+        "fig4" => report::ascii_plot(
+            "Figure 4 — EP",
+            "Mop/s",
+            &experiment::fig_kernel_data(BenchmarkId::Ep),
+        ),
+        "fig5" => report::ascii_plot(
+            "Figure 5 — CG",
+            "Mop/s",
+            &experiment::fig_kernel_data(BenchmarkId::Cg),
+        ),
+        "fig6" => report::ascii_plot(
+            "Figure 6 — FT",
+            "Mop/s",
+            &experiment::fig_kernel_data(BenchmarkId::Ft),
+        ),
+        "extensions" => rvhpc::extras::experiment::render(),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn main() {
+    if let Some(slug) = std::env::args().nth(1) {
+        match one(&slug) {
+            Some(out) => println!("{out}"),
+            None => {
+                eprintln!(
+                    "unknown experiment '{slug}'; use table1..table8, fig1..fig6, or extensions"
+                );
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    let dir = std::path::Path::new("results");
+    match runner::write_artifacts(dir) {
+        Ok(files) => eprintln!("wrote {} artifacts to {}", files.len(), dir.display()),
+        Err(e) => eprintln!("warning: could not write artifacts: {e}"),
+    }
+    println!("{}", runner::full_report());
+    println!("\n## Extension (paper §7 future work) — predicted HPL / HPCG\n");
+    println!("{}", rvhpc::extras::experiment::render());
+}

@@ -1,0 +1,89 @@
+//! Integration: the full NPB suite runs and verifies on the host across
+//! thread counts — the end-to-end contract of `rvhpc-npb` on
+//! `rvhpc-parallel`.
+
+use rvhpc::npb::{self, BenchmarkId, Class};
+use rvhpc::parallel::Pool;
+
+#[test]
+fn all_eight_benchmarks_verify_at_class_t() {
+    let pool = Pool::new(2);
+    for bench in BenchmarkId::ALL {
+        let r = npb::run(bench, Class::T, &pool);
+        assert!(
+            r.verified.passed(),
+            "{} failed verification: {:?}",
+            r.name,
+            r.verified
+        );
+        assert!(r.mops > 0.0, "{}: bogus Mop/s", r.name);
+        assert!(r.time_seconds >= 0.0);
+        assert_eq!(r.threads, 2);
+    }
+}
+
+#[test]
+fn kernels_verify_at_class_s_single_thread() {
+    let pool = Pool::new(1);
+    for bench in [
+        BenchmarkId::Is,
+        BenchmarkId::Cg,
+        BenchmarkId::Mg,
+        BenchmarkId::Ft,
+    ] {
+        let r = npb::run(bench, Class::S, &pool);
+        assert!(r.verified.passed(), "{}: {:?}", r.name, r.verified);
+    }
+}
+
+#[test]
+fn results_are_deterministic_across_team_sizes() {
+    // The check values must agree between 1- and 4-thread runs (floating
+    // point reductions reordered within tolerance).
+    for bench in BenchmarkId::ALL {
+        let r1 = npb::run(bench, Class::T, &Pool::new(1));
+        let r4 = npb::run(bench, Class::T, &Pool::new(4));
+        let denom = r1.check_value.abs().max(1.0);
+        assert!(
+            ((r1.check_value - r4.check_value) / denom).abs() < 1e-6,
+            "{}: check value drifted: {} vs {}",
+            r1.name,
+            r1.check_value,
+            r4.check_value
+        );
+    }
+}
+
+#[test]
+fn mops_improve_with_threads_for_compute_bound_ep() {
+    // On a multi-core host EP should speed up; on a single-core host the
+    // oversubscribed run must at least not verify differently.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let r1 = npb::run(BenchmarkId::Ep, Class::S, &Pool::new(1));
+    let rn = npb::run(BenchmarkId::Ep, Class::S, &Pool::new(cores.min(4)));
+    assert!(r1.verified.passed() && rn.verified.passed());
+    if cores >= 2 {
+        // Allow generous scheduling noise; just require non-collapse.
+        assert!(
+            rn.mops > 0.5 * r1.mops,
+            "EP with {} threads collapsed: {} vs {}",
+            cores.min(4),
+            rn.mops,
+            r1.mops
+        );
+    }
+}
+
+#[test]
+fn official_op_counts_are_used_for_mops() {
+    let pool = Pool::new(1);
+    let r = npb::run(BenchmarkId::Ep, Class::T, &pool);
+    let expected_ops = 2.0f64.powi(19); // 2^(m+1), m = 18 for class T
+    let recomputed = expected_ops / r.time_seconds / 1e6;
+    assert!(
+        (r.mops - recomputed).abs() / recomputed < 1e-9,
+        "Mop/s not derived from the official op count"
+    );
+}

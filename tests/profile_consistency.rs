@@ -1,0 +1,123 @@
+//! Integration: workload profiles stay consistent with the benchmarks
+//! they describe, across every class.
+
+use proptest::prelude::*;
+use rvhpc::npb::{self, profile::AccessPattern, BenchmarkId, Class};
+
+#[test]
+fn profiles_validate_for_every_benchmark_and_class() {
+    for b in BenchmarkId::ALL {
+        for c in Class::ALL {
+            let p = npb::profile(b, c);
+            p.validate().unwrap_or_else(|e| panic!("{b:?}/{c:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn flop_counts_cover_the_official_op_counts() {
+    // For the floating-point benchmarks, the profile's flops must be at
+    // least the official NPB operation count (the op count is a subset of
+    // the arithmetic actually executed).
+    for b in [
+        BenchmarkId::Mg,
+        BenchmarkId::Cg,
+        BenchmarkId::Ft,
+        BenchmarkId::Bt,
+        BenchmarkId::Sp,
+        BenchmarkId::Lu,
+    ] {
+        for c in [Class::S, Class::B, Class::C] {
+            let p = npb::profile(b, c);
+            assert!(
+                p.total_flops() >= 0.9 * p.total_ops,
+                "{b:?}/{c:?}: flops {:.2e} below ops {:.2e}",
+                p.total_flops(),
+                p.total_ops
+            );
+        }
+    }
+}
+
+#[test]
+fn integer_sort_has_no_flops() {
+    for c in Class::ALL {
+        let p = npb::profile(BenchmarkId::Is, c);
+        assert_eq!(p.total_flops(), 0.0, "{c:?}");
+    }
+}
+
+#[test]
+fn memory_bound_kernels_have_low_arithmetic_intensity() {
+    // MG must be the bandwidth-bound one (paper Table 1): its arithmetic
+    // intensity is far below EP's.
+    let mg = npb::profile(BenchmarkId::Mg, Class::C);
+    let ep = npb::profile(BenchmarkId::Ep, Class::C);
+    let intensity = |p: &rvhpc::npb::profile::WorkloadProfile| {
+        p.total_flops()
+            / p.phases
+                .iter()
+                .map(|ph| ph.mem_refs * ph.elem_bytes as f64)
+                .sum::<f64>()
+    };
+    assert!(
+        intensity(&ep) > 2.0 * intensity(&mg),
+        "EP {:.3} vs MG {:.3} flops/byte",
+        intensity(&ep),
+        intensity(&mg)
+    );
+}
+
+#[test]
+fn cg_is_the_indirect_benchmark() {
+    let p = npb::profile(BenchmarkId::Cg, Class::C);
+    assert!(
+        p.phases
+            .iter()
+            .any(|ph| ph.pattern == AccessPattern::Indirect),
+        "CG must carry an Indirect (gather) phase — the anomaly's substrate"
+    );
+    // And nothing else uses Indirect (the paper's anomaly is CG-specific).
+    for b in BenchmarkId::ALL {
+        if b == BenchmarkId::Cg {
+            continue;
+        }
+        let p = npb::profile(b, Class::C);
+        assert!(
+            p.phases
+                .iter()
+                .all(|ph| ph.pattern != AccessPattern::Indirect),
+            "{b:?} unexpectedly gathers"
+        );
+    }
+}
+
+#[test]
+fn lu_has_the_highest_synchronization_density() {
+    // The hyperplane sweeps make LU the barrier-heavy pseudo-app.
+    let lu = npb::profile(BenchmarkId::Lu, Class::C);
+    for b in [BenchmarkId::Bt, BenchmarkId::Sp] {
+        let p = npb::profile(b, Class::C);
+        assert!(
+            lu.barriers > 10.0 * p.barriers,
+            "LU barriers {} vs {b:?} {}",
+            lu.barriers,
+            p.barriers
+        );
+    }
+}
+
+proptest! {
+    /// Class ordering is respected by every profile quantity that should
+    /// grow with problem size.
+    #[test]
+    fn op_counts_grow_monotonically(bench_idx in 0usize..8) {
+        let bench = BenchmarkId::ALL[bench_idx];
+        let mut prev = 0.0f64;
+        for class in Class::ALL {
+            let p = npb::profile(bench, class);
+            prop_assert!(p.total_ops > prev);
+            prev = p.total_ops;
+        }
+    }
+}

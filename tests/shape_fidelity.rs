@@ -1,0 +1,237 @@
+//! Shape fidelity: the paper's qualitative claims must hold in the
+//! reproduced (model) results — who wins, by roughly what factor, and
+//! where the crossovers/plateaus fall. These are the acceptance tests of
+//! the whole reproduction (see EXPERIMENTS.md for the quantitative
+//! residuals).
+
+use rvhpc::eval::experiment::{
+    fig1_data, fig_kernel_data, table2_data, table3_data, table4_data, table6_data, table7_data,
+    table8_data,
+};
+use rvhpc::machines::MachineId;
+use rvhpc::npb::BenchmarkId;
+
+/// Abstract: "delivering up to 4.91× greater performance than the SG2042
+/// over 64-cores" — IS is the maximum; every kernel gains.
+#[test]
+fn abstract_headline_64core_speedups() {
+    let t4 = table4_data();
+    for row in &t4 {
+        assert!(
+            row.model_ratio() > 1.0,
+            "{:?}: SG2044 must beat SG2042 at 64 cores",
+            row.bench
+        );
+    }
+    let is_row = t4.iter().find(|r| r.bench == BenchmarkId::Is).unwrap();
+    assert!(
+        (4.0..=6.0).contains(&is_row.model_ratio()),
+        "IS 64-core speedup {:.2} should be ≈4.9",
+        is_row.model_ratio()
+    );
+    let max = t4.iter().map(|r| r.model_ratio()).fold(0.0, f64::max);
+    assert_eq!(
+        t4.iter()
+            .max_by(|a, b| a.model_ratio().total_cmp(&b.model_ratio()))
+            .unwrap()
+            .bench,
+        BenchmarkId::Is,
+        "IS must show the largest 64-core gain (max {max:.2})"
+    );
+}
+
+/// §7: single-core speedups are marginal — between ~1.08 and ~1.30.
+#[test]
+fn single_core_gains_are_marginal() {
+    for row in table3_data() {
+        let r = row.model_ratio();
+        assert!(
+            (1.0..=1.45).contains(&r),
+            "{:?}: single-core ratio {r:.2} outside the paper's band",
+            row.bench
+        );
+    }
+}
+
+/// §4: at 64 cores the compute-bound EP benefits least; memory-bound
+/// kernels benefit most.
+#[test]
+fn ep_benefits_least_at_scale() {
+    let t4 = table4_data();
+    let ep = t4
+        .iter()
+        .find(|r| r.bench == BenchmarkId::Ep)
+        .unwrap()
+        .model_ratio();
+    for row in &t4 {
+        assert!(
+            row.model_ratio() >= ep - 1e-9,
+            "{:?} ratio {:.2} below EP's {ep:.2}",
+            row.bench,
+            row.model_ratio()
+        );
+    }
+}
+
+/// Figure 1: SG2042 and SG2044 are similar through 8 cores; the SG2042
+/// then plateaus while the SG2044 reaches ~3× at 64 cores.
+#[test]
+fn figure1_bandwidth_shape() {
+    let curves = fig1_data();
+    let c44 = &curves[0];
+    let c42 = &curves[1];
+    assert_eq!(c44.machine, MachineId::Sg2044);
+    for ((_, b44), (_, b42)) in c44.points.iter().zip(&c42.points).take(4) {
+        let r = b44 / b42;
+        assert!((0.6..=1.8).contains(&r), "early-core ratio {r}");
+    }
+    let r64 = c44.points.last().unwrap().1 / c42.points.last().unwrap().1;
+    assert!(r64 > 3.0, "64-core bandwidth ratio {r64:.2}");
+    // SG2042 plateau: ≤ 35% growth from 8 to 64 cores.
+    let b8 = c42.points[3].1;
+    let b64 = c42.points[6].1;
+    assert!(
+        b64 / b8 < 1.35,
+        "SG2042 did not plateau: {b8:.1} → {b64:.1}"
+    );
+}
+
+/// §3 / Table 2: the SG2044 wins every single-core RISC-V comparison, and
+/// the SpacemiT K1/M1 are the closest challengers for the vector-friendly
+/// kernels.
+#[test]
+fn table2_sg2044_dominates() {
+    for row in table2_data() {
+        let sg = row.cells[0].1;
+        for (mid, v, _) in row.cells.iter().skip(1) {
+            assert!(
+                *v < sg,
+                "{:?}: {:?} ({v:.1}) must not beat the SG2044 ({sg:.1})",
+                row.bench,
+                mid
+            );
+        }
+        // Jupiter ≥ Banana Pi (same silicon, higher clock).
+        let bpi = row.cells[5].1;
+        let jupiter = row.cells[6].1;
+        assert!(jupiter >= bpi * 0.99, "{:?}", row.bench);
+    }
+}
+
+/// §5.3: EP core-for-core — the SG2044 tracks the Skylake closely and the
+/// two groupings (SG2042/TX2 vs Skylake/EPYC/SG2044) hold.
+#[test]
+fn ep_core_groupings() {
+    let curves = fig_kernel_data(BenchmarkId::Ep);
+    let at16 = |id: MachineId| -> f64 {
+        curves
+            .iter()
+            .find(|c| c.machine == id)
+            .unwrap()
+            .points
+            .iter()
+            .find(|&&(p, _)| p == 16)
+            .unwrap()
+            .1
+    };
+    let sg44 = at16(MachineId::Sg2044);
+    let sky = at16(MachineId::Xeon8170);
+    let sg42 = at16(MachineId::Sg2042);
+    assert!(
+        (sg44 / sky) > 0.75 && (sg44 / sky) < 1.35,
+        "SG2044 should track Skylake core-for-core on EP: {}",
+        sg44 / sky
+    );
+    assert!(sg44 > sg42, "the SG2044 must beat the SG2042 on EP");
+}
+
+/// §5.2: full-chip MG on the SG2044 is comparable to the full Intel/Arm
+/// chips, while the SG2042 falls behind considerably.
+#[test]
+fn mg_full_chip_competitiveness() {
+    let curves = fig_kernel_data(BenchmarkId::Mg);
+    let full = |id: MachineId| -> f64 {
+        curves
+            .iter()
+            .find(|c| c.machine == id)
+            .unwrap()
+            .points
+            .last()
+            .unwrap()
+            .1
+    };
+    let sg44 = full(MachineId::Sg2044);
+    let sky = full(MachineId::Xeon8170);
+    let tx2 = full(MachineId::ThunderX2);
+    let sg42 = full(MachineId::Sg2042);
+    assert!(sg44 > 0.6 * sky.min(tx2), "SG2044 not comparable: {sg44}");
+    assert!(
+        sg42 < 0.75 * sky.min(tx2).min(sg44),
+        "SG2042 should fall behind: {sg42} vs {}",
+        sky.min(tx2)
+    );
+}
+
+/// §6: the CG anomaly — vectorised CG is far slower on the SG2044, single
+/// core and at 64 cores; no other kernel regresses from vectorisation.
+#[test]
+fn cg_vectorisation_anomaly() {
+    for rows in [table7_data(), table8_data()] {
+        for row in &rows {
+            if row.bench == BenchmarkId::Cg {
+                let slowdown = row.model_gcc15_novec / row.model_gcc15_vec;
+                assert!(
+                    slowdown > 1.8,
+                    "CG vectorised should be ≥1.8x slower, got {slowdown:.2}"
+                );
+            } else {
+                assert!(
+                    row.model_gcc15_vec >= 0.95 * row.model_gcc15_novec,
+                    "{:?}: vectorisation must not regress",
+                    row.bench
+                );
+            }
+        }
+    }
+}
+
+/// §6: GCC 15.2 (vectorised, except CG) never loses to GCC 12.3.1.
+#[test]
+fn newer_compiler_never_loses() {
+    for row in table7_data() {
+        let best15 = row.model_gcc15_vec.max(row.model_gcc15_novec);
+        assert!(
+            best15 >= 0.99 * row.model_gcc12,
+            "{:?}: GCC 15.2 {best15:.1} vs GCC 12.3.1 {:.1}",
+            row.bench,
+            row.model_gcc12
+        );
+    }
+}
+
+/// Table 6: at 64 cores the SG2042 runs every pseudo-application slower
+/// than the SG2044 (ratios < 1), and the gap widens with core count;
+/// the EPYC stays faster (ratios > 1).
+#[test]
+fn table6_directionality() {
+    let rows = table6_data();
+    for bench in [BenchmarkId::Bt, BenchmarkId::Lu, BenchmarkId::Sp] {
+        let bench_rows: Vec<_> = rows.iter().filter(|r| r.bench == bench).collect();
+        // SG2042 column: < 1 and declining 16 → 64.
+        let sg42: Vec<f64> = bench_rows
+            .iter()
+            .map(|r| r.cells[0].1.expect("SG2042 has 64 cores"))
+            .collect();
+        assert!(
+            sg42.iter().all(|&v| v < 1.0),
+            "{bench:?}: SG2042 should be slower than the SG2044: {sg42:?}"
+        );
+        assert!(
+            sg42.last().unwrap() < sg42.first().unwrap(),
+            "{bench:?}: the SG2042 gap must widen with cores: {sg42:?}"
+        );
+        // EPYC at 64 cores stays ahead.
+        let epyc64 = bench_rows.last().unwrap().cells[1].1.unwrap();
+        assert!(epyc64 > 1.0, "{bench:?}: EPYC-64 ratio {epyc64:.2}");
+    }
+}
