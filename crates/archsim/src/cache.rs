@@ -1,9 +1,12 @@
 //! Trace-driven set-associative cache model.
 
 use rvhpc_machines::CacheSpec;
+use serde::{Deserialize, Serialize};
 
-/// Hit/miss counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Hit/miss counters. Mergeable: `a + b` combines the counts of two
+/// disjoint measurement intervals (or two cores), so per-core counter
+/// sets sum to the run-global totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     pub accesses: u64,
     pub misses: u64,
@@ -17,6 +20,35 @@ impl CacheStats {
         } else {
             self.misses as f64 / self.accesses as f64
         }
+    }
+
+    /// Alias for [`CacheStats::miss_ratio`] under the name most profiling
+    /// tools use. Defined (as 0.0) even when no accesses were recorded —
+    /// never NaN, so downstream reports can divide/format unconditionally.
+    pub fn miss_rate(&self) -> f64 {
+        self.miss_ratio()
+    }
+}
+
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses + rhs.accesses,
+            misses: self.misses + rhs.misses,
+        }
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for CacheStats {
+    fn sum<I: Iterator<Item = CacheStats>>(iter: I) -> CacheStats {
+        iter.fold(CacheStats::default(), |a, b| a + b)
     }
 }
 

@@ -141,6 +141,18 @@ impl DramModel {
     }
 }
 
+impl DramModel {
+    /// Steady-state memory-controller queue depth with `p` cores streaming
+    /// (outstanding 64 B line requests), by Little's law: depth =
+    /// arrival rate × loaded latency. Grows sharply near saturation —
+    /// the queue-occupancy signal the per-core counters sample.
+    pub fn queue_depth(&self, p: u32) -> f64 {
+        let lines_per_s = self.bandwidth(p) * 1e9 / 64.0;
+        let latency_s = self.loaded_latency_ns(self.utilization(p)) * 1e-9;
+        lines_per_s * latency_s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +160,21 @@ mod tests {
 
     fn model_for(m: &rvhpc_machines::Machine) -> DramModel {
         DramModel::new(&m.memory, &m.core, m.clock_ghz).with_cores(m.cores)
+    }
+
+    #[test]
+    fn queue_depth_grows_superlinearly_toward_saturation() {
+        let m = presets::sg2042();
+        let d = model_for(&m);
+        // Near the plateau the loaded latency inflates, so depth-per-core
+        // at 64 cores exceeds depth-per-core at 1 core.
+        let d1 = d.queue_depth(1);
+        let d64 = d.queue_depth(64);
+        assert!(d64 > d1, "queue must deepen under load: {d1:.1} vs {d64:.1}");
+        assert!(
+            d64 / 64.0 > d1 / 1.5,
+            "per-core occupancy inflates near saturation: {d1:.1} vs {d64:.1}"
+        );
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   the trace-driven cache model.
 //! * [`stall`] — stall-cycle accounting that reproduces the quantities of
 //!   the paper's Table 1 (cache-stall %, DDR-stall %, bandwidth-bound %).
+//! * [`counters`] — mergeable per-core counter sets (hierarchy service
+//!   counts, TLB misses, DRAM queue occupancy, stall breakdown) that sum
+//!   to the run-global totals; the substrate of the `--metrics` export.
 //! * [`simulate`] — a multi-level trace-driven hierarchy that replays the
 //!   synthetic streams through chained caches, cross-validating the
 //!   closed-form estimates the performance model uses at paper scale.
@@ -31,6 +34,7 @@
 //!   calibrated constants).
 
 pub mod cache;
+pub mod counters;
 pub mod dram;
 pub mod hierarchy;
 pub mod pipeline;
@@ -41,6 +45,7 @@ pub mod tlb;
 pub mod vector;
 
 pub use cache::{Cache, CacheStats};
+pub use counters::{CoreCounters, HierarchyCounters, PhaseCounters, QueueOccupancy};
 pub use dram::{DramModel, SaturationLaw};
 pub use hierarchy::{Hierarchy, MissBreakdown};
 pub use pipeline::PipelineModel;

@@ -9,6 +9,7 @@
 use rvhpc_machines::Machine;
 
 use crate::cache::Cache;
+use crate::counters::HierarchyCounters;
 use crate::hierarchy::MissBreakdown;
 use crate::stream_gen::AddressStream;
 
@@ -25,6 +26,8 @@ pub struct TraceHierarchy {
     l2_hits: u64,
     l3_hits: u64,
     dram: u64,
+    /// Counter values at the last phase-boundary snapshot.
+    snapshot_mark: HierarchyCounters,
 }
 
 impl TraceHierarchy {
@@ -57,6 +60,7 @@ impl TraceHierarchy {
             l2_hits: 0,
             l3_hits: 0,
             dram: 0,
+            snapshot_mark: HierarchyCounters::default(),
         }
     }
 
@@ -76,6 +80,7 @@ impl TraceHierarchy {
             l2_hits: 0,
             l3_hits: 0,
             dram: 0,
+            snapshot_mark: HierarchyCounters::default(),
         }
     }
 
@@ -112,11 +117,33 @@ impl TraceHierarchy {
         self.l2_hits = 0;
         self.l3_hits = 0;
         self.dram = 0;
+        self.snapshot_mark = HierarchyCounters::default();
         self.l1.reset_stats();
         self.l2.reset_stats();
         if let Some(l3) = &mut self.l3 {
             l3.reset_stats();
         }
+    }
+
+    /// Cumulative per-level service counts since the last reset.
+    pub fn counters(&self) -> HierarchyCounters {
+        HierarchyCounters {
+            accesses: self.accesses,
+            l1_hits: self.l1_hits,
+            l2_hits: self.l2_hits,
+            l3_hits: self.l3_hits,
+            dram: self.dram,
+        }
+    }
+
+    /// Phase-boundary snapshot: the activity since the previous call (or
+    /// since reset). Successive snapshots partition [`Self::counters`], so
+    /// per-phase counter sets sum to the run totals.
+    pub fn snapshot(&mut self) -> HierarchyCounters {
+        let now = self.counters();
+        let delta = now.since(&self.snapshot_mark);
+        self.snapshot_mark = now;
+        delta
     }
 
     /// The measured per-level service breakdown.
@@ -231,6 +258,26 @@ mod tests {
         );
         // And L1 must be near-useless for both (ws >> L1).
         assert!(measured.l1 < 0.15, "{measured:?}");
+    }
+
+    #[test]
+    fn phase_snapshots_partition_the_counters() {
+        let mut h = TraceHierarchy::with_capacities(32 * 1024, 256 * 1024, None, 64);
+        let mut s = Sequential::new(8, 8 * 1024 * 1024);
+        h.replay(&mut s, 10_000);
+        let phase1 = h.snapshot();
+        h.replay(&mut s, 25_000);
+        let phase2 = h.snapshot();
+        assert_eq!(phase1.accesses, 10_000);
+        assert_eq!(phase2.accesses, 25_000);
+        assert!(phase1.is_consistent() && phase2.is_consistent());
+        assert_eq!(
+            phase1 + phase2,
+            h.counters(),
+            "phase deltas must sum to the run totals"
+        );
+        // An immediate snapshot with no traffic is empty.
+        assert_eq!(h.snapshot().accesses, 0);
     }
 
     #[test]

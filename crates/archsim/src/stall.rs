@@ -6,10 +6,12 @@
 //! bandwidth was nearly saturated. This module assembles those three
 //! numbers from the hierarchy/DRAM/pipeline models' outputs.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Accumulated cycle accounting for one benchmark run (model-predicted).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+/// Mergeable: `a + b` combines two accounts (two cores, or two phases),
+/// so per-core stall breakdowns sum back to the run-global account.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct StallAccount {
     /// Busy (issue) cycles.
     pub compute_cycles: f64,
@@ -43,6 +45,33 @@ impl StallAccount {
         }
     }
 
+    /// Merge another account into this one (same semantics as `+`).
+    pub fn merge(&mut self, other: &StallAccount) {
+        self.compute_cycles += other.compute_cycles;
+        self.cache_stall_cycles += other.cache_stall_cycles;
+        self.dram_stall_cycles += other.dram_stall_cycles;
+        self.bw_bound_time += other.bw_bound_time;
+        self.total_time += other.total_time;
+    }
+
+    /// Split this account into `n` equal per-core shares. The shares sum
+    /// back to the whole (up to float rounding): the model predicts
+    /// chip-level phase behaviour with all cores executing the same SPMD
+    /// phase, so the per-core view is the uniform partition.
+    pub fn split(&self, n: u32) -> Vec<StallAccount> {
+        let n = n.max(1);
+        let f = 1.0 / f64::from(n);
+        (0..n)
+            .map(|_| StallAccount {
+                compute_cycles: self.compute_cycles * f,
+                cache_stall_cycles: self.cache_stall_cycles * f,
+                dram_stall_cycles: self.dram_stall_cycles * f,
+                bw_bound_time: self.bw_bound_time * f,
+                total_time: self.total_time * f,
+            })
+            .collect()
+    }
+
     fn total_cycles(&self) -> f64 {
         self.compute_cycles + self.cache_stall_cycles + self.dram_stall_cycles
     }
@@ -69,6 +98,26 @@ impl StallAccount {
             return 0.0;
         }
         100.0 * self.bw_bound_time / self.total_time
+    }
+}
+
+impl std::ops::Add for StallAccount {
+    type Output = StallAccount;
+    fn add(mut self, rhs: StallAccount) -> StallAccount {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for StallAccount {
+    fn add_assign(&mut self, rhs: StallAccount) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::iter::Sum for StallAccount {
+    fn sum<I: Iterator<Item = StallAccount>>(iter: I) -> StallAccount {
+        iter.fold(StallAccount::default(), |a, b| a + b)
     }
 }
 
@@ -108,5 +157,31 @@ mod tests {
         a.add_phase(10.0, 5.0, 5.0, 1.0, 0.0);
         assert_eq!(a.compute_cycles, 20.0);
         assert!((a.cache_stall_pct() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_shares_sum_back_to_whole() {
+        let mut a = StallAccount::default();
+        a.add_phase(64.0, 32.0, 16.0, 8.0, 0.95);
+        for n in [1u32, 2, 7, 64] {
+            let shares = a.split(n);
+            assert_eq!(shares.len(), n as usize);
+            let total: StallAccount = shares.into_iter().sum();
+            assert!((total.compute_cycles - a.compute_cycles).abs() < 1e-9);
+            assert!((total.dram_stall_cycles - a.dram_stall_cycles).abs() < 1e-9);
+            assert!((total.bw_bound_time - a.bw_bound_time).abs() < 1e-9);
+            assert!((total.total_time - a.total_time).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn add_matches_merge() {
+        let mut a = StallAccount::default();
+        a.add_phase(10.0, 5.0, 2.0, 1.0, 0.95);
+        let mut b = StallAccount::default();
+        b.add_phase(4.0, 1.0, 3.0, 2.0, 0.1);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(a + b, merged);
     }
 }

@@ -1,0 +1,88 @@
+//! Property tests: per-core counter merging is associative and
+//! commutative with `Default` as identity — the algebra the `--metrics`
+//! aggregation relies on (sum per-core sets in any grouping, get the same
+//! run-global totals).
+//!
+//! Float fields are generated as small integer values so `+` is exact and
+//! associativity holds bit-for-bit; the integer fields are exact anyway.
+
+use proptest::prelude::*;
+use rvhpc_archsim::counters::{CoreCounters, HierarchyCounters, QueueOccupancy};
+use rvhpc_archsim::{CacheStats, StallAccount};
+
+/// Build one counter set from 8 small integers (floats stay
+/// integer-valued, so addition is exact).
+fn counters_from(raw: [u32; 8]) -> CoreCounters {
+    let [a, b, c, d, e, f, g, h] = raw.map(u64::from);
+    CoreCounters {
+        hierarchy: HierarchyCounters {
+            accesses: a + b + c + d,
+            l1_hits: a,
+            l2_hits: b,
+            l3_hits: c,
+            dram: d,
+        },
+        tlb: CacheStats {
+            accesses: e + f,
+            misses: f,
+        },
+        dram_queue: QueueOccupancy {
+            weighted_depth: g as f64,
+            time: h as f64,
+        },
+        stalls: StallAccount {
+            compute_cycles: a as f64,
+            cache_stall_cycles: b as f64,
+            dram_stall_cycles: c as f64,
+            bw_bound_time: d as f64,
+            total_time: (d + e) as f64,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_associative(
+        x in prop::array::uniform8(0u32..1000),
+        y in prop::array::uniform8(0u32..1000),
+        z in prop::array::uniform8(0u32..1000),
+    ) {
+        let (a, b, c) = (counters_from(x), counters_from(y), counters_from(z));
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn merge_is_commutative_with_identity(
+        x in prop::array::uniform8(0u32..1000),
+        y in prop::array::uniform8(0u32..1000),
+    ) {
+        let (a, b) = (counters_from(x), counters_from(y));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a + CoreCounters::default(), a);
+        prop_assert_eq!(CoreCounters::default() + a, a);
+    }
+
+    #[test]
+    fn sum_equals_left_fold(
+        xs in prop::collection::vec(prop::array::uniform8(0u32..1000), 0..16),
+    ) {
+        let sets: Vec<CoreCounters> = xs.into_iter().map(counters_from).collect();
+        let folded = sets
+            .iter()
+            .copied()
+            .fold(CoreCounters::default(), |acc, c| acc + c);
+        let summed: CoreCounters = sets.into_iter().sum();
+        prop_assert_eq!(summed, folded);
+    }
+
+    #[test]
+    fn hierarchy_counts_stay_consistent_under_merge(
+        x in prop::array::uniform8(0u32..1000),
+        y in prop::array::uniform8(0u32..1000),
+    ) {
+        let merged = counters_from(x) + counters_from(y);
+        prop_assert!(merged.hierarchy.is_consistent());
+    }
+}

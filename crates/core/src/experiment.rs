@@ -357,6 +357,43 @@ pub fn table8_data() -> Vec<CompilerRow> {
     compiler_table(64, &paper::TABLE8_COMPILER_MULTI)
 }
 
+// ------------------------------------------------------ Stall attribution
+
+/// One row of the SG2044 stall-attribution report: where a benchmark's
+/// full-chip run spends its cycles and the DRAM queue depth the model
+/// holds responsible.
+#[derive(Debug, Clone, Serialize)]
+pub struct StallRow {
+    pub bench: BenchmarkId,
+    pub compute_pct: f64,
+    pub cache_pct: f64,
+    pub dram_pct: f64,
+    pub bw_bound_pct: f64,
+    pub avg_queue_depth: f64,
+}
+
+/// Stall attribution for every benchmark on the SG2044 at 64 cores
+/// (class C) — the observability view behind `reproduce --metrics`.
+pub fn stall_attribution_data() -> Vec<StallRow> {
+    let m = presets::sg2044();
+    BenchmarkId::ALL
+        .iter()
+        .map(|&bench| {
+            let profile = rvhpc_npb::profile(bench, Class::C);
+            let pred = predict(&profile, &Scenario::headline(&m, 64));
+            let s = &pred.stalls;
+            StallRow {
+                bench,
+                compute_pct: (100.0 - s.cache_stall_pct() - s.dram_stall_pct()).max(0.0),
+                cache_pct: s.cache_stall_pct(),
+                dram_pct: s.dram_stall_pct(),
+                bw_bound_pct: s.bw_bound_pct(),
+                avg_queue_depth: pred.dram_queue.avg_depth(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,7 @@
 
 pub mod calibrate;
 pub mod experiment;
+pub mod metrics;
 pub mod model;
 pub mod paper;
 pub mod report;

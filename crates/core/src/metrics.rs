@@ -1,0 +1,190 @@
+//! Machine-readable metrics export (`reproduce --metrics <file>`).
+//!
+//! Builds a versioned JSON document ([`rvhpc_obs::metrics::METRICS_SCHEMA`])
+//! from a model [`Prediction`]: run identity, predicted wall time and rate,
+//! the per-phase breakdown, the global stall attribution, and an exact
+//! per-core partition of the counter sets ([`Prediction::per_core`]). The
+//! per-core hierarchy counters sum back bit-for-bit to the run-global
+//! totals; a `totals` section repeats the globals so consumers can check
+//! the partition without trusting this writer.
+
+use rvhpc_archsim::{CoreCounters, HierarchyCounters, QueueOccupancy, StallAccount};
+use rvhpc_npb::profile::WorkloadProfile;
+use rvhpc_obs::{metrics, JsonValue};
+
+use crate::model::{Prediction, Scenario};
+
+fn hierarchy_json(h: &HierarchyCounters) -> JsonValue {
+    JsonValue::object([
+        ("accesses".to_string(), JsonValue::from(h.accesses)),
+        ("l1_hits".to_string(), JsonValue::from(h.l1_hits)),
+        ("l2_hits".to_string(), JsonValue::from(h.l2_hits)),
+        ("l3_hits".to_string(), JsonValue::from(h.l3_hits)),
+        ("dram".to_string(), JsonValue::from(h.dram)),
+    ])
+}
+
+fn stalls_json(s: &StallAccount) -> JsonValue {
+    JsonValue::object([
+        ("compute_cycles".to_string(), JsonValue::from(s.compute_cycles)),
+        (
+            "cache_stall_cycles".to_string(),
+            JsonValue::from(s.cache_stall_cycles),
+        ),
+        (
+            "dram_stall_cycles".to_string(),
+            JsonValue::from(s.dram_stall_cycles),
+        ),
+        ("bw_bound_time_s".to_string(), JsonValue::from(s.bw_bound_time)),
+        ("total_time_s".to_string(), JsonValue::from(s.total_time)),
+        ("cache_stall_pct".to_string(), JsonValue::from(s.cache_stall_pct())),
+        ("dram_stall_pct".to_string(), JsonValue::from(s.dram_stall_pct())),
+        ("bw_bound_pct".to_string(), JsonValue::from(s.bw_bound_pct())),
+    ])
+}
+
+fn queue_json(q: &QueueOccupancy) -> JsonValue {
+    JsonValue::object([
+        ("weighted_depth".to_string(), JsonValue::from(q.weighted_depth)),
+        ("time_s".to_string(), JsonValue::from(q.time)),
+        ("avg_depth".to_string(), JsonValue::from(q.avg_depth())),
+    ])
+}
+
+fn core_json(core: u32, c: &CoreCounters) -> JsonValue {
+    JsonValue::object([
+        ("core".to_string(), JsonValue::from(u64::from(core))),
+        ("hierarchy".to_string(), hierarchy_json(&c.hierarchy)),
+        (
+            "tlb".to_string(),
+            JsonValue::object([
+                ("accesses".to_string(), JsonValue::from(c.tlb.accesses)),
+                ("misses".to_string(), JsonValue::from(c.tlb.misses)),
+            ]),
+        ),
+        ("dram_queue".to_string(), queue_json(&c.dram_queue)),
+        ("stalls".to_string(), stalls_json(&c.stalls)),
+    ])
+}
+
+/// Build the full metrics document for one prediction.
+///
+/// The document carries three views of the same run, finest first:
+/// `per_phase` (time breakdown), `per_core` (counter partition), and
+/// `totals` (run globals). `per_core[*].hierarchy` sums exactly to
+/// `totals.hierarchy` — integer counters are partitioned, not divided.
+pub fn prediction_document(
+    profile: &WorkloadProfile,
+    scenario: &Scenario<'_>,
+    pred: &Prediction,
+) -> JsonValue {
+    let mut doc = metrics::document("rvhpc-reproduce");
+    let phases = pred
+        .per_phase
+        .iter()
+        .map(|ph| {
+            JsonValue::object([
+                ("name".to_string(), JsonValue::from(ph.name)),
+                ("seconds".to_string(), JsonValue::from(ph.seconds)),
+                ("cpu_seconds".to_string(), JsonValue::from(ph.cpu_seconds)),
+                ("bw_seconds".to_string(), JsonValue::from(ph.bw_seconds)),
+                (
+                    "dram_utilization".to_string(),
+                    JsonValue::from(ph.dram_utilization),
+                ),
+            ])
+        })
+        .collect::<Vec<_>>();
+    let cores = pred
+        .per_core(scenario.threads)
+        .iter()
+        .enumerate()
+        .map(|(i, c)| core_json(i as u32, c))
+        .collect::<Vec<_>>();
+    let run = JsonValue::object([
+        ("benchmark".to_string(), JsonValue::from(profile.bench.name())),
+        ("class".to_string(), JsonValue::from(profile.class.name())),
+        (
+            "machine".to_string(),
+            JsonValue::from(scenario.machine.part),
+        ),
+        ("threads".to_string(), JsonValue::from(u64::from(scenario.threads))),
+        (
+            "compiler".to_string(),
+            JsonValue::from(scenario.compiler.compiler.name()),
+        ),
+    ]);
+    let totals = JsonValue::object([
+        ("hierarchy".to_string(), hierarchy_json(&pred.hierarchy)),
+        ("stalls".to_string(), stalls_json(&pred.stalls)),
+        ("dram_queue".to_string(), queue_json(&pred.dram_queue)),
+    ]);
+    if let JsonValue::Object(map) = &mut doc {
+        map.insert("run".to_string(), run);
+        map.insert("predicted_seconds".to_string(), JsonValue::from(pred.seconds));
+        map.insert("predicted_mops".to_string(), JsonValue::from(pred.mops));
+        map.insert("per_phase".to_string(), JsonValue::Array(phases));
+        map.insert("per_core".to_string(), JsonValue::Array(cores));
+        map.insert("totals".to_string(), totals);
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::predict;
+    use rvhpc_machines::presets;
+    use rvhpc_npb::{BenchmarkId, Class};
+    use rvhpc_obs::json;
+
+    fn doc_for(threads: u32) -> JsonValue {
+        let m = presets::sg2044();
+        let profile = rvhpc_npb::profile(BenchmarkId::Cg, Class::B);
+        let scenario = Scenario::headline(&m, threads);
+        let pred = predict(&profile, &scenario);
+        prediction_document(&profile, &scenario, &pred)
+    }
+
+    #[test]
+    fn document_roundtrips_and_is_schema_stamped() {
+        let text = doc_for(8).to_json();
+        let doc = json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(rvhpc_obs::metrics::METRICS_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("run")
+                .and_then(|r| r.get("benchmark"))
+                .and_then(JsonValue::as_str),
+            Some("CG")
+        );
+    }
+
+    #[test]
+    fn per_core_section_sums_to_totals() {
+        let doc = doc_for(16);
+        let cores = doc
+            .get("per_core")
+            .and_then(JsonValue::as_array)
+            .expect("per_core array");
+        assert_eq!(cores.len(), 16);
+        let field = |c: &JsonValue, f: &str| {
+            c.get("hierarchy")
+                .and_then(|h| h.get(f))
+                .and_then(JsonValue::as_f64)
+                .expect("hierarchy field")
+        };
+        for f in ["accesses", "l1_hits", "l2_hits", "l3_hits", "dram"] {
+            let sum: f64 = cores.iter().map(|c| field(c, f)).sum();
+            let total = doc
+                .get("totals")
+                .and_then(|t| t.get("hierarchy"))
+                .and_then(|h| h.get(f))
+                .and_then(JsonValue::as_f64)
+                .expect("total field");
+            assert_eq!(sum, total, "{f} does not partition");
+        }
+    }
+}

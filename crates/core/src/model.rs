@@ -17,7 +17,10 @@
 
 use rvhpc_archsim::hierarchy::{Hierarchy, MissBreakdown, Pattern};
 use rvhpc_archsim::vector::{VecPattern, VectorModel};
-use rvhpc_archsim::{DramModel, PipelineModel, SaturationLaw, StallAccount};
+use rvhpc_archsim::{
+    CoreCounters, DramModel, HierarchyCounters, PipelineModel, QueueOccupancy, SaturationLaw,
+    StallAccount,
+};
 use rvhpc_machines::{CompilerConfig, Machine};
 use rvhpc_npb::profile::{AccessPattern, PhaseProfile, WorkloadProfile};
 use rvhpc_parallel::BindPolicy;
@@ -85,6 +88,52 @@ pub struct Prediction {
     pub mops: f64,
     pub per_phase: Vec<PhaseTime>,
     pub stalls: StallAccount,
+    /// Run-global hierarchy service counts implied by the model's
+    /// per-phase miss breakdowns (references, not cycles).
+    pub hierarchy: HierarchyCounters,
+    /// Duration-weighted DRAM queue occupancy over the whole run.
+    pub dram_queue: QueueOccupancy,
+}
+
+impl Prediction {
+    /// Attribute the run-global counters to `p` cores. The model predicts
+    /// chip-level SPMD behaviour, so the per-core view is the uniform
+    /// partition — integer counts are distributed exactly (the first
+    /// `total mod p` cores carry one extra), stall cycles and queue
+    /// occupancy are split evenly. Summing the returned sets reproduces
+    /// the run-global values (exactly for the integer counters).
+    pub fn per_core(&self, p: u32) -> Vec<CoreCounters> {
+        let p = p.max(1);
+        let share = |total: u64, i: u64| -> u64 {
+            total / u64::from(p) + u64::from(i < total % u64::from(p))
+        };
+        let stalls = self.stalls.split(p);
+        (0..u64::from(p))
+            .map(|i| {
+                let l1 = share(self.hierarchy.l1_hits, i);
+                let l2 = share(self.hierarchy.l2_hits, i);
+                let l3 = share(self.hierarchy.l3_hits, i);
+                let dram = share(self.hierarchy.dram, i);
+                CoreCounters {
+                    hierarchy: HierarchyCounters {
+                        // Per-core accesses follow the per-core services,
+                        // keeping every core's set self-consistent.
+                        accesses: l1 + l2 + l3 + dram,
+                        l1_hits: l1,
+                        l2_hits: l2,
+                        l3_hits: l3,
+                        dram,
+                    },
+                    tlb: Default::default(),
+                    dram_queue: QueueOccupancy {
+                        weighted_depth: self.dram_queue.weighted_depth / f64::from(p),
+                        time: self.dram_queue.time / f64::from(p),
+                    },
+                    stalls: stalls[i as usize],
+                }
+            })
+            .collect()
+    }
 }
 
 /// Map a profile pattern to the hierarchy and vector classifications.
@@ -166,6 +215,8 @@ pub fn predict(profile: &WorkloadProfile, scenario: &Scenario<'_>) -> Prediction
 
     let mut per_phase = Vec::with_capacity(profile.phases.len());
     let mut stalls = StallAccount::default();
+    let mut hierarchy = HierarchyCounters::default();
+    let mut dram_queue = QueueOccupancy::default();
     let mut total = 0.0f64;
 
     for ph in &profile.phases {
@@ -280,6 +331,27 @@ pub fn predict(profile: &WorkloadProfile, scenario: &Scenario<'_>) -> Prediction
             bw_seconds: t_bw,
             dram_utilization: utilization,
         });
+
+        // Counter bookkeeping: turn the miss breakdown into integer
+        // service counts (l1 absorbs the rounding so the partition is
+        // exact) and sample the controller queue for the phase duration.
+        let refs = ph.mem_refs.max(0.0);
+        let l2_n = (refs * br.l2) as u64;
+        let l3_n = (refs * br.l3) as u64;
+        let dram_n = (refs * br.dram) as u64;
+        let l1_n = (refs as u64).saturating_sub(l2_n + l3_n + dram_n);
+        hierarchy += HierarchyCounters {
+            accesses: l1_n + l2_n + l3_n + dram_n,
+            l1_hits: l1_n,
+            l2_hits: l2_n,
+            l3_hits: l3_n,
+            dram: dram_n,
+        };
+        // Little's law with the phase's actual arrival rate: the model's
+        // queue_depth(p) assumes all p cores streaming flat out, so scale
+        // by this phase's achieved DRAM utilization (≈0 for compute-bound
+        // phases, the full streaming depth when saturated).
+        dram_queue.observe(dram.queue_depth(p) * utilization, t_phase);
     }
 
     // Synchronization: a centralized barrier costs O(p) cache-line
@@ -294,6 +366,8 @@ pub fn predict(profile: &WorkloadProfile, scenario: &Scenario<'_>) -> Prediction
         mops,
         per_phase,
         stalls,
+        hierarchy,
+        dram_queue,
     }
 }
 
@@ -334,6 +408,34 @@ mod tests {
         let profile = rvhpc_npb::profile(BenchmarkId::Ep, Class::C);
         let pred = predict(&profile, &Scenario::headline(&m, 64));
         assert!((pred.mops - profile.total_ops / pred.seconds / 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_core_counters_sum_to_run_globals() {
+        for b in [BenchmarkId::Cg, BenchmarkId::Mg, BenchmarkId::Is] {
+            let m = presets::sg2044();
+            let profile = rvhpc_npb::profile(b, Class::B);
+            let pred = predict(&profile, &Scenario::headline(&m, 64));
+            assert!(pred.hierarchy.is_consistent(), "{b:?}: {:?}", pred.hierarchy);
+            assert!(pred.hierarchy.accesses > 0);
+            let cores = pred.per_core(64);
+            assert_eq!(cores.len(), 64);
+            let total: CoreCounters = cores.iter().copied().sum();
+            // Integer counters partition exactly.
+            assert_eq!(total.hierarchy, pred.hierarchy, "{b:?}");
+            assert!(total.hierarchy.is_consistent());
+            for c in &cores {
+                assert!(c.hierarchy.is_consistent(), "{b:?} per-core set");
+            }
+            // Float counters partition up to rounding.
+            let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-30);
+            assert!(rel(total.stalls.total_time, pred.stalls.total_time) < 1e-9);
+            assert!(rel(total.stalls.compute_cycles, pred.stalls.compute_cycles) < 1e-9);
+            assert!(rel(total.dram_queue.time, pred.dram_queue.time) < 1e-9);
+            // Queue depth is intensive: the per-core average matches the
+            // run average (each core sees its 1/p share of both terms).
+            assert!(rel(cores[0].dram_queue.avg_depth(), pred.dram_queue.avg_depth()) < 1e-9);
+        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Rendering: markdown tables, CSV, and ASCII scaling plots.
 
-use crate::experiment::{CompilerRow, Curve, SgCompareRow, Table1Row, Table2Row, Table6Row};
+use crate::experiment::{
+    CompilerRow, Curve, SgCompareRow, StallRow, Table1Row, Table2Row, Table6Row,
+};
 use rvhpc_machines::MachineId;
 
 /// Render a generic markdown table.
@@ -160,6 +162,36 @@ pub fn render_compiler_table(rows: &[CompilerRow]) -> String {
                     fmt(r.model_gcc15_novec),
                     fmt(r.paper_gcc15_novec)
                 ),
+            ]
+        })
+        .collect::<Vec<_>>();
+    markdown_table(&header, &body)
+}
+
+/// Stall-attribution section: where each benchmark's cycles go on the
+/// SG2044 at full chip, plus the average DRAM queue depth — the markdown
+/// twin of the `--metrics` JSON totals.
+pub fn render_stall_attribution(rows: &[StallRow]) -> String {
+    let header: Vec<String> = [
+        "Benchmark",
+        "compute %",
+        "cache stall %",
+        "DDR stall %",
+        "BW-bound %",
+        "avg DRAM queue",
+    ]
+    .map(String::from)
+    .to_vec();
+    let body = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.bench.name().to_string(),
+                fmt(r.compute_pct),
+                fmt(r.cache_pct),
+                fmt(r.dram_pct),
+                fmt(r.bw_bound_pct),
+                fmt(r.avg_queue_depth),
             ]
         })
         .collect::<Vec<_>>();

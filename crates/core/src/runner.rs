@@ -88,6 +88,16 @@ pub fn full_report() -> String {
     );
     out.push_str(&report::render_compiler_table(&experiment::table8_data()));
 
+    let _ = writeln!(
+        out,
+        "\n## Stall attribution — SG2044, 64 cores (class C)\n\nModel \
+         cycle accounting per benchmark; the same numbers are exported \
+         per-core by `reproduce --metrics`.\n"
+    );
+    out.push_str(&report::render_stall_attribution(
+        &experiment::stall_attribution_data(),
+    ));
+
     out
 }
 
@@ -143,6 +153,7 @@ mod tests {
         for needle in [
             "Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7", "Table 8",
             "Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+            "Stall attribution",
         ] {
             assert!(r.contains(needle), "missing {needle}");
         }

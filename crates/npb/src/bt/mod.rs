@@ -78,85 +78,87 @@ fn line_solve(f: &mut Fields, c: &CfdConstants, dir: Direction, pool: &Pool) {
         // Lines are enumerated by (slow, fast) transverse coordinates;
         // parallelizing over `slow` gives each thread whole planes of
         // independent lines.
-        team.for_static(1, n - 1, |slow| {
-            for fast in 1..n - 1 {
-                // Flat index of the line's pos = 0 point.
-                let base = match dir {
-                    // X line at (j = fast, k = slow).
-                    Direction::X => (slow * n + fast) * n,
-                    // Y line at (i = fast, k = slow).
-                    Direction::Y => slow * n * n + fast,
-                    // Z line at (i = fast, j = slow).
-                    Direction::Z => slow * n + fast,
-                };
-                // Jacobians along the line.
-                for pos in 0..n {
-                    let p = base + pos * s;
-                    let ub = &uf[p * 5..p * 5 + 5];
-                    fjac[pos] = flux_jacobian(ub, dir, c);
-                    njac[pos] = viscous_jacobian(ub, dir, c);
-                }
-                // Load the line's rhs.
-                for pos in 0..n {
-                    let p = base + pos * s;
-                    for m in 0..5 {
-                        // SAFETY: this line is exclusively ours.
-                        rr[pos][m] = unsafe { rhs.get(p * 5 + m) };
+        team.phase("block-line-solves", || {
+            team.for_static(1, n - 1, |slow| {
+                for fast in 1..n - 1 {
+                    // Flat index of the line's pos = 0 point.
+                    let base = match dir {
+                        // X line at (j = fast, k = slow).
+                        Direction::X => (slow * n + fast) * n,
+                        // Y line at (i = fast, k = slow).
+                        Direction::Y => slow * n * n + fast,
+                        // Z line at (i = fast, j = slow).
+                        Direction::Z => slow * n + fast,
+                    };
+                    // Jacobians along the line.
+                    for pos in 0..n {
+                        let p = base + pos * s;
+                        let ub = &uf[p * 5..p * 5 + 5];
+                        fjac[pos] = flux_jacobian(ub, dir, c);
+                        njac[pos] = viscous_jacobian(ub, dir, c);
                     }
-                }
-                // Thomas forward sweep over interior positions.
-                for pos in 1..n - 1 {
-                    let mut aa = [[0.0f64; 5]; 5];
-                    for i in 0..5 {
-                        for j in 0..5 {
-                            aa[i][j] = -tmp2 * fjac[pos - 1][i][j] - tmp1 * njac[pos - 1][i][j];
+                    // Load the line's rhs.
+                    for pos in 0..n {
+                        let p = base + pos * s;
+                        for m in 0..5 {
+                            // SAFETY: this line is exclusively ours.
+                            rr[pos][m] = unsafe { rhs.get(p * 5 + m) };
                         }
-                        aa[i][i] -= tmp1 * dcoef;
                     }
-                    let mut bb = [[0.0f64; 5]; 5];
-                    for i in 0..5 {
-                        for j in 0..5 {
-                            bb[i][j] = 2.0 * tmp1 * njac[pos][i][j];
+                    // Thomas forward sweep over interior positions.
+                    for pos in 1..n - 1 {
+                        let mut aa = [[0.0f64; 5]; 5];
+                        for i in 0..5 {
+                            for j in 0..5 {
+                                aa[i][j] = -tmp2 * fjac[pos - 1][i][j] - tmp1 * njac[pos - 1][i][j];
+                            }
+                            aa[i][i] -= tmp1 * dcoef;
                         }
-                        bb[i][i] += 1.0 + 2.0 * tmp1 * dcoef;
-                    }
-                    let mut cc = [[0.0f64; 5]; 5];
-                    for i in 0..5 {
-                        for j in 0..5 {
-                            cc[i][j] = tmp2 * fjac[pos + 1][i][j] - tmp1 * njac[pos + 1][i][j];
+                        let mut bb = [[0.0f64; 5]; 5];
+                        for i in 0..5 {
+                            for j in 0..5 {
+                                bb[i][j] = 2.0 * tmp1 * njac[pos][i][j];
+                            }
+                            bb[i][i] += 1.0 + 2.0 * tmp1 * dcoef;
                         }
-                        cc[i][i] -= tmp1 * dcoef;
+                        let mut cc = [[0.0f64; 5]; 5];
+                        for i in 0..5 {
+                            for j in 0..5 {
+                                cc[i][j] = tmp2 * fjac[pos + 1][i][j] - tmp1 * njac[pos + 1][i][j];
+                            }
+                            cc[i][i] -= tmp1 * dcoef;
+                        }
+                        if pos > 1 {
+                            // Eliminate the sub-diagonal.
+                            let c_prev = cc_row[pos - 1];
+                            let r_prev = rr[pos - 1];
+                            matmul_sub(&aa, &c_prev, &mut bb);
+                            matvec_sub(&aa, &r_prev, &mut rr[pos]);
+                        }
+                        let mut r = rr[pos];
+                        if pos < n - 2 {
+                            binvcrhs(&mut bb, &mut cc, &mut r);
+                            cc_row[pos] = cc;
+                        } else {
+                            binvrhs(&mut bb, &mut r);
+                        }
+                        rr[pos] = r;
                     }
-                    if pos > 1 {
-                        // Eliminate the sub-diagonal.
-                        let c_prev = cc_row[pos - 1];
-                        let r_prev = rr[pos - 1];
-                        matmul_sub(&aa, &c_prev, &mut bb);
-                        matvec_sub(&aa, &r_prev, &mut rr[pos]);
+                    // Back substitution.
+                    for pos in (1..n - 2).rev() {
+                        let r_next = rr[pos + 1];
+                        matvec_sub(&cc_row[pos], &r_next, &mut rr[pos]);
                     }
-                    let mut r = rr[pos];
-                    if pos < n - 2 {
-                        binvcrhs(&mut bb, &mut cc, &mut r);
-                        cc_row[pos] = cc;
-                    } else {
-                        binvrhs(&mut bb, &mut r);
+                    // Store the increments back.
+                    for pos in 1..n - 1 {
+                        let p = base + pos * s;
+                        for m in 0..5 {
+                            // SAFETY: this line is exclusively ours.
+                            unsafe { rhs.set(p * 5 + m, rr[pos][m]) };
+                        }
                     }
-                    rr[pos] = r;
                 }
-                // Back substitution.
-                for pos in (1..n - 2).rev() {
-                    let r_next = rr[pos + 1];
-                    matvec_sub(&cc_row[pos], &r_next, &mut rr[pos]);
-                }
-                // Store the increments back.
-                for pos in 1..n - 1 {
-                    let p = base + pos * s;
-                    for m in 0..5 {
-                        // SAFETY: this line is exclusively ours.
-                        unsafe { rhs.set(p * 5 + m, rr[pos][m]) };
-                    }
-                }
-            }
+            });
         });
     });
 }

@@ -132,84 +132,86 @@ fn add_direction(f: &mut Fields, c: &CfdConstants, dir: Direction, pool: &Pool) 
     let rhs = SyncSlice::new(f.rhs.flat_mut());
 
     pool.run(|team| {
-        team.for_static(1, n - 1, |k| {
-            for j in 1..n - 1 {
-                for i in 1..n - 1 {
-                    let p = (k * n + j) * n + i;
-                    let (pp, pm) = (p + s, p - s);
-                    let b = p * 5;
-                    let (bp, bm) = (pp * 5, pm * 5);
-                    let wdp = wd[pp];
-                    let wdm = wd[pm];
-                    let wdc = wd[p];
+        team.phase("rhs-stencil", || {
+            team.for_static(1, n - 1, |k| {
+                for j in 1..n - 1 {
+                    for i in 1..n - 1 {
+                        let p = (k * n + j) * n + i;
+                        let (pp, pm) = (p + s, p - s);
+                        let b = p * 5;
+                        let (bp, bm) = (pp * 5, pm * 5);
+                        let wdp = wd[pp];
+                        let wdm = wd[pm];
+                        let wdc = wd[p];
 
-                    // Continuity.
-                    let d0 =
-                        dt1 * (uf[bp] - 2.0 * uf[b] + uf[bm]) - t2 * (uf[bp + md] - uf[bm + md]);
-                    // Momentum components.
-                    let mut dm = [0.0f64; 3];
-                    for (cidx, dmv) in dm.iter_mut().enumerate() {
-                        let m = cidx + 1;
-                        let mut v = dt1 * (uf[bp + m] - 2.0 * uf[b + m] + uf[bm + m])
-                            - t2 * (uf[bp + m] * wdp - uf[bm + m] * wdm);
-                        if m == md {
-                            // Advected component: extra pressure coupling
-                            // and the 4/3 normal viscous factor.
-                            v += con2 * c.con43 * (wdp - 2.0 * wdc + wdm)
-                                - t2 * c.c2 * (uf[bp + 4] - sq[pp] - uf[bm + 4] + sq[pm]);
-                        } else {
-                            let vm = vel[cidx];
-                            v += con2 * (vm[pp] - 2.0 * vm[p] + vm[pm]);
+                        // Continuity.
+                        let d0 =
+                            dt1 * (uf[bp] - 2.0 * uf[b] + uf[bm]) - t2 * (uf[bp + md] - uf[bm + md]);
+                        // Momentum components.
+                        let mut dm = [0.0f64; 3];
+                        for (cidx, dmv) in dm.iter_mut().enumerate() {
+                            let m = cidx + 1;
+                            let mut v = dt1 * (uf[bp + m] - 2.0 * uf[b + m] + uf[bm + m])
+                                - t2 * (uf[bp + m] * wdp - uf[bm + m] * wdm);
+                            if m == md {
+                                // Advected component: extra pressure coupling
+                                // and the 4/3 normal viscous factor.
+                                v += con2 * c.con43 * (wdp - 2.0 * wdc + wdm)
+                                    - t2 * c.c2 * (uf[bp + 4] - sq[pp] - uf[bm + 4] + sq[pm]);
+                            } else {
+                                let vm = vel[cidx];
+                                v += con2 * (vm[pp] - 2.0 * vm[p] + vm[pm]);
+                            }
+                            *dmv = v;
                         }
-                        *dmv = v;
-                    }
-                    // Energy.
-                    let d4 = dt1 * (uf[bp + 4] - 2.0 * uf[b + 4] + uf[bm + 4])
-                        + con3 * (qsf[pp] - 2.0 * qsf[p] + qsf[pm])
-                        + con4 * (wdp * wdp - 2.0 * wdc * wdc + wdm * wdm)
-                        + con5
-                            * (uf[bp + 4] * rho_i[pp] - 2.0 * uf[b + 4] * rho_i[p]
-                                + uf[bm + 4] * rho_i[pm])
-                        - t2 * ((c.c1 * uf[bp + 4] - c.c2 * sq[pp]) * wdp
-                            - (c.c1 * uf[bm + 4] - c.c2 * sq[pm]) * wdm);
+                        // Energy.
+                        let d4 = dt1 * (uf[bp + 4] - 2.0 * uf[b + 4] + uf[bm + 4])
+                            + con3 * (qsf[pp] - 2.0 * qsf[p] + qsf[pm])
+                            + con4 * (wdp * wdp - 2.0 * wdc * wdc + wdm * wdm)
+                            + con5
+                                * (uf[bp + 4] * rho_i[pp] - 2.0 * uf[b + 4] * rho_i[p]
+                                    + uf[bm + 4] * rho_i[pm])
+                            - t2 * ((c.c1 * uf[bp + 4] - c.c2 * sq[pp]) * wdp
+                                - (c.c1 * uf[bm + 4] - c.c2 * sq[pm]) * wdm);
 
-                    // Fourth-order dissipation, boundary-adapted.
-                    let pos = dir.coord_of(p, n);
-                    let mut deltas = [d0, dm[0], dm[1], dm[2], d4];
-                    for (m, dv) in deltas.iter_mut().enumerate() {
-                        let uc = uf[b + m];
-                        let up1 = uf[bp + m];
-                        let um1 = uf[bm + m];
-                        let diss = if pos == 1 {
-                            let up2 = uf[(p + 2 * s) * 5 + m];
-                            5.0 * uc - 4.0 * up1 + up2
-                        } else if pos == 2 {
-                            let up2 = uf[(p + 2 * s) * 5 + m];
-                            -4.0 * um1 + 6.0 * uc - 4.0 * up1 + up2
-                        } else if pos == n - 3 {
-                            let um2 = uf[(p - 2 * s) * 5 + m];
-                            um2 - 4.0 * um1 + 6.0 * uc - 4.0 * up1
-                        } else if pos == n - 2 {
-                            let um2 = uf[(p - 2 * s) * 5 + m];
-                            um2 - 4.0 * um1 + 5.0 * uc
-                        } else {
-                            let up2 = uf[(p + 2 * s) * 5 + m];
-                            let um2 = uf[(p - 2 * s) * 5 + m];
-                            um2 - 4.0 * um1 + 6.0 * uc - 4.0 * up1 + up2
-                        };
-                        *dv -= c.dssp * diss;
-                    }
+                        // Fourth-order dissipation, boundary-adapted.
+                        let pos = dir.coord_of(p, n);
+                        let mut deltas = [d0, dm[0], dm[1], dm[2], d4];
+                        for (m, dv) in deltas.iter_mut().enumerate() {
+                            let uc = uf[b + m];
+                            let up1 = uf[bp + m];
+                            let um1 = uf[bm + m];
+                            let diss = if pos == 1 {
+                                let up2 = uf[(p + 2 * s) * 5 + m];
+                                5.0 * uc - 4.0 * up1 + up2
+                            } else if pos == 2 {
+                                let up2 = uf[(p + 2 * s) * 5 + m];
+                                -4.0 * um1 + 6.0 * uc - 4.0 * up1 + up2
+                            } else if pos == n - 3 {
+                                let um2 = uf[(p - 2 * s) * 5 + m];
+                                um2 - 4.0 * um1 + 6.0 * uc - 4.0 * up1
+                            } else if pos == n - 2 {
+                                let um2 = uf[(p - 2 * s) * 5 + m];
+                                um2 - 4.0 * um1 + 5.0 * uc
+                            } else {
+                                let up2 = uf[(p + 2 * s) * 5 + m];
+                                let um2 = uf[(p - 2 * s) * 5 + m];
+                                um2 - 4.0 * um1 + 6.0 * uc - 4.0 * up1 + up2
+                            };
+                            *dv -= c.dssp * diss;
+                        }
 
-                    // SAFETY: k-plane is exclusively ours (all directions'
-                    // writes go to point p in plane k).
-                    unsafe {
-                        for (m, dv) in deltas.iter().enumerate() {
-                            let r = rhs.get_mut(b + m);
-                            *r += dv;
+                        // SAFETY: k-plane is exclusively ours (all directions'
+                        // writes go to point p in plane k).
+                        unsafe {
+                            for (m, dv) in deltas.iter().enumerate() {
+                                let r = rhs.get_mut(b + m);
+                                *r += dv;
+                            }
                         }
                     }
                 }
-            }
+            });
         });
     });
 }

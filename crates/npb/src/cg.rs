@@ -213,59 +213,76 @@ fn conj_grad(mat: &Csr, x: &[f64], w: &mut CgWork, pool: &Pool) -> f64 {
         pool.run(|team| {
             let my = team.static_range(0, n);
             // rho = r·r
-            let mut local = 0.0;
-            for i in my.clone() {
-                // SAFETY: read-only while no writer (phase discipline).
-                let ri = unsafe { r.get(i) };
-                local += ri * ri;
-            }
-            let mut rho_l = team.reduce_sum(local);
-            for _ in 0..CGIT_MAX {
-                // q = A p
-                for row in my.clone() {
-                    let mut sum = 0.0;
-                    for k in mat.rowstr[row]..mat.rowstr[row + 1] {
-                        // SAFETY: p is read-only in this phase; q[row] is
-                        // exclusively ours.
-                        sum += mat.a[k] * unsafe { p.get(mat.colidx[k] as usize) };
-                    }
-                    unsafe { q.set(row, sum) };
-                }
-                team.barrier();
-                // d = p·q ; alpha = rho / d
+            let local = team.phase("vector-ops", || {
                 let mut local = 0.0;
                 for i in my.clone() {
-                    local += unsafe { p.get(i) } * unsafe { q.get(i) };
+                    // SAFETY: read-only while no writer (phase discipline).
+                    let ri = unsafe { r.get(i) };
+                    local += ri * ri;
                 }
+                local
+            });
+            let mut rho_l = team.reduce_sum(local);
+            for _ in 0..CGIT_MAX {
+                // q = A p (the fused matrix traversal + x-gather loop: the
+                // `spmv-stream` span also covers the profile's
+                // `spmv-gather` phase — they are one loop at runtime).
+                team.phase("spmv-stream", || {
+                    for row in my.clone() {
+                        let mut sum = 0.0;
+                        for k in mat.rowstr[row]..mat.rowstr[row + 1] {
+                            // SAFETY: p is read-only in this phase; q[row]
+                            // is exclusively ours.
+                            sum += mat.a[k] * unsafe { p.get(mat.colidx[k] as usize) };
+                        }
+                        unsafe { q.set(row, sum) };
+                    }
+                });
+                team.barrier();
+                // d = p·q ; alpha = rho / d
+                let local = team.phase("vector-ops", || {
+                    let mut local = 0.0;
+                    for i in my.clone() {
+                        local += unsafe { p.get(i) } * unsafe { q.get(i) };
+                    }
+                    local
+                });
                 let d = team.reduce_sum(local);
                 let alpha = rho_l / d;
                 // z += alpha p ; r -= alpha q ; rho' = r·r
-                let mut local = 0.0;
-                for i in my.clone() {
-                    unsafe {
-                        z.set(i, z.get(i) + alpha * p.get(i));
-                        let ri = r.get(i) - alpha * q.get(i);
-                        r.set(i, ri);
-                        local += ri * ri;
+                let local = team.phase("vector-ops", || {
+                    let mut local = 0.0;
+                    for i in my.clone() {
+                        unsafe {
+                            z.set(i, z.get(i) + alpha * p.get(i));
+                            let ri = r.get(i) - alpha * q.get(i);
+                            r.set(i, ri);
+                            local += ri * ri;
+                        }
                     }
-                }
+                    local
+                });
                 let rho_new = team.reduce_sum(local);
                 let beta = rho_new / rho_l;
                 rho_l = rho_new;
                 // p = r + beta p (barrier above synchronized r updates).
-                for i in my.clone() {
-                    unsafe { p.set(i, r.get(i) + beta * p.get(i)) };
-                }
+                team.phase("vector-ops", || {
+                    for i in my.clone() {
+                        unsafe { p.set(i, r.get(i) + beta * p.get(i)) };
+                    }
+                });
                 team.barrier();
             }
             // rnorm = ‖x − A z‖: reuse q for A z.
-            for row in my.clone() {
-                let mut sum = 0.0;
-                for k in mat.rowstr[row]..mat.rowstr[row + 1] {
-                    sum += mat.a[k] * unsafe { z.get(mat.colidx[k] as usize) };
+            team.phase("spmv-stream", || {
+                for row in my.clone() {
+                    let mut sum = 0.0;
+                    for k in mat.rowstr[row]..mat.rowstr[row + 1] {
+                        sum += mat.a[k] * unsafe { z.get(mat.colidx[k] as usize) };
+                    }
+                    unsafe { q.set(row, sum) };
                 }
-                unsafe { q.set(row, sum) };
-            }
+            });
             team.barrier();
             let mut local = 0.0;
             for i in my {

@@ -66,40 +66,42 @@ pub fn compute(m: u32, pool: &Pool) -> EpOutput {
         let mut q = [0.0f64; NQ];
         // Batches are statically partitioned; every batch jumps straight
         // to its seed, so the result is independent of the partition.
-        for k in team.static_range(0, nn) {
-            // t1 = SEED * an^k mod 2^46 (binary method, as ep.f).
-            let mut t1 = SEED;
-            let mut t2 = an;
-            let mut kk = k;
-            loop {
-                let ik = kk / 2;
-                if 2 * ik != kk {
-                    randlc(&mut t1, t2);
+        team.phase("gaussian-tally", || {
+            for k in team.static_range(0, nn) {
+                // t1 = SEED * an^k mod 2^46 (binary method, as ep.f).
+                let mut t1 = SEED;
+                let mut t2 = an;
+                let mut kk = k;
+                loop {
+                    let ik = kk / 2;
+                    if 2 * ik != kk {
+                        randlc(&mut t1, t2);
+                    }
+                    if ik == 0 {
+                        break;
+                    }
+                    let sq = t2;
+                    randlc(&mut t2, sq);
+                    kk = ik;
                 }
-                if ik == 0 {
-                    break;
+                // Generate the batch of uniforms and tally Gaussians.
+                vranlc(&mut t1, A, &mut x);
+                for i in 0..nk {
+                    let x1 = 2.0 * x[2 * i] - 1.0;
+                    let x2 = 2.0 * x[2 * i + 1] - 1.0;
+                    let t = x1 * x1 + x2 * x2;
+                    if t <= 1.0 {
+                        let f = (-2.0 * t.ln() / t).sqrt();
+                        let g1 = x1 * f;
+                        let g2 = x2 * f;
+                        let l = g1.abs().max(g2.abs()) as usize;
+                        q[l] += 1.0;
+                        sx += g1;
+                        sy += g2;
+                    }
                 }
-                let sq = t2;
-                randlc(&mut t2, sq);
-                kk = ik;
             }
-            // Generate the batch of uniforms and tally Gaussians.
-            vranlc(&mut t1, A, &mut x);
-            for i in 0..nk {
-                let x1 = 2.0 * x[2 * i] - 1.0;
-                let x2 = 2.0 * x[2 * i + 1] - 1.0;
-                let t = x1 * x1 + x2 * x2;
-                if t <= 1.0 {
-                    let f = (-2.0 * t.ln() / t).sqrt();
-                    let g1 = x1 * f;
-                    let g2 = x2 * f;
-                    let l = g1.abs().max(g2.abs()) as usize;
-                    q[l] += 1.0;
-                    sx += g1;
-                    sy += g2;
-                }
-            }
-        }
+        });
         team.barrier();
         (sx, sy, q)
     });

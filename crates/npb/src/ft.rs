@@ -248,14 +248,16 @@ fn evolve(st: &mut FtState, pool: &Pool) {
         let u0 = SyncSlice::new(&mut st.u0);
         let u1 = SyncSlice::new(&mut st.u1);
         pool.run(|team| {
-            for i in team.static_range(0, nt) {
-                // SAFETY: disjoint static ranges.
-                unsafe {
-                    let v = u0.get(i).scale(tw[i]);
-                    u0.set(i, v);
-                    u1.set(i, v);
+            team.phase("evolve", || {
+                for i in team.static_range(0, nt) {
+                    // SAFETY: disjoint static ranges.
+                    unsafe {
+                        let v = u0.get(i).scale(tw[i]);
+                        u0.set(i, v);
+                        u1.set(i, v);
+                    }
                 }
-            }
+            });
             team.barrier();
         });
     }
@@ -342,55 +344,59 @@ fn fft3d_outer(
         let maxn = p.nx.max(p.ny).max(p.nz);
         let mut pencil = vec![C64::default(); maxn];
         let mut scratch = vec![C64::default(); maxn];
-        team.for_static(0, p.nz, |z| {
-            for y in 0..p.ny {
-                let base = p.nx * (y + p.ny * z);
-                pencil[..p.nx].copy_from_slice(&src[base..base + p.nx]);
-                fft_1d(
-                    &v.plans[0],
-                    &mut pencil[..p.nx],
-                    &mut scratch[..p.nx],
-                    inverse,
-                );
+        team.phase("fft-x", || {
+            team.for_static(0, p.nz, |z| {
+                for y in 0..p.ny {
+                    let base = p.nx * (y + p.ny * z);
+                    pencil[..p.nx].copy_from_slice(&src[base..base + p.nx]);
+                    fft_1d(
+                        &v.plans[0],
+                        &mut pencil[..p.nx],
+                        &mut scratch[..p.nx],
+                        inverse,
+                    );
+                    for x in 0..p.nx {
+                        // SAFETY: (y,z) pencils disjoint under the z split.
+                        unsafe { out.set(base + x, pencil[x]) };
+                    }
+                }
+            });
+        });
+        team.phase("fft-yz-transpose", || {
+            team.for_static(0, p.nz, |z| {
                 for x in 0..p.nx {
-                    // SAFETY: (y,z) pencils disjoint under the z split.
-                    unsafe { out.set(base + x, pencil[x]) };
+                    for y in 0..p.ny {
+                        // SAFETY: z-plane is ours (previous pass barriered).
+                        pencil[y] = unsafe { out.get(x + p.nx * (y + p.ny * z)) };
+                    }
+                    fft_1d(
+                        &v.plans[1],
+                        &mut pencil[..p.ny],
+                        &mut scratch[..p.ny],
+                        inverse,
+                    );
+                    for y in 0..p.ny {
+                        unsafe { out.set(x + p.nx * (y + p.ny * z), pencil[y]) };
+                    }
                 }
-            }
-        });
-        team.for_static(0, p.nz, |z| {
-            for x in 0..p.nx {
-                for y in 0..p.ny {
-                    // SAFETY: z-plane is ours (previous pass barriered).
-                    pencil[y] = unsafe { out.get(x + p.nx * (y + p.ny * z)) };
+            });
+            team.for_static(0, p.ny, |y| {
+                for x in 0..p.nx {
+                    for z in 0..p.nz {
+                        // SAFETY: (x,y) columns disjoint under the y split.
+                        pencil[z] = unsafe { out.get(x + p.nx * (y + p.ny * z)) };
+                    }
+                    fft_1d(
+                        &v.plans[2],
+                        &mut pencil[..p.nz],
+                        &mut scratch[..p.nz],
+                        inverse,
+                    );
+                    for z in 0..p.nz {
+                        unsafe { out.set(x + p.nx * (y + p.ny * z), pencil[z]) };
+                    }
                 }
-                fft_1d(
-                    &v.plans[1],
-                    &mut pencil[..p.ny],
-                    &mut scratch[..p.ny],
-                    inverse,
-                );
-                for y in 0..p.ny {
-                    unsafe { out.set(x + p.nx * (y + p.ny * z), pencil[y]) };
-                }
-            }
-        });
-        team.for_static(0, p.ny, |y| {
-            for x in 0..p.nx {
-                for z in 0..p.nz {
-                    // SAFETY: (x,y) columns disjoint under the y split.
-                    pencil[z] = unsafe { out.get(x + p.nx * (y + p.ny * z)) };
-                }
-                fft_1d(
-                    &v.plans[2],
-                    &mut pencil[..p.nz],
-                    &mut scratch[..p.nz],
-                    inverse,
-                );
-                for z in 0..p.nz {
-                    unsafe { out.set(x + p.nx * (y + p.ny * z), pencil[z]) };
-                }
-            }
+            });
         });
     });
 }

@@ -119,16 +119,18 @@ fn rank(keys: &[u32], state: &mut RankState, pool: &Pool) {
         pool.run(|team| {
             let tid = team.tid();
             // Phase A: per-thread bucket counts over this thread's slice.
-            for b in 0..nbuckets {
-                // SAFETY: row `tid` is exclusively ours.
-                unsafe { counts.set(tid * nbuckets + b, 0) };
-            }
             let my = team.static_range(0, n);
-            for &key in &keys[my.clone()] {
-                let b = (key >> shift) as usize;
-                // SAFETY: row `tid` is exclusively ours.
-                unsafe { *counts.get_mut(tid * nbuckets + b) += 1 };
-            }
+            team.phase("bucket-count", || {
+                for b in 0..nbuckets {
+                    // SAFETY: row `tid` is exclusively ours.
+                    unsafe { counts.set(tid * nbuckets + b, 0) };
+                }
+                for &key in &keys[my.clone()] {
+                    let b = (key >> shift) as usize;
+                    // SAFETY: row `tid` is exclusively ours.
+                    unsafe { *counts.get_mut(tid * nbuckets + b) += 1 };
+                }
+            });
             team.barrier();
             // Phase B: thread 0 turns counts into global bases and
             // per-thread scatter cursors (cheap: p × nbuckets integers).
@@ -150,47 +152,53 @@ fn rank(keys: &[u32], state: &mut RankState, pool: &Pool) {
                 unsafe { base.set(nbuckets, acc) };
             });
             // Phase C: scatter this thread's keys into bucket order.
-            for &key in &keys[my] {
-                let b = (key >> shift) as usize;
-                // SAFETY: cursor row `tid` is ours; destination slots are
-                // disjoint across threads by construction of the cursors.
-                unsafe {
-                    let cursor = counts.get_mut(tid * nbuckets + b);
-                    buff2.set(*cursor as usize, key);
-                    *cursor += 1;
+            team.phase("scatter", || {
+                for &key in &keys[my] {
+                    let b = (key >> shift) as usize;
+                    // SAFETY: cursor row `tid` is ours; destination slots
+                    // are disjoint across threads by construction of the
+                    // cursors.
+                    unsafe {
+                        let cursor = counts.get_mut(tid * nbuckets + b);
+                        buff2.set(*cursor as usize, key);
+                        *cursor += 1;
+                    }
                 }
-            }
+            });
             team.barrier();
             // Phase D: per-bucket counting sort → global rank table.
             // Buckets are claimed dynamically (NPB uses schedule(dynamic))
             // because the key distribution is far from uniform.
-            team.for_dynamic(0, nbuckets, 1, |b| {
-                let vstart = b * values_per_bucket;
-                // SAFETY: bases were finalized before the barrier above and
-                // are read-only in this phase.
-                let bucket_lo = unsafe { base.get(b) } as usize;
-                let bucket_hi = unsafe { base.get(b + 1) } as usize;
-                // SAFETY: value range [vstart, vstart + values_per_bucket)
-                // and key_buff2 range [bucket_lo, bucket_hi) are touched
-                // only by the (unique) thread that claimed bucket b.
-                for v in 0..values_per_bucket {
-                    unsafe { ranks.set(vstart + v, 0) };
-                }
-                for i in bucket_lo..bucket_hi {
-                    let key = unsafe { buff2.get(i) } as usize;
-                    unsafe { *ranks.get_mut(key) += 1 };
-                }
-                // Exclusive prefix within the bucket, offset by the number
-                // of keys in all earlier buckets.
-                let mut acc = bucket_lo as u32;
-                for v in 0..values_per_bucket {
-                    unsafe {
-                        let r = ranks.get_mut(vstart + v);
-                        let count = *r;
-                        *r = acc;
-                        acc += count;
+            team.phase("rank-histogram", || {
+                team.for_dynamic(0, nbuckets, 1, |b| {
+                    let vstart = b * values_per_bucket;
+                    // SAFETY: bases were finalized before the barrier above
+                    // and are read-only in this phase.
+                    let bucket_lo = unsafe { base.get(b) } as usize;
+                    let bucket_hi = unsafe { base.get(b + 1) } as usize;
+                    // SAFETY: value range [vstart, vstart +
+                    // values_per_bucket) and key_buff2 range [bucket_lo,
+                    // bucket_hi) are touched only by the (unique) thread
+                    // that claimed bucket b.
+                    for v in 0..values_per_bucket {
+                        unsafe { ranks.set(vstart + v, 0) };
                     }
-                }
+                    for i in bucket_lo..bucket_hi {
+                        let key = unsafe { buff2.get(i) } as usize;
+                        unsafe { *ranks.get_mut(key) += 1 };
+                    }
+                    // Exclusive prefix within the bucket, offset by the
+                    // number of keys in all earlier buckets.
+                    let mut acc = bucket_lo as u32;
+                    for v in 0..values_per_bucket {
+                        unsafe {
+                            let r = ranks.get_mut(vstart + v);
+                            let count = *r;
+                            *r = acc;
+                            acc += count;
+                        }
+                    }
+                });
             });
         });
     }

@@ -177,14 +177,16 @@ fn lower_sweep(f: &mut Fields, c: &CfdConstants, planes: &[Vec<u32>], pool: &Poo
     let uf = f.u.flat();
     let rsd = SyncSlice::new(f.rhs.flat_mut());
     pool.run(|team| {
-        for plane in planes {
-            team.for_static(0, plane.len(), |pi| {
-                // SAFETY: the point is exclusively owned within its
-                // hyperplane; lower neighbours lie on earlier,
-                // barrier-separated hyperplanes.
-                unsafe { lower_update(plane[pi] as usize, n, uf, &rsd, c) };
-            });
-        }
+        team.phase("ssor-sweeps", || {
+            for plane in planes {
+                team.for_static(0, plane.len(), |pi| {
+                    // SAFETY: the point is exclusively owned within its
+                    // hyperplane; lower neighbours lie on earlier,
+                    // barrier-separated hyperplanes.
+                    unsafe { lower_update(plane[pi] as usize, n, uf, &rsd, c) };
+                });
+            }
+        });
     });
 }
 
@@ -194,13 +196,15 @@ fn upper_sweep(f: &mut Fields, c: &CfdConstants, planes: &[Vec<u32>], pool: &Poo
     let uf = f.u.flat();
     let rsd = SyncSlice::new(f.rhs.flat_mut());
     pool.run(|team| {
-        for plane in planes.iter().rev() {
-            team.for_static(0, plane.len(), |pi| {
-                // SAFETY: upper neighbours lie on later hyperplanes,
-                // finalized before this one started.
-                unsafe { upper_update(plane[pi] as usize, n, uf, &rsd, c) };
-            });
-        }
+        team.phase("ssor-sweeps", || {
+            for plane in planes.iter().rev() {
+                team.for_static(0, plane.len(), |pi| {
+                    // SAFETY: upper neighbours lie on later hyperplanes,
+                    // finalized before this one started.
+                    unsafe { upper_update(plane[pi] as usize, n, uf, &rsd, c) };
+                });
+            }
+        });
     });
 }
 
@@ -219,26 +223,28 @@ fn lower_sweep_pipelined(f: &mut Fields, c: &CfdConstants, pool: &Pool) {
     pool.run(|team| {
         let t = team.tid();
         let jr = team.static_range(1, n - 1);
-        for k in 1..n - 1 {
-            if t > 0 {
-                // Wait until the neighbour finished this plane.
-                while progress[t - 1].0.load(std::sync::atomic::Ordering::Acquire) < k {
-                    std::hint::spin_loop();
-                    std::thread::yield_now();
+        team.phase("ssor-sweeps", || {
+            for k in 1..n - 1 {
+                if t > 0 {
+                    // Wait until the neighbour finished this plane.
+                    while progress[t - 1].0.load(std::sync::atomic::Ordering::Acquire) < k {
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
                 }
-            }
-            for j in jr.clone() {
-                for i in 1..n - 1 {
-                    let p = (k * n + j) * n + i;
-                    // SAFETY: (i−1) precedes in this loop; (j−1) was
-                    // completed by thread t−1 (waited on above) or by this
-                    // thread; (k−1) completed in the previous pipeline
-                    // stage of this thread.
-                    unsafe { lower_update(p, n, uf, &rsd, c) };
+                for j in jr.clone() {
+                    for i in 1..n - 1 {
+                        let p = (k * n + j) * n + i;
+                        // SAFETY: (i−1) precedes in this loop; (j−1) was
+                        // completed by thread t−1 (waited on above) or by this
+                        // thread; (k−1) completed in the previous pipeline
+                        // stage of this thread.
+                        unsafe { lower_update(p, n, uf, &rsd, c) };
+                    }
                 }
+                progress[t].0.store(k, std::sync::atomic::Ordering::Release);
             }
-            progress[t].0.store(k, std::sync::atomic::Ordering::Release);
-        }
+        });
         team.barrier();
     });
 }
@@ -257,26 +263,28 @@ fn upper_sweep_pipelined(f: &mut Fields, c: &CfdConstants, pool: &Pool) {
         let p_threads = team.nthreads();
         let jr = team.static_range(1, n - 1);
         let mut done = 0usize;
-        for k in (1..n - 1).rev() {
-            if t + 1 < p_threads {
-                while progress[t + 1].0.load(std::sync::atomic::Ordering::Acquire) <= done {
-                    std::hint::spin_loop();
-                    std::thread::yield_now();
+        team.phase("ssor-sweeps", || {
+            for k in (1..n - 1).rev() {
+                if t + 1 < p_threads {
+                    while progress[t + 1].0.load(std::sync::atomic::Ordering::Acquire) <= done {
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
                 }
-            }
-            for j in jr.clone().rev() {
-                for i in (1..n - 1).rev() {
-                    let p = (k * n + j) * n + i;
-                    // SAFETY: mirror of the lower sweep with upper
-                    // neighbours.
-                    unsafe { upper_update(p, n, uf, &rsd, c) };
+                for j in jr.clone().rev() {
+                    for i in (1..n - 1).rev() {
+                        let p = (k * n + j) * n + i;
+                        // SAFETY: mirror of the lower sweep with upper
+                        // neighbours.
+                        unsafe { upper_update(p, n, uf, &rsd, c) };
+                    }
                 }
+                done += 1;
+                progress[t]
+                    .0
+                    .store(done, std::sync::atomic::Ordering::Release);
             }
-            done += 1;
-            progress[t]
-                .0
-                .store(done, std::sync::atomic::Ordering::Release);
-        }
+        });
         team.barrier();
     });
 }

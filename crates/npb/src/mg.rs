@@ -54,32 +54,34 @@ fn comm3(g: &mut Array3, pool: &Pool) {
     let flat = SyncSlice::new(g.flat_mut());
     let idx = |i3: usize, i2: usize, i1: usize| (i3 * m + i2) * m + i1;
     pool.run(|team| {
-        // Axis 1 (contiguous index): interior planes only.
-        team.for_static(1, hi, |i3| {
-            for i2 in 1..hi {
-                unsafe {
-                    flat.set(idx(i3, i2, 0), flat.get(idx(i3, i2, hi - 1)));
-                    flat.set(idx(i3, i2, hi), flat.get(idx(i3, i2, 1)));
+        team.phase("comm3-ghost", || {
+            // Axis 1 (contiguous index): interior planes only.
+            team.for_static(1, hi, |i3| {
+                for i2 in 1..hi {
+                    unsafe {
+                        flat.set(idx(i3, i2, 0), flat.get(idx(i3, i2, hi - 1)));
+                        flat.set(idx(i3, i2, hi), flat.get(idx(i3, i2, 1)));
+                    }
                 }
-            }
-        });
-        // Axis 2: interior i3, full i1 range.
-        team.for_static(1, hi, |i3| {
-            for i1 in 0..=hi {
-                unsafe {
-                    flat.set(idx(i3, 0, i1), flat.get(idx(i3, hi - 1, i1)));
-                    flat.set(idx(i3, hi, i1), flat.get(idx(i3, 1, i1)));
+            });
+            // Axis 2: interior i3, full i1 range.
+            team.for_static(1, hi, |i3| {
+                for i1 in 0..=hi {
+                    unsafe {
+                        flat.set(idx(i3, 0, i1), flat.get(idx(i3, hi - 1, i1)));
+                        flat.set(idx(i3, hi, i1), flat.get(idx(i3, 1, i1)));
+                    }
                 }
-            }
-        });
-        // Axis 3: full i2/i1 ranges; parallel over i2.
-        team.for_static(0, hi + 1, |i2| {
-            for i1 in 0..=hi {
-                unsafe {
-                    flat.set(idx(0, i2, i1), flat.get(idx(hi - 1, i2, i1)));
-                    flat.set(idx(hi, i2, i1), flat.get(idx(1, i2, i1)));
+            });
+            // Axis 3: full i2/i1 ranges; parallel over i2.
+            team.for_static(0, hi + 1, |i2| {
+                for i1 in 0..=hi {
+                    unsafe {
+                        flat.set(idx(0, i2, i1), flat.get(idx(hi - 1, i2, i1)));
+                        flat.set(idx(hi, i2, i1), flat.get(idx(1, i2, i1)));
+                    }
                 }
-            }
+            });
         });
     });
 }
@@ -104,34 +106,36 @@ fn resid(u: &Array3, v: VSource<'_>, r: &mut Array3, pool: &Pool) {
         pool.run(|team| {
             let mut u1 = vec![0.0f64; m];
             let mut u2 = vec![0.0f64; m];
-            team.for_static(1, hi, |i3| {
-                for i2 in 1..hi {
-                    for i1 in 0..m {
-                        u1[i1] = uf[idx(i3, i2 - 1, i1)]
-                            + uf[idx(i3, i2 + 1, i1)]
-                            + uf[idx(i3 - 1, i2, i1)]
-                            + uf[idx(i3 + 1, i2, i1)];
-                        u2[i1] = uf[idx(i3 - 1, i2 - 1, i1)]
-                            + uf[idx(i3 - 1, i2 + 1, i1)]
-                            + uf[idx(i3 + 1, i2 - 1, i1)]
-                            + uf[idx(i3 + 1, i2 + 1, i1)];
+            team.phase("stencil-sweeps", || {
+                team.for_static(1, hi, |i3| {
+                    for i2 in 1..hi {
+                        for i1 in 0..m {
+                            u1[i1] = uf[idx(i3, i2 - 1, i1)]
+                                + uf[idx(i3, i2 + 1, i1)]
+                                + uf[idx(i3 - 1, i2, i1)]
+                                + uf[idx(i3 + 1, i2, i1)];
+                            u2[i1] = uf[idx(i3 - 1, i2 - 1, i1)]
+                                + uf[idx(i3 - 1, i2 + 1, i1)]
+                                + uf[idx(i3 + 1, i2 - 1, i1)]
+                                + uf[idx(i3 + 1, i2 + 1, i1)];
+                        }
+                        for i1 in 1..hi {
+                            let center = idx(i3, i2, i1);
+                            let vv = match &v {
+                                VSource::Separate(va) => va.flat()[center],
+                                // SAFETY: this thread owns plane i3; the center
+                                // is read before being overwritten.
+                                VSource::InPlace => unsafe { rs.get(center) },
+                            };
+                            let val = vv
+                                - A_COEF[0] * uf[center]
+                                - A_COEF[2] * (u2[i1] + u1[i1 - 1] + u1[i1 + 1])
+                                - A_COEF[3] * (u2[i1 - 1] + u2[i1 + 1]);
+                            // SAFETY: plane i3 is exclusively ours.
+                            unsafe { rs.set(center, val) };
+                        }
                     }
-                    for i1 in 1..hi {
-                        let center = idx(i3, i2, i1);
-                        let vv = match &v {
-                            VSource::Separate(va) => va.flat()[center],
-                            // SAFETY: this thread owns plane i3; the center
-                            // is read before being overwritten.
-                            VSource::InPlace => unsafe { rs.get(center) },
-                        };
-                        let val = vv
-                            - A_COEF[0] * uf[center]
-                            - A_COEF[2] * (u2[i1] + u1[i1 - 1] + u1[i1 + 1])
-                            - A_COEF[3] * (u2[i1 - 1] + u2[i1 + 1]);
-                        // SAFETY: plane i3 is exclusively ours.
-                        unsafe { rs.set(center, val) };
-                    }
-                }
+                });
             });
         });
     }
@@ -149,32 +153,34 @@ fn psinv(r: &Array3, u: &mut Array3, c: &[f64; 4], pool: &Pool) {
         pool.run(|team| {
             let mut r1 = vec![0.0f64; m];
             let mut r2 = vec![0.0f64; m];
-            team.for_static(1, hi, |i3| {
-                for i2 in 1..hi {
-                    for i1 in 0..m {
-                        r1[i1] = rf[idx(i3, i2 - 1, i1)]
-                            + rf[idx(i3, i2 + 1, i1)]
-                            + rf[idx(i3 - 1, i2, i1)]
-                            + rf[idx(i3 + 1, i2, i1)];
-                        r2[i1] = rf[idx(i3 - 1, i2 - 1, i1)]
-                            + rf[idx(i3 - 1, i2 + 1, i1)]
-                            + rf[idx(i3 + 1, i2 - 1, i1)]
-                            + rf[idx(i3 + 1, i2 + 1, i1)];
-                    }
-                    for i1 in 1..hi {
-                        let center = idx(i3, i2, i1);
-                        // SAFETY: plane i3 is exclusively ours.
-                        unsafe {
-                            let cur = us.get(center);
-                            us.set(
-                                center,
-                                cur + c[0] * rf[center]
-                                    + c[1] * (rf[center - 1] + rf[center + 1] + r1[i1])
-                                    + c[2] * (r2[i1] + r1[i1 - 1] + r1[i1 + 1]),
-                            );
+            team.phase("stencil-sweeps", || {
+                team.for_static(1, hi, |i3| {
+                    for i2 in 1..hi {
+                        for i1 in 0..m {
+                            r1[i1] = rf[idx(i3, i2 - 1, i1)]
+                                + rf[idx(i3, i2 + 1, i1)]
+                                + rf[idx(i3 - 1, i2, i1)]
+                                + rf[idx(i3 + 1, i2, i1)];
+                            r2[i1] = rf[idx(i3 - 1, i2 - 1, i1)]
+                                + rf[idx(i3 - 1, i2 + 1, i1)]
+                                + rf[idx(i3 + 1, i2 - 1, i1)]
+                                + rf[idx(i3 + 1, i2 + 1, i1)];
+                        }
+                        for i1 in 1..hi {
+                            let center = idx(i3, i2, i1);
+                            // SAFETY: plane i3 is exclusively ours.
+                            unsafe {
+                                let cur = us.get(center);
+                                us.set(
+                                    center,
+                                    cur + c[0] * rf[center]
+                                        + c[1] * (rf[center - 1] + rf[center + 1] + r1[i1])
+                                        + c[2] * (r2[i1] + r1[i1 - 1] + r1[i1 + 1]),
+                                );
+                            }
                         }
                     }
-                }
+                });
             });
         });
     }

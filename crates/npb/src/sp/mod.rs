@@ -159,91 +159,93 @@ fn diagonal_solve(f: &mut Fields, c: &CfdConstants, dir: Direction, pool: &Pool)
         let mut bands: Vec<[f64; 5]> = vec![[0.0; 5]; n];
         let mut comp: Vec<f64> = vec![0.0; n];
 
-        team.for_static(1, n - 1, |slow| {
-            for fast in 1..n - 1 {
-                let base = match dir {
-                    Direction::X => (slow * n + fast) * n,
-                    Direction::Y => slow * n * n + fast,
-                    Direction::Z => slow * n + fast,
-                };
-                // Per-point eigen systems and characteristic rhs.
-                for pos in 0..n {
-                    let p = base + pos * s;
-                    let ub = &uf[p * 5..p * 5 + 5];
-                    eig[pos] = eigen_decomposition(ub, dir, c);
-                    for m in 0..5 {
-                        // SAFETY: this line is exclusively ours.
-                        rr[pos][m] = unsafe { rhs.get(p * 5 + m) };
-                    }
-                    apply_inverse(&eig[pos].0, &mut rr[pos]);
-                }
-                // Five scalar pentadiagonal systems.
-                for m in 0..5 {
+        team.phase("penta-line-solves", || {
+            team.for_static(1, n - 1, |slow| {
+                for fast in 1..n - 1 {
+                    let base = match dir {
+                        Direction::X => (slow * n + fast) * n,
+                        Direction::Y => slow * n * n + fast,
+                        Direction::Z => slow * n + fast,
+                    };
+                    // Per-point eigen systems and characteristic rhs.
                     for pos in 0..n {
-                        comp[pos] = rr[pos][m];
-                    }
-                    for (pos, band) in bands.iter_mut().enumerate() {
-                        if pos == 0 || pos == n - 1 {
-                            *band = [0.0, 0.0, 1.0, 0.0, 0.0];
-                            continue;
-                        }
                         let p = base + pos * s;
-                        // Viscous + second-difference diagonal weight
-                        // (NPB's rhon/rhoq/rhos role).
-                        let visc = |pp: usize| dcoef + c.con43 * c.c3c4 * rho_if[pp];
-                        let lamm = eig[pos - 1].1[m];
-                        let lamp = eig[pos + 1].1[m];
-                        let mut b = [
-                            0.0,
-                            -dt * t2m * lamm - dt * t1m * visc(p - s),
-                            1.0 + 2.0 * dt * t1m * visc(p),
-                            dt * t2m * lamp - dt * t1m * visc(p + s),
-                            0.0,
-                        ];
-                        // Fourth-order dissipation bands, boundary-adapted
-                        // exactly like the rhs operator.
-                        if pos == 1 {
-                            b[2] += 5.0 * diss;
-                            b[3] -= 4.0 * diss;
-                            b[4] += diss;
-                        } else if pos == 2 {
-                            b[1] -= 4.0 * diss;
-                            b[2] += 6.0 * diss;
-                            b[3] -= 4.0 * diss;
-                            b[4] += diss;
-                        } else if pos == n - 3 {
-                            b[0] += diss;
-                            b[1] -= 4.0 * diss;
-                            b[2] += 6.0 * diss;
-                            b[3] -= 4.0 * diss;
-                        } else if pos == n - 2 {
-                            b[0] += diss;
-                            b[1] -= 4.0 * diss;
-                            b[2] += 5.0 * diss;
-                        } else {
-                            b[0] += diss;
-                            b[1] -= 4.0 * diss;
-                            b[2] += 6.0 * diss;
-                            b[3] -= 4.0 * diss;
-                            b[4] += diss;
+                        let ub = &uf[p * 5..p * 5 + 5];
+                        eig[pos] = eigen_decomposition(ub, dir, c);
+                        for m in 0..5 {
+                            // SAFETY: this line is exclusively ours.
+                            rr[pos][m] = unsafe { rhs.get(p * 5 + m) };
                         }
-                        *band = b;
+                        apply_inverse(&eig[pos].0, &mut rr[pos]);
                     }
-                    penta_solve(&mut bands, &mut comp);
-                    for pos in 1..n - 1 {
-                        rr[pos][m] = comp[pos];
-                    }
-                }
-                // Inverse transform and store.
-                for pos in 1..n - 1 {
-                    apply_forward(&eig[pos].0, &mut rr[pos]);
-                    let p = base + pos * s;
+                    // Five scalar pentadiagonal systems.
                     for m in 0..5 {
-                        // SAFETY: this line is exclusively ours.
-                        unsafe { rhs.set(p * 5 + m, rr[pos][m]) };
+                        for pos in 0..n {
+                            comp[pos] = rr[pos][m];
+                        }
+                        for (pos, band) in bands.iter_mut().enumerate() {
+                            if pos == 0 || pos == n - 1 {
+                                *band = [0.0, 0.0, 1.0, 0.0, 0.0];
+                                continue;
+                            }
+                            let p = base + pos * s;
+                            // Viscous + second-difference diagonal weight
+                            // (NPB's rhon/rhoq/rhos role).
+                            let visc = |pp: usize| dcoef + c.con43 * c.c3c4 * rho_if[pp];
+                            let lamm = eig[pos - 1].1[m];
+                            let lamp = eig[pos + 1].1[m];
+                            let mut b = [
+                                0.0,
+                                -dt * t2m * lamm - dt * t1m * visc(p - s),
+                                1.0 + 2.0 * dt * t1m * visc(p),
+                                dt * t2m * lamp - dt * t1m * visc(p + s),
+                                0.0,
+                            ];
+                            // Fourth-order dissipation bands, boundary-adapted
+                            // exactly like the rhs operator.
+                            if pos == 1 {
+                                b[2] += 5.0 * diss;
+                                b[3] -= 4.0 * diss;
+                                b[4] += diss;
+                            } else if pos == 2 {
+                                b[1] -= 4.0 * diss;
+                                b[2] += 6.0 * diss;
+                                b[3] -= 4.0 * diss;
+                                b[4] += diss;
+                            } else if pos == n - 3 {
+                                b[0] += diss;
+                                b[1] -= 4.0 * diss;
+                                b[2] += 6.0 * diss;
+                                b[3] -= 4.0 * diss;
+                            } else if pos == n - 2 {
+                                b[0] += diss;
+                                b[1] -= 4.0 * diss;
+                                b[2] += 5.0 * diss;
+                            } else {
+                                b[0] += diss;
+                                b[1] -= 4.0 * diss;
+                                b[2] += 6.0 * diss;
+                                b[3] -= 4.0 * diss;
+                                b[4] += diss;
+                            }
+                            *band = b;
+                        }
+                        penta_solve(&mut bands, &mut comp);
+                        for pos in 1..n - 1 {
+                            rr[pos][m] = comp[pos];
+                        }
+                    }
+                    // Inverse transform and store.
+                    for pos in 1..n - 1 {
+                        apply_forward(&eig[pos].0, &mut rr[pos]);
+                        let p = base + pos * s;
+                        for m in 0..5 {
+                            // SAFETY: this line is exclusively ours.
+                            unsafe { rhs.set(p * 5 + m, rr[pos][m]) };
+                        }
                     }
                 }
-            }
+            });
         });
     });
 }

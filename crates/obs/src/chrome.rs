@@ -1,0 +1,145 @@
+//! Chrome-trace (`trace_event`) export.
+//!
+//! Produces the JSON object format understood by `chrome://tracing`,
+//! Perfetto and Speedscope: spans as `"ph":"X"` complete events with
+//! microsecond timestamps, counters as `"ph":"C"`. One trace `tid` per
+//! team thread, so barrier waits and phase spans line up per thread on
+//! the timeline.
+
+use crate::event::{Event, EventKind};
+use crate::json::JsonValue;
+use crate::recorder::TraceData;
+
+/// Build the `trace_event` document for a drained trace.
+pub fn chrome_trace(data: &TraceData) -> JsonValue {
+    let events: Vec<JsonValue> = data.events.iter().map(trace_event).collect();
+    JsonValue::object([
+        ("traceEvents".to_string(), JsonValue::Array(events)),
+        ("displayTimeUnit".to_string(), JsonValue::from("ms")),
+        (
+            "otherData".to_string(),
+            JsonValue::object([
+                ("generator".to_string(), JsonValue::from("rvhpc-obs")),
+                ("droppedEvents".to_string(), JsonValue::from(data.dropped)),
+            ]),
+        ),
+    ])
+}
+
+fn trace_event(ev: &Event) -> JsonValue {
+    let mut fields = vec![
+        ("name".to_string(), JsonValue::from(ev.name)),
+        ("cat".to_string(), JsonValue::from(ev.kind.label())),
+        ("pid".to_string(), JsonValue::from(1u64)),
+        ("tid".to_string(), JsonValue::from(u64::from(ev.tid))),
+        ("ts".to_string(), JsonValue::from(ev.start_us)),
+    ];
+    match ev.kind {
+        EventKind::Counter => {
+            fields.push(("ph".to_string(), JsonValue::from("C")));
+            fields.push((
+                "args".to_string(),
+                JsonValue::object([(ev.name.to_string(), JsonValue::from(ev.arg))]),
+            ));
+        }
+        _ => {
+            fields.push(("ph".to_string(), JsonValue::from("X")));
+            fields.push(("dur".to_string(), JsonValue::from(ev.dur_us)));
+            fields.push((
+                "args".to_string(),
+                JsonValue::object([("arg".to_string(), JsonValue::from(ev.arg))]),
+            ));
+        }
+    }
+    JsonValue::object(fields)
+}
+
+/// Serialize and write a Chrome trace to `path`.
+pub fn write_chrome_trace(path: &std::path::Path, data: &TraceData) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace(data).to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> TraceData {
+        TraceData {
+            events: vec![
+                Event {
+                    kind: EventKind::BarrierWait,
+                    name: "barrier",
+                    tid: 0,
+                    start_us: 10,
+                    dur_us: 4,
+                    arg: 1,
+                },
+                Event {
+                    kind: EventKind::Phase,
+                    name: "spmv-stream",
+                    tid: 1,
+                    start_us: 12,
+                    dur_us: 100,
+                    arg: 0,
+                },
+                Event {
+                    kind: EventKind::Counter,
+                    name: "queue-depth",
+                    tid: 1,
+                    start_us: 15,
+                    dur_us: 0,
+                    arg: 9,
+                },
+            ],
+            dropped: 2,
+        }
+    }
+
+    #[test]
+    fn emits_valid_json_with_expected_shape() {
+        let text = chrome_trace(&sample()).to_json();
+        let doc = json::parse(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        let span = &events[0];
+        assert_eq!(span.get("ph").and_then(JsonValue::as_str), Some("X"));
+        assert_eq!(span.get("cat").and_then(JsonValue::as_str), Some("barrier-wait"));
+        assert_eq!(span.get("ts").and_then(JsonValue::as_f64), Some(10.0));
+        assert_eq!(span.get("dur").and_then(JsonValue::as_f64), Some(4.0));
+        let counter = &events[2];
+        assert_eq!(counter.get("ph").and_then(JsonValue::as_str), Some("C"));
+        assert_eq!(
+            counter
+                .get("args")
+                .and_then(|a| a.get("queue-depth"))
+                .and_then(JsonValue::as_f64),
+            Some(9.0)
+        );
+        assert_eq!(
+            doc.get("otherData")
+                .and_then(|o| o.get("droppedEvents"))
+                .and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn all_timestamps_and_durations_are_non_negative() {
+        let doc = chrome_trace(&sample());
+        for ev in doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("array")
+        {
+            let ts = ev.get("ts").and_then(JsonValue::as_f64).expect("ts");
+            assert!(ts >= 0.0);
+            if let Some(dur) = ev.get("dur").and_then(JsonValue::as_f64) {
+                assert!(dur >= 0.0);
+            }
+        }
+    }
+}

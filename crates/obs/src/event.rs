@@ -1,0 +1,102 @@
+//! The event model: what the runtime records.
+//!
+//! Events are `Copy` and fixed-size so they can live in lock-free ring
+//! buffers. Names are `&'static str` — every instrumentation site names
+//! its span with a literal (phase names, "barrier", schedule kinds), so no
+//! allocation happens on the hot path.
+
+/// What kind of time span or marker an [`Event`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Time a thread spent blocked in a barrier (entry to exit).
+    BarrierWait = 0,
+    /// Time a thread spent waiting to enter a critical section.
+    CriticalWait = 1,
+    /// One work-sharing chunk acquisition; `arg` is the chunk length in
+    /// iterations (static, dynamic and guided schedules all emit these).
+    ChunkAcquire = 2,
+    /// A fork/join parallel region, one span per participating thread.
+    Region = 3,
+    /// A benchmark phase (names match `PhaseProfile` names).
+    Phase = 4,
+    /// A point-in-time counter sample; `arg` carries the value.
+    Counter = 5,
+}
+
+impl EventKind {
+    /// Stable lowercase label, used as the Chrome-trace category.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::BarrierWait => "barrier-wait",
+            EventKind::CriticalWait => "critical-wait",
+            EventKind::ChunkAcquire => "chunk-acquire",
+            EventKind::Region => "region",
+            EventKind::Phase => "phase",
+            EventKind::Counter => "counter",
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(EventKind::BarrierWait),
+            1 => Some(EventKind::CriticalWait),
+            2 => Some(EventKind::ChunkAcquire),
+            3 => Some(EventKind::Region),
+            4 => Some(EventKind::Phase),
+            5 => Some(EventKind::Counter),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded span or marker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// What this event measures.
+    pub kind: EventKind,
+    /// Site name: a phase name, `"barrier"`, a schedule kind, etc.
+    pub name: &'static str,
+    /// Team-relative thread id of the recording thread.
+    pub tid: u32,
+    /// Start time in microseconds since the recorder epoch.
+    pub start_us: u64,
+    /// Duration in microseconds (0 for markers).
+    pub dur_us: u64,
+    /// Kind-specific payload (chunk length, counter value, sequence no).
+    pub arg: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrips_through_u8() {
+        for kind in [
+            EventKind::BarrierWait,
+            EventKind::CriticalWait,
+            EventKind::ChunkAcquire,
+            EventKind::Region,
+            EventKind::Phase,
+            EventKind::Counter,
+        ] {
+            assert_eq!(EventKind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(EventKind::from_u8(200), None);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            EventKind::BarrierWait.label(),
+            EventKind::CriticalWait.label(),
+            EventKind::ChunkAcquire.label(),
+            EventKind::Region.label(),
+            EventKind::Phase.label(),
+            EventKind::Counter.label(),
+        ];
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

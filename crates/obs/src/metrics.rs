@@ -1,0 +1,183 @@
+//! Trace aggregation and the machine-readable metrics document.
+//!
+//! [`summarize`] folds a drained event stream into per-kind, per-thread
+//! and per-phase totals — the numbers behind the stall-attribution report
+//! and the `--metrics` export. The JSON schema is versioned
+//! (`rvhpc-metrics/1`) so downstream tooling can detect layout changes.
+
+use crate::event::{Event, EventKind};
+use crate::json::JsonValue;
+use std::collections::BTreeMap;
+
+/// Schema tag stamped into every metrics document.
+pub const METRICS_SCHEMA: &str = "rvhpc-metrics/1";
+
+/// Base metrics document: schema tag plus generator name; callers add
+/// their own sections before writing.
+pub fn document(generator: &str) -> JsonValue {
+    JsonValue::object([
+        ("schema".to_string(), JsonValue::from(METRICS_SCHEMA)),
+        ("generator".to_string(), JsonValue::from(generator)),
+    ])
+}
+
+/// Count / total / max duration for a group of spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanTotals {
+    /// Number of spans in the group.
+    pub count: u64,
+    /// Sum of their durations in microseconds.
+    pub total_us: u64,
+    /// Longest single span in microseconds.
+    pub max_us: u64,
+}
+
+impl SpanTotals {
+    fn add(&mut self, dur_us: u64) {
+        self.count += 1;
+        self.total_us += dur_us;
+        self.max_us = self.max_us.max(dur_us);
+    }
+
+    fn to_json(self) -> JsonValue {
+        JsonValue::object([
+            ("count".to_string(), JsonValue::from(self.count)),
+            ("total_us".to_string(), JsonValue::from(self.total_us)),
+            ("max_us".to_string(), JsonValue::from(self.max_us)),
+        ])
+    }
+}
+
+/// Aggregated view of a drained trace.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Totals per event kind (keyed by [`EventKind::label`]).
+    pub per_kind: BTreeMap<&'static str, SpanTotals>,
+    /// Barrier wait time per team thread, microseconds.
+    pub barrier_wait_us_by_thread: BTreeMap<u32, u64>,
+    /// Totals per phase name (only [`EventKind::Phase`] events).
+    pub per_phase: BTreeMap<&'static str, SpanTotals>,
+    /// Work-sharing chunks acquired per thread (only
+    /// [`EventKind::ChunkAcquire`]); value is (chunks, iterations).
+    pub chunks_by_thread: BTreeMap<u32, (u64, u64)>,
+}
+
+/// Fold events into a [`Summary`]. Counter events contribute to
+/// `per_kind` counts but no durations.
+pub fn summarize(events: &[Event]) -> Summary {
+    let mut s = Summary::default();
+    for ev in events {
+        s.per_kind.entry(ev.kind.label()).or_default().add(ev.dur_us);
+        match ev.kind {
+            EventKind::BarrierWait => {
+                *s.barrier_wait_us_by_thread.entry(ev.tid).or_default() += ev.dur_us;
+            }
+            EventKind::Phase => {
+                s.per_phase.entry(ev.name).or_default().add(ev.dur_us);
+            }
+            EventKind::ChunkAcquire => {
+                let e = s.chunks_by_thread.entry(ev.tid).or_default();
+                e.0 += 1;
+                e.1 += ev.arg;
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+impl Summary {
+    /// Render the summary as a JSON section for the metrics document.
+    pub fn to_json(&self) -> JsonValue {
+        let kinds = self
+            .per_kind
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_json()));
+        let barrier = self
+            .barrier_wait_us_by_thread
+            .iter()
+            .map(|(tid, us)| (tid.to_string(), JsonValue::from(*us)));
+        let phases = self
+            .per_phase
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_json()));
+        let chunks = self.chunks_by_thread.iter().map(|(tid, (n, iters))| {
+            (
+                tid.to_string(),
+                JsonValue::object([
+                    ("chunks".to_string(), JsonValue::from(*n)),
+                    ("iterations".to_string(), JsonValue::from(*iters)),
+                ]),
+            )
+        });
+        JsonValue::object([
+            ("per_kind".to_string(), JsonValue::object(kinds)),
+            (
+                "barrier_wait_us_by_thread".to_string(),
+                JsonValue::object(barrier),
+            ),
+            ("per_phase".to_string(), JsonValue::object(phases)),
+            ("chunks_by_thread".to_string(), JsonValue::object(chunks)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, name: &'static str, tid: u32, dur: u64, arg: u64) -> Event {
+        Event {
+            kind,
+            name,
+            tid,
+            start_us: 0,
+            dur_us: dur,
+            arg,
+        }
+    }
+
+    #[test]
+    fn summarize_groups_by_kind_thread_and_phase() {
+        let events = [
+            ev(EventKind::BarrierWait, "barrier", 0, 10, 0),
+            ev(EventKind::BarrierWait, "barrier", 0, 5, 0),
+            ev(EventKind::BarrierWait, "barrier", 1, 7, 0),
+            ev(EventKind::Phase, "spmv-stream", 0, 100, 0),
+            ev(EventKind::Phase, "spmv-stream", 1, 90, 0),
+            ev(EventKind::ChunkAcquire, "dynamic", 1, 1, 64),
+            ev(EventKind::ChunkAcquire, "dynamic", 1, 1, 32),
+        ];
+        let s = summarize(&events);
+        assert_eq!(s.barrier_wait_us_by_thread[&0], 15);
+        assert_eq!(s.barrier_wait_us_by_thread[&1], 7);
+        let phase = s.per_phase["spmv-stream"];
+        assert_eq!(phase.count, 2);
+        assert_eq!(phase.total_us, 190);
+        assert_eq!(phase.max_us, 100);
+        assert_eq!(s.chunks_by_thread[&1], (2, 96));
+        assert_eq!(s.per_kind["barrier-wait"].count, 3);
+    }
+
+    #[test]
+    fn summary_json_parses_and_carries_totals() {
+        let events = [ev(EventKind::BarrierWait, "barrier", 2, 42, 0)];
+        let text = summarize(&events).to_json().to_json();
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("barrier_wait_us_by_thread")
+                .and_then(|m| m.get("2"))
+                .and_then(JsonValue::as_f64),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn document_is_schema_stamped() {
+        let doc = document("npb");
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(METRICS_SCHEMA)
+        );
+    }
+}

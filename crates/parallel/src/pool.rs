@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
+use rvhpc_obs::{self as obs, EventKind};
 
 use crate::barrier::{Barrier, BarrierKind};
 use crate::schedule::{self, Schedule};
@@ -97,6 +98,8 @@ pub struct Pool {
     team: Arc<TeamShared>,
     handles: Vec<std::thread::JoinHandle<()>>,
     nthreads: usize,
+    /// Parallel regions forked so far; tags Region trace events.
+    regions: AtomicU64,
 }
 
 impl Pool {
@@ -137,6 +140,7 @@ impl Pool {
             team,
             handles,
             nthreads,
+            regions: AtomicU64::new(0),
         }
     }
 
@@ -162,16 +166,28 @@ impl Pool {
         let n = self.nthreads;
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         {
+            // Snapshot the tracing switch once per region; every Team copy
+            // then branches on a register-resident bool, so instrumented
+            // inner loops cost nothing when tracing is off.
+            let recorder = obs::handle();
+            let region = if recorder.is_enabled() {
+                self.regions.fetch_add(1, Ordering::Relaxed)
+            } else {
+                0
+            };
             let team_shared = Arc::clone(&self.team);
             let results = &results;
             let job = move |tid: usize| {
+                let span = recorder.span_start();
                 let team = Team {
                     tid,
                     nthreads: n,
                     shared: &team_shared,
+                    recorder,
                 };
                 let r = f(&team);
                 *results[tid].lock() = Some(r);
+                recorder.record_span(span, EventKind::Region, "parallel", tid as u32, region);
             };
             self.run_erased(&job);
         }
@@ -269,6 +285,8 @@ pub struct Team<'a> {
     tid: usize,
     nthreads: usize,
     shared: &'a Arc<TeamShared>,
+    /// Region-scoped tracing snapshot (see [`rvhpc_obs::handle`]).
+    recorder: obs::RecorderHandle,
 }
 
 impl Team<'_> {
@@ -284,10 +302,29 @@ impl Team<'_> {
         self.nthreads
     }
 
-    /// Full team barrier (`#pragma omp barrier`).
+    /// Full team barrier (`#pragma omp barrier`). With tracing on, the
+    /// entry-to-exit wait is recorded as a `barrier-wait` span — on the
+    /// last thread to arrive it is ~0, on early arrivers it measures load
+    /// imbalance directly.
     #[inline]
     pub fn barrier(&self) {
+        let span = self.recorder.span_start();
         self.shared.barrier.wait(self.tid);
+        self.recorder
+            .record_span(span, EventKind::BarrierWait, "barrier", self.tid as u32, 0);
+    }
+
+    /// Run `f` as a named algorithmic phase. With tracing on, this
+    /// thread's execution of `f` is recorded as a `phase` span under
+    /// `name` — benchmarks use names matching their `PhaseProfile`
+    /// entries, so traces line up with the analytic workload model.
+    #[inline]
+    pub fn phase<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let span = self.recorder.span_start();
+        let r = f();
+        self.recorder
+            .record_span(span, EventKind::Phase, name, self.tid as u32, 0);
+        r
     }
 
     /// The contiguous sub-range of `lo..hi` owned by this thread under a
@@ -300,39 +337,52 @@ impl Team<'_> {
 
     /// `#pragma omp for schedule(static)` with an implicit ending barrier.
     #[inline]
-    pub fn for_static(&self, lo: usize, hi: usize, mut body: impl FnMut(usize)) {
-        for i in self.static_range(lo, hi) {
-            body(i);
-        }
+    pub fn for_static(&self, lo: usize, hi: usize, body: impl FnMut(usize)) {
+        self.for_static_nowait(lo, hi, body);
         self.barrier();
     }
 
     /// Static loop without the ending barrier (`nowait`).
     #[inline]
     pub fn for_static_nowait(&self, lo: usize, hi: usize, mut body: impl FnMut(usize)) {
-        for i in self.static_range(lo, hi) {
+        let range = self.static_range(lo, hi);
+        let len = range.len() as u64;
+        let span = self.recorder.span_start();
+        for i in range {
             body(i);
         }
+        self.recorder
+            .record_span(span, EventKind::ChunkAcquire, "static", self.tid as u32, len);
     }
 
     /// Work-sharing loop with an arbitrary [`Schedule`] and implicit ending
     /// barrier. Dynamic and guided schedules share work through a team-wide
     /// counter; static schedules never touch shared state.
+    ///
+    /// With tracing on, every chunk a thread claims is recorded as a
+    /// `chunk-acquire` span (claim through completion, `arg` = iterations),
+    /// named after the schedule kind.
     pub fn for_schedule(&self, lo: usize, hi: usize, sched: Schedule, mut body: impl FnMut(usize)) {
         match sched {
             Schedule::Static => {
-                for i in self.static_range(lo, hi) {
-                    body(i);
-                }
+                self.for_static_nowait(lo, hi, body);
             }
             Schedule::StaticChunk(chunk) => {
                 let chunk = chunk.max(1);
                 let mut start = lo + self.tid * chunk;
                 while start < hi {
                     let end = (start + chunk).min(hi);
+                    let span = self.recorder.span_start();
                     for i in start..end {
                         body(i);
                     }
+                    self.recorder.record_span(
+                        span,
+                        EventKind::ChunkAcquire,
+                        "static-chunk",
+                        self.tid as u32,
+                        (end - start) as u64,
+                    );
                     start += self.nthreads * chunk;
                 }
             }
@@ -340,6 +390,7 @@ impl Team<'_> {
                 let chunk = chunk.max(1);
                 let counter = self.claim_loop_counter();
                 loop {
+                    let span = self.recorder.span_start();
                     let start = lo + counter.fetch_add(chunk, Ordering::Relaxed);
                     if start >= hi {
                         break;
@@ -348,6 +399,13 @@ impl Team<'_> {
                     for i in start..end {
                         body(i);
                     }
+                    self.recorder.record_span(
+                        span,
+                        EventKind::ChunkAcquire,
+                        "dynamic",
+                        self.tid as u32,
+                        (end - start) as u64,
+                    );
                 }
             }
             Schedule::Guided(min_chunk) => {
@@ -356,6 +414,7 @@ impl Team<'_> {
                 let counter = self.claim_loop_counter();
                 loop {
                     // Claim a chunk proportional to the remaining work.
+                    let span = self.recorder.span_start();
                     let claimed;
                     let mut size;
                     loop {
@@ -383,6 +442,13 @@ impl Team<'_> {
                     for i in lo + claimed..lo + claimed + size {
                         body(i);
                     }
+                    self.recorder.record_span(
+                        span,
+                        EventKind::ChunkAcquire,
+                        "guided",
+                        self.tid as u32,
+                        size as u64,
+                    );
                 }
             }
         }
@@ -497,9 +563,19 @@ impl Team<'_> {
     }
 
     /// Execute `f` under the team's critical-section lock
-    /// (`#pragma omp critical`).
+    /// (`#pragma omp critical`). With tracing on, the time spent *waiting
+    /// to acquire* the lock is recorded as a `critical-wait` span — the
+    /// direct measure of critical-section contention.
     pub fn critical<R>(&self, f: impl FnOnce() -> R) -> R {
+        let span = self.recorder.span_start();
         let _guard = self.shared.critical.lock();
+        self.recorder.record_span(
+            span,
+            EventKind::CriticalWait,
+            "critical",
+            self.tid as u32,
+            0,
+        );
         f()
     }
 

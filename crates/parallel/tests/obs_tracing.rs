@@ -1,0 +1,156 @@
+//! Integration tests for runtime tracing: the events the pool records must
+//! reconstruct what actually happened — barrier waits account for load
+//! imbalance, chunk events account for every iteration, and a disabled
+//! recorder records nothing.
+//!
+//! The recorder is process-global, so every test serializes on TEST_LOCK
+//! and identifies its own events as the suffix past a pre-test drain
+//! (event start times are monotonic, so the suffix is exactly this test's
+//! events).
+
+use rvhpc_obs::{self as obs, Event, EventKind};
+use rvhpc_parallel::{Pool, Schedule};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with tracing enabled and return only the events it recorded.
+fn traced(f: impl FnOnce()) -> Vec<Event> {
+    obs::set_enabled(true);
+    let before = obs::drain_all().events.len();
+    f();
+    obs::set_enabled(false);
+    obs::drain_all().events.split_off(before)
+}
+
+#[test]
+fn barrier_wait_accounts_for_static_imbalance() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let nthreads = 4;
+    let pool = Pool::new(nthreads);
+    let events = traced(|| {
+        pool.run(|team| {
+            // One iteration per thread; thread 0's is ~16x heavier, so
+            // threads 1..3 spend the difference waiting in the ending
+            // barrier of `for_static`.
+            team.for_static(0, nthreads, |i| {
+                std::thread::sleep(Duration::from_millis(if i == 0 { 80 } else { 5 }));
+            });
+        });
+    });
+
+    let mut chunk_finish_us = vec![0u64; nthreads]; // end of each thread's work
+    let mut barrier_wait_us = vec![0u64; nthreads];
+    for e in &events {
+        match e.kind {
+            EventKind::ChunkAcquire => {
+                assert_eq!(e.name, "static");
+                chunk_finish_us[e.tid as usize] = e.start_us + e.dur_us;
+            }
+            EventKind::BarrierWait => barrier_wait_us[e.tid as usize] += e.dur_us,
+            _ => {}
+        }
+    }
+
+    // Self-consistency: each thread's barrier wait must equal the gap
+    // between its own finish and the last finisher's, within scheduling
+    // jitter. Both sides come from the same trace, so the check does not
+    // depend on absolute machine speed.
+    let last_finish = *chunk_finish_us.iter().max().expect("4 threads");
+    const JITTER_US: u64 = 40_000;
+    for tid in 0..nthreads {
+        let expected = last_finish - chunk_finish_us[tid];
+        let got = barrier_wait_us[tid];
+        assert!(
+            got.abs_diff(expected) <= JITTER_US,
+            "tid {tid}: barrier wait {got}us, expected ~{expected}us from chunk finish times"
+        );
+    }
+    // And the imbalance itself must be visible: the heavy thread waited
+    // the least, the light threads measurably more.
+    let heavy = barrier_wait_us[0];
+    for (tid, &w) in barrier_wait_us.iter().enumerate().skip(1) {
+        assert!(
+            w > heavy,
+            "light thread {tid} waited {w}us, not more than heavy thread's {heavy}us"
+        );
+    }
+}
+
+#[test]
+fn chunk_events_account_for_every_iteration() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let pool = Pool::new(3);
+    let total = 1003usize;
+    let chunk = 7usize;
+    let events = traced(|| {
+        pool.run(|team| {
+            team.for_schedule(0, total, Schedule::Dynamic(chunk), |_| {});
+            team.for_schedule(0, total, Schedule::Guided(4), |_| {});
+        });
+    });
+
+    for (name, expected_max) in [("dynamic", chunk as u64), ("guided", u64::MAX)] {
+        let chunks: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::ChunkAcquire && e.name == name)
+            .collect();
+        let covered: u64 = chunks.iter().map(|e| e.arg).sum();
+        assert_eq!(
+            covered, total as u64,
+            "{name}: chunk args must sum to the iteration count"
+        );
+        assert!(
+            chunks.iter().all(|e| e.arg >= 1 && e.arg <= expected_max),
+            "{name}: chunk sizes within schedule bounds"
+        );
+    }
+    let dynamic_count = events
+        .iter()
+        .filter(|e| e.kind == EventKind::ChunkAcquire && e.name == "dynamic")
+        .count();
+    assert_eq!(dynamic_count, total.div_ceil(chunk));
+}
+
+#[test]
+fn region_and_critical_events_are_recorded_per_thread() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let pool = Pool::new(2);
+    let events = traced(|| {
+        pool.run(|team| {
+            team.critical(|| std::hint::black_box(team.tid()));
+            team.barrier();
+        });
+    });
+    let mut region_tids: Vec<u32> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Region && e.name == "parallel")
+        .map(|e| e.tid)
+        .collect();
+    region_tids.sort_unstable();
+    assert_eq!(region_tids, vec![0, 1]);
+    let critical_count = events
+        .iter()
+        .filter(|e| e.kind == EventKind::CriticalWait)
+        .count();
+    assert_eq!(critical_count, 2);
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    obs::set_enabled(false);
+    let before = obs::drain_all().events.len();
+    let pool = Pool::new(3);
+    pool.run(|team| {
+        team.for_static(0, 100, |_| {});
+        team.critical(|| {});
+        team.for_schedule(0, 100, Schedule::Guided(2), |_| {});
+    });
+    assert_eq!(
+        obs::drain_all().events.len(),
+        before,
+        "tracing off must record no events"
+    );
+}

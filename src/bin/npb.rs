@@ -2,13 +2,22 @@
 //! reference suite's per-benchmark binaries.
 //!
 //! ```text
-//! npb <BENCH|all> [CLASS] [THREADS]
+//! npb [OPTIONS] [BENCH|all] [CLASS] [THREADS]
 //!   BENCH   is ep cg mg ft bt sp lu | all     (default: all)
 //!   CLASS   T S W A B C                       (default: S)
 //!   THREADS team size                         (default: available cores)
+//!
+//! Options:
+//!   --trace <FILE>  write a Chrome trace_event timeline of the run
+//!                   (implies tracing on; RVHPC_TRACE=1 also enables it)
+//!   -h, --help      print this help and exit
 //! ```
+//!
+//! Exit codes: `0` all benchmarks verified, `1` at least one verification
+//! failed, `2` usage error, `3` trace file could not be written.
 
 use rvhpc::npb::{self, BenchmarkId, Class};
+use rvhpc::obs;
 use rvhpc::parallel::Pool;
 
 fn parse_bench(s: &str) -> Option<Vec<BenchmarkId>> {
@@ -27,28 +36,60 @@ fn parse_class(s: &str) -> Option<Class> {
         .find(|c| c.name().eq_ignore_ascii_case(s))
 }
 
-fn usage() -> ! {
-    eprintln!("usage: npb <BENCH|all> [CLASS] [THREADS]");
-    eprintln!(
-        "  BENCH:   {} | all",
-        BenchmarkId::ALL.map(|b| b.name()).join(" ")
-    );
-    eprintln!("  CLASS:   {}", Class::ALL.map(|c| c.name()).join(" "));
-    eprintln!("  THREADS: positive integer (default: available cores)");
+fn usage_text() -> String {
+    format!(
+        "usage: npb [OPTIONS] [BENCH|all] [CLASS] [THREADS]\n\
+         \x20 BENCH:   {} | all (default: all)\n\
+         \x20 CLASS:   {} (default: S)\n\
+         \x20 THREADS: positive integer (default: available cores)\n\
+         options:\n\
+         \x20 --trace <FILE>  write a Chrome trace_event timeline of the run\n\
+         \x20                 (implies tracing on; {}=1 also enables it)\n\
+         \x20 -h, --help      print this help and exit\n\
+         exit codes: 0 verified, 1 verification failure, 2 usage error,\n\
+         \x20           3 trace write failure",
+        BenchmarkId::ALL.map(|b| b.name()).join(" "),
+        Class::ALL.map(|c| c.name()).join(" "),
+        obs::TRACE_ENV,
+    )
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("npb: {msg}");
+    eprintln!("{}", usage_text());
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let benches = match args.first() {
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{}", usage_text());
+                return;
+            }
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(p.into()),
+                None => usage_error("--trace requires a file argument"),
+            },
+            s if s.starts_with('-') => usage_error(&format!("unknown option '{s}'")),
+            _ => positional.push(arg),
+        }
+    }
+
+    let benches = match positional.first() {
         None => BenchmarkId::ALL.to_vec(),
-        Some(s) => parse_bench(s).unwrap_or_else(|| usage()),
+        Some(s) => {
+            parse_bench(s).unwrap_or_else(|| usage_error(&format!("unknown benchmark '{s}'")))
+        }
     };
-    let class = match args.get(1) {
+    let class = match positional.get(1) {
         None => Class::S,
-        Some(s) => parse_class(s).unwrap_or_else(|| usage()),
+        Some(s) => parse_class(s).unwrap_or_else(|| usage_error(&format!("unknown class '{s}'"))),
     };
-    let threads = match args.get(2) {
+    let threads = match positional.get(2) {
         None => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -56,8 +97,18 @@ fn main() {
             .parse()
             .ok()
             .filter(|&n| n >= 1)
-            .unwrap_or_else(|| usage()),
+            .unwrap_or_else(|| usage_error(&format!("invalid thread count '{s}'"))),
     };
+    if positional.len() > 3 {
+        usage_error("too many arguments");
+    }
+
+    // RVHPC_TRACE=1 enables recording; --trace both enables it and names
+    // the output file.
+    obs::init_from_env();
+    if trace_path.is_some() {
+        obs::set_enabled(true);
+    }
 
     let pool = Pool::new(threads);
     println!(
@@ -72,5 +123,24 @@ fn main() {
             failures += 1;
         }
     }
+
+    if let Some(path) = trace_path {
+        let trace = obs::drain_all();
+        if let Err(e) = obs::write_chrome_trace(&path, &trace) {
+            eprintln!("npb: could not write trace to {}: {e}", path.display());
+            std::process::exit(3);
+        }
+        eprintln!(
+            "wrote {} trace events to {}{}",
+            trace.events.len(),
+            path.display(),
+            if trace.dropped > 0 {
+                format!(" ({} dropped)", trace.dropped)
+            } else {
+                String::new()
+            }
+        );
+    }
+
     std::process::exit(if failures == 0 { 0 } else { 1 });
 }

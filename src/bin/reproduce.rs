@@ -1,13 +1,25 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce              # everything -> results/ + stdout
-//! reproduce table4       # one experiment to stdout
-//! reproduce extensions   # the §7 future-work table (HPL/HPCG)
+//! reproduce                        # everything -> results/ + stdout
+//! reproduce table4                 # one experiment to stdout
+//! reproduce extensions             # the §7 future-work table (HPL/HPCG)
+//! reproduce --metrics out.json \
+//!           [BENCH] [CLASS] [THREADS]   # machine-readable metrics export
 //! ```
+//!
+//! `--metrics` writes the versioned `rvhpc-metrics/1` JSON document for
+//! one predicted run on the SG2044 (default CG C 64): run identity,
+//! per-phase times, global stall attribution, and the exact per-core
+//! counter partition.
+//!
+//! Exit codes: `0` success, `2` usage error, `3` output file could not
+//! be written.
 
-use rvhpc::eval::{experiment, report, runner};
-use rvhpc::npb::BenchmarkId;
+use rvhpc::eval::model::{predict, Scenario};
+use rvhpc::eval::{experiment, metrics, report, runner};
+use rvhpc::machines::presets;
+use rvhpc::npb::{BenchmarkId, Class};
 
 fn one(slug: &str) -> Option<String> {
     let out = match slug {
@@ -28,6 +40,7 @@ fn one(slug: &str) -> Option<String> {
         "table6" => report::render_table6(&experiment::table6_data()),
         "table7" => report::render_compiler_table(&experiment::table7_data()),
         "table8" => report::render_compiler_table(&experiment::table8_data()),
+        "stalls" => report::render_stall_attribution(&experiment::stall_attribution_data()),
         "fig1" => report::ascii_plot("Figure 1 — STREAM copy", "GB/s", &experiment::fig1_data()),
         "fig2" => report::ascii_plot(
             "Figure 2 — IS",
@@ -60,18 +73,92 @@ fn one(slug: &str) -> Option<String> {
     Some(out)
 }
 
+fn usage_text() -> &'static str {
+    "usage: reproduce [EXPERIMENT]\n\
+     \x20      reproduce --metrics <FILE> [BENCH] [CLASS] [THREADS]\n\
+     \x20 EXPERIMENT: table1..table8, fig1..fig6, stalls, extensions\n\
+     \x20             (no argument: full report + results/ artifacts)\n\
+     \x20 --metrics:  write the rvhpc-metrics/1 JSON document for one\n\
+     \x20             predicted SG2044 run (default: cg C 64)\n\
+     \x20 -h, --help: print this help and exit\n\
+     exit codes: 0 success, 2 usage error, 3 output write failure"
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("reproduce: {msg}");
+    eprintln!("{}", usage_text());
+    std::process::exit(2);
+}
+
+fn write_metrics(path: &std::path::Path, rest: &[String]) {
+    let bench = match rest.first() {
+        None => BenchmarkId::Cg,
+        Some(s) => BenchmarkId::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(s))
+            .unwrap_or_else(|| usage_error(&format!("unknown benchmark '{s}'"))),
+    };
+    let class = match rest.get(1) {
+        None => Class::C,
+        Some(s) => Class::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(s))
+            .unwrap_or_else(|| usage_error(&format!("unknown class '{s}'"))),
+    };
+    let threads: u32 = match rest.get(2) {
+        None => 64,
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| usage_error(&format!("invalid thread count '{s}'"))),
+    };
+    if rest.len() > 3 {
+        usage_error("too many arguments");
+    }
+    let m = presets::sg2044();
+    let profile = rvhpc::npb::profile(bench, class);
+    let scenario = Scenario::headline(&m, threads.min(m.cores));
+    let pred = predict(&profile, &scenario);
+    let doc = metrics::prediction_document(&profile, &scenario, &pred);
+    if let Err(e) = std::fs::write(path, doc.to_json()) {
+        eprintln!("reproduce: could not write {}: {e}", path.display());
+        std::process::exit(3);
+    }
+    eprintln!(
+        "wrote metrics for {} class {} at {} threads to {}",
+        bench.name(),
+        class.name(),
+        scenario.threads,
+        path.display()
+    );
+}
+
 fn main() {
-    if let Some(slug) = std::env::args().nth(1) {
-        match one(&slug) {
-            Some(out) => println!("{out}"),
-            None => {
-                eprintln!(
-                    "unknown experiment '{slug}'; use table1..table8, fig1..fig6, or extensions"
-                );
-                std::process::exit(2);
-            }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("-h") | Some("--help") => {
+            println!("{}", usage_text());
+            return;
         }
-        return;
+        Some("--metrics") => {
+            let Some(path) = args.get(1) else {
+                usage_error("--metrics requires a file argument");
+            };
+            write_metrics(std::path::Path::new(path), &args[2..]);
+            return;
+        }
+        Some(slug) if slug.starts_with('-') => {
+            usage_error(&format!("unknown option '{slug}'"));
+        }
+        Some(slug) => {
+            match one(slug) {
+                Some(out) => println!("{out}"),
+                None => usage_error(&format!("unknown experiment '{slug}'")),
+            }
+            return;
+        }
+        None => {}
     }
     let dir = std::path::Path::new("results");
     match runner::write_artifacts(dir) {

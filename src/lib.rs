@@ -9,5 +9,6 @@ pub use rvhpc_core as eval;
 pub use rvhpc_extras as extras;
 pub use rvhpc_machines as machines;
 pub use rvhpc_npb as npb;
+pub use rvhpc_obs as obs;
 pub use rvhpc_parallel as parallel;
 pub use rvhpc_stream as stream;

@@ -1,0 +1,216 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the bench harness uses:
+//! `Criterion::default()` with `sample_size`/`warm_up_time`/
+//! `measurement_time` builders, `bench_function(name, |b| b.iter(..))`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock loop: warm up for `warm_up_time`,
+//! then collect `sample_size` samples within `measurement_time` and report
+//! min/median/max per-iteration latency. No statistical outlier analysis,
+//! no HTML reports, no baseline comparison — the harness benches exist to
+//! print regenerated paper tables and provide a coarse regression signal,
+//! which this loop preserves.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Benchmark manager: collects timing samples for named functions.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total time spent collecting samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run `routine` under the timing loop and print a summary line.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up doubles as calibration: double the batch size until one
+        // batch covers the warm-up window, so each measured sample has
+        // enough iterations to be meaningfully above timer resolution.
+        let warm_start = Instant::now();
+        loop {
+            b.elapsed = Duration::ZERO;
+            routine(&mut b);
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+            if b.elapsed * 2 < self.warm_up_time {
+                b.iters = b.iters.saturating_mul(2);
+            }
+        }
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        if b.elapsed > Duration::ZERO && b.elapsed < per_sample {
+            let scale = per_sample.as_secs_f64() / b.elapsed.as_secs_f64();
+            b.iters = ((b.iters as f64 * scale).ceil() as u64).max(1);
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let bench_start = Instant::now();
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            routine(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            if bench_start.elapsed() > self.measurement_time * 4 {
+                break; // routine is far slower than budgeted; keep what we have
+            }
+        }
+
+        samples.sort_by(|a, c| a.partial_cmp(c).expect("non-NaN timing"));
+        let median = samples[samples.len() / 2];
+        println!(
+            "{id:<40} time: [{} {} {}] ({} samples x {} iters)",
+            fmt_time(samples[0]),
+            fmt_time(median),
+            fmt_time(*samples.last().expect("at least one sample")),
+            samples.len(),
+            b.iters,
+        );
+        self
+    }
+
+    /// Criterion's final-summary hook; nothing to flush here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `inner`, executed `iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(inner());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Define a benchmark group: a function that runs each target under the
+/// given config (or `Criterion::default()` when no config is supplied).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running each group. Cargo passes `--bench` and filter
+/// arguments; this runner executes every group regardless.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0, "routine must actually execute");
+    }
+
+    #[test]
+    fn fmt_time_picks_unit() {
+        assert!(fmt_time(2e-9).ends_with("ns"));
+        assert!(fmt_time(2e-6).ends_with("µs"));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2.0).ends_with('s'));
+    }
+
+    criterion_group! { name = group_default_form; config = Criterion::default().sample_size(2).warm_up_time(Duration::from_millis(1)).measurement_time(Duration::from_millis(2)); targets = tiny_target }
+
+    fn tiny_target(c: &mut Criterion) {
+        c.bench_function("tiny", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_macro_produces_callable() {
+        group_default_form();
+    }
+}

@@ -1,0 +1,85 @@
+//! Offline stand-in for the `crossbeam` façade.
+//!
+//! The workspace uses exactly one item from crossbeam —
+//! [`utils::CachePadded`] — to keep hot atomics (barrier counters, dynamic
+//! loop cursors, per-thread reduction slots) on their own cache lines. This
+//! shim provides a drop-in implementation so the parallel runtime builds
+//! without network access.
+
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes.
+    ///
+    /// 128 rather than 64 because adjacent-line ("next-line") prefetchers on
+    /// modern x86 pull line pairs, so true isolation needs two lines — the
+    /// same choice the real crossbeam makes on x86-64 and aarch64.
+    #[derive(Clone, Copy, Default, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    unsafe impl<T: Send> Send for CachePadded<T> {}
+    unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+    impl<T> CachePadded<T> {
+        /// Pads and aligns `value` to 128 bytes.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("CachePadded")
+                .field("value", &self.value)
+                .finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn padded_is_at_least_128_aligned_and_sized() {
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= 128);
+    }
+
+    #[test]
+    fn deref_reaches_inner_value() {
+        let c = CachePadded::new(AtomicUsize::new(7));
+        assert_eq!(c.load(Ordering::Relaxed), 7);
+        c.store(9, Ordering::Relaxed);
+        assert_eq!(c.into_inner().into_inner(), 9);
+    }
+}

@@ -1,0 +1,365 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use — the `proptest!` macro with `arg in strategy` bindings,
+//! `prop_assert!`/`prop_assert_eq!`, `ProptestConfig::with_cases`, numeric
+//! range strategies, `prop::collection::vec` and `prop::array::uniformN` —
+//! over a deterministic SplitMix64 generator.
+//!
+//! Differences from the real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its index and message; rerun
+//!   with the same binary to reproduce (generation is fully deterministic).
+//! * **No persistence.** `*.proptest-regressions` files are ignored.
+//! * **Uniform sampling only.** Real proptest biases toward edge values;
+//!   here ranges are sampled uniformly, so tests relying on edge-case bias
+//!   may need explicit unit tests for boundaries (this workspace's already
+//!   have them).
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A source of generated values, parameterized by a deterministic RNG.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u128;
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty => $u:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.next_unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + (rng.next_unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// Borrowed strategies work too (`&strat` in macro expansions).
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real proptest default; individual blocks override via
+            // `#![proptest_config(ProptestConfig::with_cases(n))]`.
+            Self { cases: 256 }
+        }
+    }
+
+    /// A failed property check (produced by `prop_assert!`).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic SplitMix64 generator: every run of a test binary sees
+    /// identical inputs (case `i` of test `t` depends only on `i` and `t`).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one test case, keyed by test name and case index.
+        pub fn deterministic(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the test name decorrelates tests that share a
+            // case index.
+            let mut h = 0xcbf29ce484222325u64;
+            for b in test_name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+            }
+            Self {
+                state: h ^ (u64::from(case).wrapping_mul(0x9E3779B97F4A7C15)),
+            }
+        }
+
+        /// Next 64 uniform random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Strategy combinators, addressed as `prop::collection::vec(...)` etc.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s with lengths drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// `Vec` of values from `element`, with a length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.size.generate(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy producing `[S::Value; N]`.
+        pub struct UniformArrayStrategy<S, const N: usize> {
+            element: S,
+        }
+
+        impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+            type Value = [S::Value; N];
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                std::array::from_fn(|_| self.element.generate(rng))
+            }
+        }
+
+        macro_rules! uniform_array {
+            ($($name:ident => $n:literal),*) => {$(
+                /// Array of values drawn independently from `element`.
+                pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                    UniformArrayStrategy { element }
+                }
+            )*};
+        }
+        uniform_array!(
+            uniform2 => 2, uniform3 => 3, uniform4 => 4, uniform5 => 5,
+            uniform8 => 8, uniform16 => 16, uniform32 => 32
+        );
+    }
+}
+
+/// The common imports property tests use.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` runs the
+/// body over `config.cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr);) => {};
+    (@cfg ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name), case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                let outcome: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn int_ranges_stay_in_bounds(x in 3usize..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn float_ranges_stay_in_bounds(v in -2.5f64..2.5) {
+            prop_assert!((-2.5..2.5).contains(&v));
+        }
+
+        #[test]
+        fn vec_respects_size_range(x in prop::collection::vec(0u32..10, 2..9)) {
+            prop_assert!((2..9).contains(&x.len()));
+            prop_assert!(x.iter().all(|&v| v < 10));
+        }
+
+        #[test]
+        fn arrays_have_fixed_len(a in prop::array::uniform5(-1.0f64..1.0)) {
+            prop_assert_eq!(a.len(), 5);
+            prop_assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+        }
+
+        #[test]
+        fn early_ok_return_is_supported(n in 0u32..10) {
+            if n > 100 {
+                return Ok(());
+            }
+            prop_assert!(n < 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::deterministic("t", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("t", 3);
+        let s = 0u64..1_000_000;
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn distinct_tests_decorrelate() {
+        let mut a = crate::test_runner::TestRng::deterministic("alpha", 0);
+        let mut b = crate::test_runner::TestRng::deterministic("beta", 0);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,50 @@
+//! Offline stand-in for the `serde` façade.
+//!
+//! The container this workspace builds in has no crates.io access, and the
+//! workspace's own dependency policy (DESIGN.md) keeps all serialization
+//! hand-rolled anyway: `#[derive(Serialize)]` annotations exist so types
+//! *declare* they are export-safe, but every exporter writes JSON/CSV/
+//! markdown through its own formatter. This shim keeps those annotations
+//! compiling: marker traits with blanket impls, plus derives that expand to
+//! nothing (see `serde_derive`).
+//!
+//! If the real serde is ever restored, delete `vendor/serde*` and point the
+//! workspace dependency back at crates.io — no call sites change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    // Use the derives exactly the way workspace crates do.
+    #[derive(Debug, Clone, Copy, Default, crate::Serialize, crate::Deserialize)]
+    struct Stats {
+        accesses: u64,
+        misses: u64,
+    }
+
+    #[derive(Debug, crate::Serialize)]
+    enum Kind {
+        #[allow(dead_code)]
+        A,
+        #[allow(dead_code)]
+        B(u32),
+    }
+
+    fn assert_serialize<T: crate::Serialize>(_t: &T) {}
+
+    #[test]
+    fn derive_compiles_and_blanket_impl_applies() {
+        let s = Stats::default();
+        assert_serialize(&s);
+        assert_serialize(&Kind::B(3));
+        assert_eq!(s.accesses + s.misses, 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace builds in an offline container, so the real `serde_derive`
+//! cannot be fetched. Nothing in the tree calls serde's serialization
+//! machinery (all JSON/CSV/markdown output is hand-rolled — the dependency
+//! policy in DESIGN.md stops at `serde` itself), so the derives only need to
+//! *parse*: the companion `serde` shim provides blanket trait impls, and
+//! these macros emit no code at all.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (with optional `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (with optional `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
