@@ -27,7 +27,7 @@ use rvhpc_machines::{CoreModel, MemorySpec};
 use serde::{Deserialize, Serialize};
 
 /// Which bandwidth-saturation law the model uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum SaturationLaw {
     /// `min(demand, Bmax)`.
     HardKnee,
@@ -170,7 +170,10 @@ mod tests {
         // at 64 cores exceeds depth-per-core at 1 core.
         let d1 = d.queue_depth(1);
         let d64 = d.queue_depth(64);
-        assert!(d64 > d1, "queue must deepen under load: {d1:.1} vs {d64:.1}");
+        assert!(
+            d64 > d1,
+            "queue must deepen under load: {d1:.1} vs {d64:.1}"
+        );
         assert!(
             d64 / 64.0 > d1 / 1.5,
             "per-core occupancy inflates near saturation: {d1:.1} vs {d64:.1}"

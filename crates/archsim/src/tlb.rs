@@ -24,7 +24,10 @@ impl Tlb {
     /// power of two), `ways`-associative.
     pub fn new(entries: usize, ways: usize, page_bytes: u64, walk_cycles: u32) -> Self {
         assert!(page_bytes.is_power_of_two());
-        assert!(entries.is_multiple_of(ways), "entries must divide into ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must divide into ways"
+        );
         // Represent each page as one "line" of `page_bytes`.
         let sets = entries / ways;
         Self {

@@ -1,0 +1,157 @@
+//! Sharded, thread-safe memo cache with hit/miss accounting.
+//!
+//! The engine keeps two of these: `(bench, class)` → [`WorkloadProfile`]
+//! and [`CacheKey`](crate::engine::CacheKey) → `Prediction`. Values are
+//! handed out as `Arc`s so renders can hold results without cloning the
+//! payload; counters are plain relaxed atomics read by the `engine`
+//! metrics section.
+//!
+//! Lookups never hold a lock across the compute closure: on a miss the
+//! value is produced outside the shard lock and inserted afterwards. Two
+//! racing threads may both compute the same key — the first insert wins
+//! and both observe the same stored value on the next probe — but the
+//! executor deduplicates plans before dispatch, so in practice every key
+//! is computed exactly once.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Number of independent shards; a power of two so the selector is a mask.
+const SHARDS: usize = 16;
+
+/// A sharded `HashMap<K, Arc<V>>` memo table.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, Arc<V>>>>,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<V>>> {
+        let h = self.hasher.hash_one(key);
+        &self.shards[(h as usize) & (SHARDS - 1)]
+    }
+
+    /// Look the key up without computing or counting.
+    pub fn peek(&self, key: &K) -> Option<Arc<V>> {
+        self.shard(key).lock().get(key).cloned()
+    }
+
+    /// Fetch the value for `key`, computing it with `f` on a miss. The
+    /// closure runs outside the shard lock.
+    pub fn get_or_insert_with(&self, key: &K, f: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(v) = self.shard(key).lock().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(f());
+        let mut shard = self.shard(key).lock();
+        Arc::clone(shard.entry(key.clone()).or_insert(computed))
+    }
+
+    /// Insert a precomputed value (used by the batch executor after a
+    /// parallel fill). Counts as neither hit nor miss — the executor
+    /// already counted the probe that scheduled the computation.
+    pub fn insert(&self, key: K, value: Arc<V>) {
+        self.shard(&key).lock().entry(key).or_insert(value);
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Count a probe that found the key present, performed by the
+    /// executor's batch pre-pass.
+    pub fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a probe that missed and scheduled a computation.
+    pub fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counters_track_probes() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new();
+        for i in 0..10u32 {
+            let v = c.get_or_insert_with(&(i % 3), || i % 3 + 100);
+            assert_eq!(*v, i % 3 + 100);
+        }
+        assert_eq!(c.misses(), 3);
+        assert_eq!(c.hits(), 7);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn racing_inserts_converge_on_one_value() {
+        let c: Arc<ShardedCache<u32, u64>> = Arc::new(ShardedCache::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    for k in 0..64u32 {
+                        seen.push(*c.get_or_insert_with(&k, || u64::from(k) * 31 + t));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let all: Vec<Vec<u64>> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        // The first insert wins; every probe (including the computing
+        // thread that lost the race) returns the stored value.
+        for k in 0..64usize {
+            let stored = *c.peek(&(k as u32)).expect("stored");
+            assert!((0..8).any(|t| stored == k as u64 * 31 + t));
+            for seen in &all {
+                assert_eq!(seen[k], stored, "thread observed a non-stored value");
+            }
+        }
+        assert_eq!(c.len(), 64);
+        assert_eq!(c.hits() + c.misses(), 8 * 64);
+    }
+}

@@ -1,0 +1,416 @@
+//! The batch prediction executor.
+//!
+//! [`Engine`] owns the two memo caches (workload profiles and
+//! predictions) and evaluates [`Plan`]s: the plan's queries are
+//! deduplicated by content-addressed [`CacheKey`], cache hits are served
+//! directly, and the remaining misses are computed in parallel on the
+//! workspace's own OpenMP-style pool ([`rvhpc_parallel::Pool`]) — the
+//! runtime the benchmarks run on is also the runtime the evaluation runs
+//! on. Results come back in plan order, so rendering is byte-identical
+//! to a serial evaluation regardless of the worker count.
+//!
+//! Parallelism is controlled by, in priority order: an explicit
+//! `execute_with_jobs` argument, [`set_default_jobs`] (the `--jobs` CLI
+//! flag), the `RVHPC_JOBS` environment variable, and finally the host's
+//! available parallelism.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use rvhpc_npb::profile::WorkloadProfile;
+use rvhpc_npb::{BenchmarkId, Class};
+use rvhpc_obs::JsonValue;
+use rvhpc_parallel::Pool;
+
+use crate::engine::cache::ShardedCache;
+use crate::engine::plan::{CacheKey, Plan, Query};
+use crate::model::{predict, Prediction};
+
+/// Environment variable naming the default worker count for plan
+/// execution (overridden by `--jobs` / [`set_default_jobs`]).
+pub const JOBS_ENV: &str = "RVHPC_JOBS";
+
+/// Process-wide `--jobs` override; 0 means "not set".
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-default worker count (the `reproduce --jobs N` knob).
+/// Passing 0 clears the override back to `RVHPC_JOBS` / autodetection.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// Resolve the effective default worker count: `set_default_jobs`
+/// override, then `RVHPC_JOBS`, then the host's available parallelism.
+pub fn jobs_from_env() -> usize {
+    let explicit = DEFAULT_JOBS.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Snapshot of the engine's cache and executor counters — the `engine`
+/// section of the `rvhpc-metrics/1` document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Workload-profile cache hits.
+    pub profile_hits: u64,
+    /// Workload-profile cache misses (profile derivations performed).
+    pub profile_misses: u64,
+    /// Prediction cache hits.
+    pub prediction_hits: u64,
+    /// Prediction cache misses (predictions computed).
+    pub prediction_misses: u64,
+    /// Plan executions performed.
+    pub batches: u64,
+    /// Uncached queries computed across all batches.
+    pub executed: u64,
+    /// Worker-round capacity across all batches (`jobs × rounds` summed);
+    /// `executed / capacity` is the executor occupancy.
+    pub capacity: u64,
+}
+
+impl EngineMetrics {
+    /// Fraction of scheduled worker slots that carried work (1.0 when
+    /// every parallel round was full). 1.0 for an engine that has run no
+    /// uncached work — an idle executor wastes nothing.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.executed as f64 / self.capacity as f64
+        }
+    }
+
+    /// Render as the `engine` metrics section.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "profile_cache".to_string(),
+                JsonValue::object([
+                    ("hits".to_string(), JsonValue::from(self.profile_hits)),
+                    ("misses".to_string(), JsonValue::from(self.profile_misses)),
+                ]),
+            ),
+            (
+                "prediction_cache".to_string(),
+                JsonValue::object([
+                    ("hits".to_string(), JsonValue::from(self.prediction_hits)),
+                    (
+                        "misses".to_string(),
+                        JsonValue::from(self.prediction_misses),
+                    ),
+                ]),
+            ),
+            (
+                "executor".to_string(),
+                JsonValue::object([
+                    ("batches".to_string(), JsonValue::from(self.batches)),
+                    ("executed".to_string(), JsonValue::from(self.executed)),
+                    ("capacity".to_string(), JsonValue::from(self.capacity)),
+                    ("occupancy".to_string(), JsonValue::from(self.occupancy())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A plan's results, addressable by query. Built by [`Engine::resolve`];
+/// the builders in [`crate::experiment`] use it to keep their original
+/// loop structure while reading every number from the cache.
+pub struct Resolved {
+    map: HashMap<Query, Arc<Prediction>>,
+}
+
+impl Resolved {
+    /// The prediction for `q`. Panics if `q` was not in the resolved
+    /// plan — a builder bug, not a data condition.
+    pub fn get(&self, q: &Query) -> &Prediction {
+        self.map
+            .get(q)
+            .unwrap_or_else(|| panic!("query missing from resolved plan: {q:?}"))
+    }
+}
+
+struct ExecCounters {
+    batches: u64,
+    executed: u64,
+    capacity: u64,
+}
+
+/// The cached, parallel prediction engine.
+pub struct Engine {
+    profiles: ShardedCache<(BenchmarkId, Class), WorkloadProfile>,
+    predictions: ShardedCache<CacheKey, Prediction>,
+    exec: Mutex<ExecCounters>,
+}
+
+static GLOBAL: OnceLock<Engine> = OnceLock::new();
+
+impl Engine {
+    /// A fresh engine with empty caches (tests; the production path uses
+    /// [`Engine::global`]).
+    pub fn new() -> Self {
+        Self {
+            profiles: ShardedCache::new(),
+            predictions: ShardedCache::new(),
+            exec: Mutex::new(ExecCounters {
+                batches: 0,
+                executed: 0,
+                capacity: 0,
+            }),
+        }
+    }
+
+    /// The process-wide engine every experiment, sweep and report
+    /// resolves through. Warm caches persist for the process lifetime:
+    /// a second `full_report()` in the same process recomputes nothing.
+    pub fn global() -> &'static Engine {
+        GLOBAL.get_or_init(Engine::new)
+    }
+
+    /// The workload profile for `bench`/`class`, derived at most once
+    /// per engine.
+    pub fn profile(&self, bench: BenchmarkId, class: Class) -> Arc<WorkloadProfile> {
+        self.profiles
+            .get_or_insert_with(&(bench, class), || rvhpc_npb::profile(bench, class))
+    }
+
+    /// Evaluate one query (through both caches).
+    pub fn predict_one(&self, q: Query) -> Arc<Prediction> {
+        let plan = Plan::single(q);
+        self.execute(&plan).pop().expect("single-query plan")
+    }
+
+    /// Evaluate a plan with the default worker count; results in plan
+    /// order.
+    pub fn execute(&self, plan: &Plan) -> Vec<Arc<Prediction>> {
+        self.execute_with_jobs(plan, jobs_from_env())
+    }
+
+    /// Evaluate a plan and return results addressable by query.
+    pub fn resolve(&self, plan: &Plan) -> Resolved {
+        let preds = self.execute(plan);
+        Resolved {
+            map: plan.queries().iter().copied().zip(preds).collect(),
+        }
+    }
+
+    /// Evaluate a plan with an explicit worker count; results in plan
+    /// order and byte-for-byte independent of `jobs`.
+    pub fn execute_with_jobs(&self, plan: &Plan, jobs: usize) -> Vec<Arc<Prediction>> {
+        let jobs = jobs.max(1);
+
+        // Deduplicate by content key, preserving first-seen order so the
+        // work list (and thus every counter) is deterministic.
+        let mut index_of: HashMap<CacheKey, usize> = HashMap::new();
+        let mut uniques: Vec<(CacheKey, Query)> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(plan.len());
+        for q in plan.queries() {
+            let key = plan.key_of(q);
+            let slot = *index_of.entry(key).or_insert_with(|| {
+                uniques.push((key, *q));
+                uniques.len() - 1
+            });
+            slot_of.push(slot);
+        }
+
+        // Probe the cache once per unique query.
+        let mut results: Vec<Option<Arc<Prediction>>> = Vec::with_capacity(uniques.len());
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, (key, _)) in uniques.iter().enumerate() {
+            match self.predictions.peek(key) {
+                Some(v) => {
+                    self.predictions.count_hit();
+                    results.push(Some(v));
+                }
+                None => {
+                    self.predictions.count_miss();
+                    results.push(None);
+                    misses.push(i);
+                }
+            }
+        }
+
+        // Compute the misses — in parallel on our own runtime when both
+        // the work and the worker count allow it.
+        let compute = |i: usize| -> Arc<Prediction> {
+            let (key, q) = &uniques[i];
+            let machine = plan.machine_of(q);
+            let profile = self.profile(q.bench, q.class);
+            let scenario = q.scenario(&machine);
+            let pred = Arc::new(predict(&profile, &scenario));
+            self.predictions.insert(*key, Arc::clone(&pred));
+            pred
+        };
+
+        let workers = jobs.min(misses.len().max(1));
+        if workers <= 1 || misses.len() <= 1 {
+            for &i in &misses {
+                results[i] = Some(compute(i));
+            }
+        } else {
+            let computed: Vec<Mutex<Option<Arc<Prediction>>>> =
+                misses.iter().map(|_| Mutex::new(None)).collect();
+            let pool = Pool::new(workers);
+            pool.run(|team| {
+                team.for_dynamic(0, misses.len(), 1, |k| {
+                    *computed[k].lock() = Some(compute(misses[k]));
+                });
+            });
+            for (k, &i) in misses.iter().enumerate() {
+                results[i] = Some(
+                    computed[k]
+                        .lock()
+                        .take()
+                        .expect("executor produced no result"),
+                );
+            }
+        }
+
+        // Executor accounting: how full the worker rounds were.
+        {
+            let mut c = self.exec.lock();
+            c.batches += 1;
+            c.executed += misses.len() as u64;
+            if !misses.is_empty() {
+                c.capacity += (misses.len() as u64).div_ceil(workers as u64) * workers as u64;
+            }
+        }
+
+        // Scatter unique results back to plan order.
+        slot_of
+            .iter()
+            .map(|&slot| Arc::clone(results[slot].as_ref().expect("slot filled")))
+            .collect()
+    }
+
+    /// Snapshot the cache and executor counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        let exec = self.exec.lock();
+        EngineMetrics {
+            profile_hits: self.profiles.hits(),
+            profile_misses: self.profiles.misses(),
+            prediction_hits: self.predictions.hits(),
+            prediction_misses: self.predictions.misses(),
+            batches: exec.batches,
+            executed: exec.executed,
+            capacity: exec.capacity,
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvhpc_machines::MachineId;
+
+    fn small_plan() -> Plan {
+        let mut plan = Plan::new();
+        for &b in &[BenchmarkId::Ep, BenchmarkId::Cg, BenchmarkId::Mg] {
+            for &t in &[1u32, 8, 64] {
+                plan.push(Query::paper(MachineId::Sg2044, b, Class::B, t));
+            }
+        }
+        plan
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_exactly() {
+        let serial = Engine::new();
+        let parallel = Engine::new();
+        let plan = small_plan();
+        let a = serial.execute_with_jobs(&plan, 1);
+        let b = parallel.execute_with_jobs(&plan, 8);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seconds.to_bits(), y.seconds.to_bits());
+            assert_eq!(x.mops.to_bits(), y.mops.to_bits());
+        }
+    }
+
+    #[test]
+    fn duplicate_queries_are_computed_once() {
+        let engine = Engine::new();
+        let mut plan = Plan::new();
+        let q = Query::paper(MachineId::Sg2042, BenchmarkId::Ft, Class::B, 16);
+        for _ in 0..5 {
+            plan.push(q);
+        }
+        let out = engine.execute_with_jobs(&plan, 4);
+        assert_eq!(out.len(), 5);
+        let m = engine.metrics();
+        assert_eq!(m.prediction_misses, 1, "dedup must collapse duplicates");
+        assert_eq!(m.executed, 1);
+        // All five plan slots share one allocation.
+        assert!(out.iter().all(|p| Arc::ptr_eq(p, &out[0])));
+    }
+
+    #[test]
+    fn second_execution_is_all_hits() {
+        let engine = Engine::new();
+        let plan = small_plan();
+        engine.execute_with_jobs(&plan, 4);
+        let before = engine.metrics();
+        let out = engine.execute_with_jobs(&plan, 4);
+        let after = engine.metrics();
+        assert_eq!(out.len(), plan.len());
+        assert_eq!(
+            after.prediction_misses, before.prediction_misses,
+            "warm cache must not recompute"
+        );
+        assert_eq!(
+            after.prediction_hits - before.prediction_hits,
+            plan.len() as u64
+        );
+        assert_eq!(after.executed, before.executed);
+    }
+
+    #[test]
+    fn profile_cache_collapses_repeated_derivations() {
+        let engine = Engine::new();
+        let p1 = engine.profile(BenchmarkId::Cg, Class::B);
+        let p2 = engine.profile(BenchmarkId::Cg, Class::B);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let m = engine.metrics();
+        assert_eq!(m.profile_misses, 1);
+        assert_eq!(m.profile_hits, 1);
+    }
+
+    #[test]
+    fn occupancy_reflects_round_fill() {
+        let engine = Engine::new();
+        let plan = small_plan(); // 9 unique queries
+        engine.execute_with_jobs(&plan, 4); // rounds = ceil(9/4) = 3 → capacity 12
+        let m = engine.metrics();
+        assert_eq!(m.executed, 9);
+        assert_eq!(m.capacity, 12);
+        assert!((m.occupancy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jobs_resolution_priority() {
+        // Not a full env test (env is process-global); just the override.
+        set_default_jobs(3);
+        assert_eq!(jobs_from_env(), 3);
+        set_default_jobs(0);
+        assert!(jobs_from_env() >= 1);
+    }
+}

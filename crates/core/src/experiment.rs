@@ -1,14 +1,20 @@
 //! One generator per paper table/figure.
 //!
-//! Each `*_data` function returns typed numbers (used by the
-//! shape-fidelity tests and benches); the corresponding `render` lives in
-//! [`crate::report`].
+//! Each experiment is expressed twice: a `*_plan` function that builds
+//! the declarative query batch (so [`crate::runner::full_report`] can
+//! merge every experiment into one engine execution), and a `*_data`
+//! function that resolves the plan through the global
+//! [`Engine`](crate::engine::Engine) and shapes the cached results into
+//! typed rows (used by the shape-fidelity tests and benches). The
+//! corresponding `render` lives in [`crate::report`]. No experiment
+//! calls the predictor directly — every number flows through the
+//! engine's memo cache.
 
 use rvhpc_machines::{presets, Compiler, CompilerConfig, MachineId};
 use rvhpc_npb::{BenchmarkId, Class};
 use serde::Serialize;
 
-use crate::model::{predict, Scenario};
+use crate::engine::{Engine, Plan, Query, SpecKind};
 use crate::paper;
 
 /// Identifies a reproduced experiment.
@@ -73,6 +79,30 @@ impl ExperimentId {
 /// The paper's thread sweep for the figures.
 pub const FIGURE_CORES: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
 
+/// The union of every model-driven experiment's queries — the batch
+/// [`crate::runner::full_report`] executes once before rendering.
+pub fn full_plan() -> Plan {
+    let mut plan = Plan::new();
+    plan.merge(table1_plan());
+    plan.merge(table2_plan());
+    plan.merge(table3_plan());
+    plan.merge(table4_plan());
+    for bench in [
+        BenchmarkId::Is,
+        BenchmarkId::Mg,
+        BenchmarkId::Ep,
+        BenchmarkId::Cg,
+        BenchmarkId::Ft,
+    ] {
+        plan.merge(fig_kernel_plan(bench));
+    }
+    plan.merge(table6_plan());
+    plan.merge(table7_plan());
+    plan.merge(table8_plan());
+    plan.merge(stall_attribution_plan());
+    plan
+}
+
 // ---------------------------------------------------------------- Table 1
 
 /// Table 1 row: model-predicted stall profile on the Xeon 8170 vs paper.
@@ -87,14 +117,26 @@ pub struct Table1Row {
     pub paper_bw_bound_pct: f64,
 }
 
+fn table1_query(bench: BenchmarkId) -> Query {
+    Query::paper(MachineId::Xeon8170, bench, Class::C, 26)
+}
+
+/// The Table 1 query batch.
+pub fn table1_plan() -> Plan {
+    let mut plan = Plan::new();
+    for &(bench, ..) in paper::TABLE1_XEON_PROFILE.iter() {
+        plan.push(table1_query(bench));
+    }
+    plan
+}
+
 /// Generate Table 1 (Xeon 8170, 26 threads, class C equivalents).
 pub fn table1_data() -> Vec<Table1Row> {
-    let m = presets::xeon8170();
+    let r = Engine::global().resolve(&table1_plan());
     paper::TABLE1_XEON_PROFILE
         .iter()
         .map(|&(bench, pc, pd, pb)| {
-            let profile = rvhpc_npb::profile(bench, Class::C);
-            let pred = predict(&profile, &Scenario::paper_headline(&m, bench, 26));
+            let pred = r.get(&table1_query(bench));
             Table1Row {
                 bench,
                 model_cache_pct: pred.stalls.cache_stall_pct(),
@@ -119,8 +161,20 @@ pub struct Table2Row {
     pub cells: Vec<(MachineId, f64, Option<f64>)>,
 }
 
+/// The Table 2 query batch.
+pub fn table2_plan() -> Plan {
+    let mut plan = Plan::new();
+    for &(bench, _) in paper::TABLE2_RISCV_SINGLE.iter() {
+        for &mid in paper::TABLE2_MACHINES.iter() {
+            plan.push(Query::paper(mid, bench, Class::B, 1));
+        }
+    }
+    plan
+}
+
 /// Generate Table 2 (single core, class B, seven RISC-V machines).
 pub fn table2_data() -> Vec<Table2Row> {
+    let r = Engine::global().resolve(&table2_plan());
     paper::TABLE2_RISCV_SINGLE
         .iter()
         .map(|&(bench, ref paper_row)| {
@@ -128,9 +182,7 @@ pub fn table2_data() -> Vec<Table2Row> {
                 .iter()
                 .zip(paper_row.iter())
                 .map(|(&mid, &paper_v)| {
-                    let m = presets::by_id(mid);
-                    let profile = rvhpc_npb::profile(bench, Class::B);
-                    let pred = predict(&profile, &Scenario::paper_headline(&m, bench, 1));
+                    let pred = r.get(&Query::paper(mid, bench, Class::B, 1));
                     (mid, pred.mops, paper_v)
                 })
                 .collect();
@@ -160,24 +212,41 @@ impl SgCompareRow {
     }
 }
 
+fn sg_compare_plan(threads: u32, paper_rows: &[(BenchmarkId, f64, f64); 5]) -> Plan {
+    let mut plan = Plan::new();
+    for &(bench, ..) in paper_rows.iter() {
+        plan.push(Query::paper(MachineId::Sg2044, bench, Class::C, threads));
+        plan.push(Query::paper(MachineId::Sg2042, bench, Class::C, threads));
+    }
+    plan
+}
+
 fn sg_compare(threads: u32, paper_rows: &[(BenchmarkId, f64, f64); 5]) -> Vec<SgCompareRow> {
-    let m44 = presets::sg2044();
-    let m42 = presets::sg2042();
+    let r = Engine::global().resolve(&sg_compare_plan(threads, paper_rows));
     paper_rows
         .iter()
-        .map(|&(bench, p44, p42)| {
-            let profile = rvhpc_npb::profile(bench, Class::C);
-            let new = predict(&profile, &Scenario::paper_headline(&m44, bench, threads)).mops;
-            let old = predict(&profile, &Scenario::paper_headline(&m42, bench, threads)).mops;
-            SgCompareRow {
-                bench,
-                model_sg2044: new,
-                model_sg2042: old,
-                paper_sg2044: p44,
-                paper_sg2042: p42,
-            }
+        .map(|&(bench, p44, p42)| SgCompareRow {
+            bench,
+            model_sg2044: r
+                .get(&Query::paper(MachineId::Sg2044, bench, Class::C, threads))
+                .mops,
+            model_sg2042: r
+                .get(&Query::paper(MachineId::Sg2042, bench, Class::C, threads))
+                .mops,
+            paper_sg2044: p44,
+            paper_sg2042: p42,
         })
         .collect()
+}
+
+/// The Table 3 query batch.
+pub fn table3_plan() -> Plan {
+    sg_compare_plan(1, &paper::TABLE3_SG_SINGLE)
+}
+
+/// The Table 4 query batch.
+pub fn table4_plan() -> Plan {
+    sg_compare_plan(64, &paper::TABLE4_SG_MULTI)
 }
 
 /// Generate Table 3 (single core, class C).
@@ -207,6 +276,9 @@ pub struct Curve {
 }
 
 /// Figure 1: STREAM copy bandwidth scaling, SG2044 vs SG2042.
+///
+/// STREAM is simulated directly (no NPB profile), so Figure 1 has no
+/// query plan; it shares the deterministic core list with the kernels.
 pub fn fig1_data() -> Vec<Curve> {
     [presets::sg2044(), presets::sg2042()]
         .iter()
@@ -220,8 +292,20 @@ pub fn fig1_data() -> Vec<Curve> {
         .collect()
 }
 
+/// The query batch behind one of Figures 2–6.
+pub fn fig_kernel_plan(bench: BenchmarkId) -> Plan {
+    let mut plan = Plan::new();
+    for m in presets::hpc_five() {
+        for &p in FIGURE_CORES.iter().filter(|&&p| p <= m.cores) {
+            plan.push(Query::paper(m.id, bench, Class::C, p));
+        }
+    }
+    plan
+}
+
 /// Figures 2–6: kernel scaling across the five HPC machines at class C.
 pub fn fig_kernel_data(bench: BenchmarkId) -> Vec<Curve> {
+    let r = Engine::global().resolve(&fig_kernel_plan(bench));
     presets::hpc_five()
         .iter()
         .map(|m| Curve {
@@ -229,13 +313,7 @@ pub fn fig_kernel_data(bench: BenchmarkId) -> Vec<Curve> {
             points: FIGURE_CORES
                 .iter()
                 .filter(|&&p| p <= m.cores)
-                .map(|&p| {
-                    let profile = rvhpc_npb::profile(bench, Class::C);
-                    (
-                        p,
-                        predict(&profile, &Scenario::paper_headline(m, bench, p)).mops,
-                    )
-                })
+                .map(|&p| (p, r.get(&Query::paper(m.id, bench, Class::C, p)).mops))
                 .collect(),
         })
         .collect()
@@ -261,22 +339,37 @@ pub const TABLE6_MACHINES: [MachineId; 4] = [
     MachineId::ThunderX2,
 ];
 
+/// The Table 6 query batch.
+pub fn table6_plan() -> Plan {
+    let mut plan = Plan::new();
+    for &(bench, _) in paper::TABLE6_PSEUDO.iter() {
+        for &cores in paper::TABLE6_CORES.iter() {
+            plan.push(Query::paper(MachineId::Sg2044, bench, Class::C, cores));
+            for &mid in TABLE6_MACHINES.iter() {
+                if cores <= presets::by_id(mid).cores {
+                    plan.push(Query::paper(mid, bench, Class::C, cores));
+                }
+            }
+        }
+    }
+    plan
+}
+
 /// Generate Table 6 (pseudo-apps, class C, ratios vs SG2044).
 pub fn table6_data() -> Vec<Table6Row> {
-    let sg = presets::sg2044();
+    let r = Engine::global().resolve(&table6_plan());
     let mut rows = Vec::new();
     for &(bench, ref paper_grid) in &paper::TABLE6_PSEUDO {
-        let profile = rvhpc_npb::profile(bench, Class::C);
         for (ci, &cores) in paper::TABLE6_CORES.iter().enumerate() {
-            let t_sg = predict(&profile, &Scenario::paper_headline(&sg, bench, cores)).seconds;
+            let t_sg = r
+                .get(&Query::paper(MachineId::Sg2044, bench, Class::C, cores))
+                .seconds;
             let cells = TABLE6_MACHINES
                 .iter()
                 .zip(paper_grid[ci].iter())
                 .map(|(&mid, &paper_v)| {
-                    let m = presets::by_id(mid);
-                    let model = if cores <= m.cores {
-                        let t =
-                            predict(&profile, &Scenario::paper_headline(&m, bench, cores)).seconds;
+                    let model = if cores <= presets::by_id(mid).cores {
+                        let t = r.get(&Query::paper(mid, bench, Class::C, cores)).seconds;
                         Some(t_sg / t) // >1 ⇒ faster than the SG2044
                     } else {
                         None
@@ -308,32 +401,49 @@ pub struct CompilerRow {
     pub paper_gcc15_novec: f64,
 }
 
+/// The three compiler configurations of Tables 7/8, paper column order.
+const COMPILER_CONFIGS: [CompilerConfig; 3] = [
+    CompilerConfig {
+        compiler: Compiler::Gcc12_3,
+        vectorize: true, // vectorisation flag is moot: no RVV support
+    },
+    CompilerConfig {
+        compiler: Compiler::Gcc15_2,
+        vectorize: true,
+    },
+    CompilerConfig {
+        compiler: Compiler::Gcc15_2,
+        vectorize: false,
+    },
+];
+
+fn compiler_query(bench: BenchmarkId, threads: u32, cfg: CompilerConfig) -> Query {
+    Query {
+        spec: SpecKind::Custom {
+            compiler: cfg,
+            bind: rvhpc_parallel::BindPolicy::Unbound,
+            law: rvhpc_archsim::SaturationLaw::default(),
+        },
+        ..Query::headline(MachineId::Sg2044, bench, Class::C, threads)
+    }
+}
+
+fn compiler_plan(threads: u32, paper_rows: &[paper::CompilerRow; 5]) -> Plan {
+    let mut plan = Plan::new();
+    for &(bench, ..) in paper_rows.iter() {
+        for cfg in COMPILER_CONFIGS {
+            plan.push(compiler_query(bench, threads, cfg));
+        }
+    }
+    plan
+}
+
 fn compiler_table(threads: u32, paper_rows: &[paper::CompilerRow; 5]) -> Vec<CompilerRow> {
-    let m = presets::sg2044();
-    let configs = [
-        CompilerConfig {
-            compiler: Compiler::Gcc12_3,
-            vectorize: true, // vectorisation flag is moot: no RVV support
-        },
-        CompilerConfig {
-            compiler: Compiler::Gcc15_2,
-            vectorize: true,
-        },
-        CompilerConfig {
-            compiler: Compiler::Gcc15_2,
-            vectorize: false,
-        },
-    ];
+    let r = Engine::global().resolve(&compiler_plan(threads, paper_rows));
     paper_rows
         .iter()
         .map(|&(bench, p12, p15v, p15n)| {
-            let profile = rvhpc_npb::profile(bench, Class::C);
-            let mut mops = [0.0f64; 3];
-            for (slot, cfg) in mops.iter_mut().zip(configs.iter()) {
-                let mut s = Scenario::headline(&m, threads);
-                s.compiler = *cfg;
-                *slot = predict(&profile, &s).mops;
-            }
+            let mops = COMPILER_CONFIGS.map(|cfg| r.get(&compiler_query(bench, threads, cfg)).mops);
             CompilerRow {
                 bench,
                 model_gcc12: mops[0],
@@ -345,6 +455,16 @@ fn compiler_table(threads: u32, paper_rows: &[paper::CompilerRow; 5]) -> Vec<Com
             }
         })
         .collect()
+}
+
+/// The Table 7 query batch.
+pub fn table7_plan() -> Plan {
+    compiler_plan(1, &paper::TABLE7_COMPILER_SINGLE)
+}
+
+/// The Table 8 query batch.
+pub fn table8_plan() -> Plan {
+    compiler_plan(64, &paper::TABLE8_COMPILER_MULTI)
 }
 
 /// Generate Table 7 (single core).
@@ -372,15 +492,23 @@ pub struct StallRow {
     pub avg_queue_depth: f64,
 }
 
+/// The stall-attribution query batch.
+pub fn stall_attribution_plan() -> Plan {
+    let mut plan = Plan::new();
+    for &bench in BenchmarkId::ALL.iter() {
+        plan.push(Query::headline(MachineId::Sg2044, bench, Class::C, 64));
+    }
+    plan
+}
+
 /// Stall attribution for every benchmark on the SG2044 at 64 cores
 /// (class C) — the observability view behind `reproduce --metrics`.
 pub fn stall_attribution_data() -> Vec<StallRow> {
-    let m = presets::sg2044();
+    let r = Engine::global().resolve(&stall_attribution_plan());
     BenchmarkId::ALL
         .iter()
         .map(|&bench| {
-            let profile = rvhpc_npb::profile(bench, Class::C);
-            let pred = predict(&profile, &Scenario::headline(&m, 64));
+            let pred = r.get(&Query::headline(MachineId::Sg2044, bench, Class::C, 64));
             let s = &pred.stalls;
             StallRow {
                 bench,
@@ -435,5 +563,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn full_plan_covers_every_per_experiment_plan() {
+        let full = full_plan();
+        assert!(full.len() > 100, "merged plan is the whole grid");
+        // Warm a fresh engine with the merged plan: re-resolving any
+        // single experiment must then be pure cache hits.
+        let engine = Engine::new();
+        engine.execute_with_jobs(&full, 4);
+        let before = engine.metrics();
+        engine.execute_with_jobs(&table6_plan(), 4);
+        engine.execute_with_jobs(&fig_kernel_plan(BenchmarkId::Cg), 4);
+        let after = engine.metrics();
+        assert_eq!(
+            after.prediction_misses, before.prediction_misses,
+            "full_plan must be a superset of every experiment plan"
+        );
     }
 }

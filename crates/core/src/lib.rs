@@ -14,7 +14,12 @@
 //!   fudge factors exist.
 //! * [`paper`] — the paper's published numbers (Tables 1–8), as data, for
 //!   side-by-side reporting and shape-fidelity tests.
-//! * [`experiment`] — one generator per paper table/figure.
+//! * [`engine`] — the cached, parallel prediction engine: declarative
+//!   query plans, content-addressed memo caches for workload profiles and
+//!   predictions, and a batch executor running on `rvhpc-parallel`
+//!   (`RVHPC_JOBS` / `reproduce --jobs N`).
+//! * [`experiment`] — one generator per paper table/figure, expressed as
+//!   declarative plans resolved through the engine.
 //! * [`report`] — markdown / CSV / ASCII-plot rendering.
 //! * [`runner`] — the end-to-end "reproduce everything" driver used by
 //!   `examples/` and the `reproduce` binary.
@@ -22,6 +27,7 @@
 //!   CSV/JSON output, for studies beyond the paper's fixed tables.
 
 pub mod calibrate;
+pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod model;
@@ -30,5 +36,6 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use engine::{Engine, Plan, Query};
 pub use experiment::ExperimentId;
 pub use model::{predict, Prediction, Scenario};

@@ -12,6 +12,7 @@ use rvhpc_archsim::{CoreCounters, HierarchyCounters, QueueOccupancy, StallAccoun
 use rvhpc_npb::profile::WorkloadProfile;
 use rvhpc_obs::{metrics, JsonValue};
 
+use crate::engine::EngineMetrics;
 use crate::model::{Prediction, Scenario};
 
 fn hierarchy_json(h: &HierarchyCounters) -> JsonValue {
@@ -26,7 +27,10 @@ fn hierarchy_json(h: &HierarchyCounters) -> JsonValue {
 
 fn stalls_json(s: &StallAccount) -> JsonValue {
     JsonValue::object([
-        ("compute_cycles".to_string(), JsonValue::from(s.compute_cycles)),
+        (
+            "compute_cycles".to_string(),
+            JsonValue::from(s.compute_cycles),
+        ),
         (
             "cache_stall_cycles".to_string(),
             JsonValue::from(s.cache_stall_cycles),
@@ -35,17 +39,32 @@ fn stalls_json(s: &StallAccount) -> JsonValue {
             "dram_stall_cycles".to_string(),
             JsonValue::from(s.dram_stall_cycles),
         ),
-        ("bw_bound_time_s".to_string(), JsonValue::from(s.bw_bound_time)),
+        (
+            "bw_bound_time_s".to_string(),
+            JsonValue::from(s.bw_bound_time),
+        ),
         ("total_time_s".to_string(), JsonValue::from(s.total_time)),
-        ("cache_stall_pct".to_string(), JsonValue::from(s.cache_stall_pct())),
-        ("dram_stall_pct".to_string(), JsonValue::from(s.dram_stall_pct())),
-        ("bw_bound_pct".to_string(), JsonValue::from(s.bw_bound_pct())),
+        (
+            "cache_stall_pct".to_string(),
+            JsonValue::from(s.cache_stall_pct()),
+        ),
+        (
+            "dram_stall_pct".to_string(),
+            JsonValue::from(s.dram_stall_pct()),
+        ),
+        (
+            "bw_bound_pct".to_string(),
+            JsonValue::from(s.bw_bound_pct()),
+        ),
     ])
 }
 
 fn queue_json(q: &QueueOccupancy) -> JsonValue {
     JsonValue::object([
-        ("weighted_depth".to_string(), JsonValue::from(q.weighted_depth)),
+        (
+            "weighted_depth".to_string(),
+            JsonValue::from(q.weighted_depth),
+        ),
         ("time_s".to_string(), JsonValue::from(q.time)),
         ("avg_depth".to_string(), JsonValue::from(q.avg_depth())),
     ])
@@ -102,13 +121,19 @@ pub fn prediction_document(
         .map(|(i, c)| core_json(i as u32, c))
         .collect::<Vec<_>>();
     let run = JsonValue::object([
-        ("benchmark".to_string(), JsonValue::from(profile.bench.name())),
+        (
+            "benchmark".to_string(),
+            JsonValue::from(profile.bench.name()),
+        ),
         ("class".to_string(), JsonValue::from(profile.class.name())),
         (
             "machine".to_string(),
             JsonValue::from(scenario.machine.part),
         ),
-        ("threads".to_string(), JsonValue::from(u64::from(scenario.threads))),
+        (
+            "threads".to_string(),
+            JsonValue::from(u64::from(scenario.threads)),
+        ),
         (
             "compiler".to_string(),
             JsonValue::from(scenario.compiler.compiler.name()),
@@ -121,11 +146,31 @@ pub fn prediction_document(
     ]);
     if let JsonValue::Object(map) = &mut doc {
         map.insert("run".to_string(), run);
-        map.insert("predicted_seconds".to_string(), JsonValue::from(pred.seconds));
+        map.insert(
+            "predicted_seconds".to_string(),
+            JsonValue::from(pred.seconds),
+        );
         map.insert("predicted_mops".to_string(), JsonValue::from(pred.mops));
         map.insert("per_phase".to_string(), JsonValue::Array(phases));
         map.insert("per_core".to_string(), JsonValue::Array(cores));
         map.insert("totals".to_string(), totals);
+    }
+    doc
+}
+
+/// As [`prediction_document`], with the prediction engine's cache and
+/// executor counters attached as the `engine` section — hit/miss for
+/// both memo caches plus batch executor occupancy, matching the section
+/// exported by `rvhpc-obs` runtime metrics.
+pub fn prediction_document_with_engine(
+    profile: &WorkloadProfile,
+    scenario: &Scenario<'_>,
+    pred: &Prediction,
+    engine: &EngineMetrics,
+) -> JsonValue {
+    let mut doc = prediction_document(profile, scenario, pred);
+    if let JsonValue::Object(map) = &mut doc {
+        map.insert("engine".to_string(), engine.to_json());
     }
     doc
 }
@@ -159,6 +204,56 @@ mod tests {
                 .and_then(|r| r.get("benchmark"))
                 .and_then(JsonValue::as_str),
             Some("CG")
+        );
+    }
+
+    #[test]
+    fn engine_section_matches_schema() {
+        let m = presets::sg2044();
+        let profile = rvhpc_npb::profile(BenchmarkId::Cg, Class::B);
+        let scenario = Scenario::headline(&m, 8);
+        let pred = predict(&profile, &scenario);
+
+        let engine = crate::engine::Engine::new();
+        engine.execute_with_jobs(
+            &crate::engine::Plan::single(crate::engine::Query::headline(
+                rvhpc_machines::MachineId::Sg2044,
+                BenchmarkId::Cg,
+                Class::B,
+                8,
+            )),
+            2,
+        );
+        let doc = prediction_document_with_engine(&profile, &scenario, &pred, &engine.metrics());
+        let parsed = json::parse(&doc.to_json()).expect("valid JSON");
+        let section = parsed.get("engine").expect("engine section present");
+        for cache in ["profile_cache", "prediction_cache"] {
+            for field in ["hits", "misses"] {
+                assert!(
+                    section
+                        .get(cache)
+                        .and_then(|c| c.get(field))
+                        .and_then(JsonValue::as_f64)
+                        .is_some(),
+                    "engine.{cache}.{field} missing"
+                );
+            }
+        }
+        let exec = section.get("executor").expect("executor subsection");
+        for field in ["batches", "executed", "capacity", "occupancy"] {
+            assert!(
+                exec.get(field).and_then(JsonValue::as_f64).is_some(),
+                "engine.executor.{field} missing"
+            );
+        }
+        let occupancy = exec.get("occupancy").and_then(JsonValue::as_f64).unwrap();
+        assert!((0.0..=1.0).contains(&occupancy));
+        assert_eq!(
+            section
+                .get("prediction_cache")
+                .and_then(|c| c.get("misses"))
+                .and_then(JsonValue::as_f64),
+            Some(1.0)
         );
     }
 

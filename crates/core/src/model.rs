@@ -416,7 +416,11 @@ mod tests {
             let m = presets::sg2044();
             let profile = rvhpc_npb::profile(b, Class::B);
             let pred = predict(&profile, &Scenario::headline(&m, 64));
-            assert!(pred.hierarchy.is_consistent(), "{b:?}: {:?}", pred.hierarchy);
+            assert!(
+                pred.hierarchy.is_consistent(),
+                "{b:?}: {:?}",
+                pred.hierarchy
+            );
             assert!(pred.hierarchy.accesses > 0);
             let cores = pred.per_core(64);
             assert_eq!(cores.len(), 64);

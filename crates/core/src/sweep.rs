@@ -1,11 +1,20 @@
 //! Parameter sweeps with serializable raw output — the building block for
 //! custom studies beyond the paper's fixed tables.
+//!
+//! Sweeps are thin plan constructors over the prediction engine:
+//! [`thread_plan`] / [`grid_plan`] build the declarative query batch and
+//! [`thread_sweep`] / [`grid_sweep`] resolve it through the global
+//! [`Engine`] — so repeated sweeps over the same bench/class are cache
+//! hits (including the [`WorkloadProfile`](rvhpc_npb::profile::WorkloadProfile)
+//! derivation), and large grids evaluate in parallel under
+//! `RVHPC_JOBS` / `--jobs`.
 
 use rvhpc_machines::MachineId;
 use rvhpc_npb::{BenchmarkId, Class};
+use rvhpc_obs::JsonValue;
 use serde::Serialize;
 
-use crate::model::{predict, Scenario};
+use crate::engine::{Engine, MachineSel, Plan, Query};
 
 /// One sweep sample.
 #[derive(Debug, Clone, Serialize)]
@@ -18,28 +27,54 @@ pub struct Sample {
     pub mops: f64,
 }
 
-/// Predict `bench`/`class` on `machine` for each thread count (clamped to
-/// the machine's cores; duplicates after clamping are dropped).
-pub fn thread_sweep(
-    machine: MachineId,
-    bench: BenchmarkId,
+/// The query batch behind [`thread_sweep`]: one query per thread count,
+/// clamped to the machine's cores (duplicates after clamping dropped).
+pub fn thread_plan(machine: MachineId, bench: BenchmarkId, class: Class, threads: &[u32]) -> Plan {
+    let cores = rvhpc_machines::presets::by_id(machine).cores;
+    let mut seen = std::collections::BTreeSet::new();
+    let mut plan = Plan::new();
+    for t in threads.iter().map(|&t| t.clamp(1, cores)) {
+        if seen.insert(t) {
+            plan.push(Query::paper(machine, bench, class, t));
+        }
+    }
+    plan
+}
+
+/// The query batch behind [`grid_sweep`]: the full
+/// (machine × bench × threads) product for one class, merged into a
+/// single plan so the engine evaluates it as one deduplicated batch.
+pub fn grid_plan(
+    machines: &[MachineId],
+    benches: &[BenchmarkId],
     class: Class,
     threads: &[u32],
-) -> Vec<Sample> {
-    let m = rvhpc_machines::presets::by_id(machine);
-    let profile = rvhpc_npb::profile(bench, class);
-    let mut seen = std::collections::BTreeSet::new();
-    threads
+) -> Plan {
+    let mut plan = Plan::new();
+    for &m in machines {
+        for &b in benches {
+            plan.merge(thread_plan(m, b, class, threads));
+        }
+    }
+    plan
+}
+
+/// Resolve a sweep plan through `engine` and shape the results as samples.
+/// Sweep plans only contain preset machines.
+fn samples(engine: &Engine, plan: &Plan) -> Vec<Sample> {
+    let preds = engine.execute(plan);
+    plan.queries()
         .iter()
-        .map(|&t| t.clamp(1, m.cores))
-        .filter(|&t| seen.insert(t))
-        .map(|t| {
-            let pred = predict(&profile, &Scenario::paper_headline(&m, bench, t));
+        .zip(preds)
+        .map(|(q, pred)| {
+            let MachineSel::Preset(machine) = q.machine else {
+                unreachable!("sweep plans are preset-only")
+            };
             Sample {
                 machine,
-                bench,
-                class,
-                threads: t,
+                bench: q.bench,
+                class: q.class,
+                threads: q.threads,
                 seconds: pred.seconds,
                 mops: pred.mops,
             }
@@ -47,42 +82,52 @@ pub fn thread_sweep(
         .collect()
 }
 
-/// The full (machine × bench × threads) grid for one class.
+/// Predict `bench`/`class` on `machine` for each thread count (clamped to
+/// the machine's cores; duplicates after clamping are dropped). Resolved
+/// through the global engine: the workload profile is derived at most
+/// once per process and repeated sweeps are pure cache hits.
+pub fn thread_sweep(
+    machine: MachineId,
+    bench: BenchmarkId,
+    class: Class,
+    threads: &[u32],
+) -> Vec<Sample> {
+    samples(
+        Engine::global(),
+        &thread_plan(machine, bench, class, threads),
+    )
+}
+
+/// The full (machine × bench × threads) grid for one class, evaluated as
+/// one batch on the global engine.
 pub fn grid_sweep(
     machines: &[MachineId],
     benches: &[BenchmarkId],
     class: Class,
     threads: &[u32],
 ) -> Vec<Sample> {
-    let mut out = Vec::new();
-    for &m in machines {
-        for &b in benches {
-            out.extend(thread_sweep(m, b, class, threads));
-        }
-    }
-    out
+    samples(
+        Engine::global(),
+        &grid_plan(machines, benches, class, threads),
+    )
 }
 
-/// Serialize samples as a JSON array (hand-rolled: the workspace's
-/// dependency policy stops at `serde` itself; the sample schema is flat
-/// and needs no general serializer).
+/// Serialize samples as a JSON array, through the workspace's shared
+/// JSON writer ([`rvhpc_obs::json`]) — one escaping/formatting
+/// implementation for sweeps, traces and metrics alike.
 pub fn to_json(samples: &[Sample]) -> String {
-    let mut out = String::from("[\n");
-    for (i, s) in samples.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"machine\": \"{}\", \"bench\": \"{}\", \"class\": \"{}\", \
-             \"threads\": {}, \"seconds\": {}, \"mops\": {}}}{}\n",
-            s.machine.name(),
-            s.bench.name(),
-            s.class.name(),
-            s.threads,
-            s.seconds,
-            s.mops,
-            if i + 1 == samples.len() { "" } else { "," }
-        ));
-    }
-    out.push(']');
-    out
+    JsonValue::Array(samples.iter().map(sample_json).collect()).to_json()
+}
+
+fn sample_json(s: &Sample) -> JsonValue {
+    JsonValue::object([
+        ("machine".to_string(), JsonValue::from(s.machine.name())),
+        ("bench".to_string(), JsonValue::from(s.bench.name())),
+        ("class".to_string(), JsonValue::from(s.class.name())),
+        ("threads".to_string(), JsonValue::from(u64::from(s.threads))),
+        ("seconds".to_string(), JsonValue::from(s.seconds)),
+        ("mops".to_string(), JsonValue::from(s.mops)),
+    ])
 }
 
 /// Serialize samples as CSV.
@@ -105,6 +150,7 @@ pub fn to_csv(samples: &[Sample]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rvhpc_obs::json;
 
     #[test]
     fn thread_sweep_clamps_and_dedups() {
@@ -117,6 +163,26 @@ mod tests {
         // 32 and 64 clamp to 26, deduplicated.
         assert_eq!(s.len(), 3);
         assert_eq!(s.last().unwrap().threads, 26);
+    }
+
+    #[test]
+    fn repeated_sweeps_are_cache_hits() {
+        let engine = Engine::new();
+        let plan = thread_plan(MachineId::Sg2044, BenchmarkId::Mg, Class::B, &[1, 4, 16]);
+        let first = samples(&engine, &plan);
+        let warm = engine.metrics();
+        assert_eq!(
+            warm.profile_misses, 1,
+            "one profile derivation per bench/class"
+        );
+        let second = samples(&engine, &plan);
+        let after = engine.metrics();
+        assert_eq!(after.prediction_misses, warm.prediction_misses);
+        assert_eq!(after.profile_misses, warm.profile_misses);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+            assert_eq!(a.mops.to_bits(), b.mops.to_bits());
+        }
     }
 
     #[test]
@@ -142,11 +208,33 @@ mod tests {
     #[test]
     fn json_output_is_structurally_sound() {
         let g = thread_sweep(MachineId::Sg2042, BenchmarkId::Cg, Class::C, &[1, 64]);
-        let json = to_json(&g);
-        assert!(json.starts_with('[') && json.ends_with(']'));
-        assert_eq!(json.matches("\"machine\"").count(), g.len());
-        assert_eq!(json.matches("\"mops\"").count(), g.len());
-        // Exactly len-1 separating commas at line ends.
-        assert_eq!(json.matches("},\n").count(), g.len() - 1);
+        let doc = json::parse(&to_json(&g)).expect("valid JSON");
+        let items = doc.as_array().expect("array document");
+        assert_eq!(items.len(), g.len());
+        for (item, s) in items.iter().zip(&g) {
+            assert_eq!(
+                item.get("machine").and_then(JsonValue::as_str),
+                Some(s.machine.name())
+            );
+            assert_eq!(
+                item.get("threads").and_then(JsonValue::as_f64),
+                Some(f64::from(s.threads))
+            );
+            assert_eq!(item.get("mops").and_then(JsonValue::as_f64), Some(s.mops));
+        }
+    }
+
+    #[test]
+    fn json_handles_single_sample_and_empty_sweeps() {
+        // Single sample (every thread count clamps+dedups to one query) —
+        // the old hand-rolled emitter's `len - 1` comma assertion made
+        // this shape easy to get wrong.
+        let one = thread_sweep(MachineId::Sg2044, BenchmarkId::Ep, Class::B, &[64, 64, 99]);
+        assert_eq!(one.len(), 1);
+        let doc = json::parse(&to_json(&one)).expect("single-sample JSON parses");
+        assert_eq!(doc.as_array().map(<[JsonValue]>::len), Some(1));
+
+        let empty: Vec<Sample> = Vec::new();
+        assert_eq!(to_json(&empty), "[]");
     }
 }

@@ -145,8 +145,8 @@ fn add_direction(f: &mut Fields, c: &CfdConstants, dir: Direction, pool: &Pool) 
                         let wdc = wd[p];
 
                         // Continuity.
-                        let d0 =
-                            dt1 * (uf[bp] - 2.0 * uf[b] + uf[bm]) - t2 * (uf[bp + md] - uf[bm + md]);
+                        let d0 = dt1 * (uf[bp] - 2.0 * uf[b] + uf[bm])
+                            - t2 * (uf[bp + md] - uf[bm + md]);
                         // Momentum components.
                         let mut dm = [0.0f64; 3];
                         for (cidx, dmv) in dm.iter_mut().enumerate() {

@@ -107,7 +107,10 @@ mod tests {
         assert_eq!(events.len(), 3);
         let span = &events[0];
         assert_eq!(span.get("ph").and_then(JsonValue::as_str), Some("X"));
-        assert_eq!(span.get("cat").and_then(JsonValue::as_str), Some("barrier-wait"));
+        assert_eq!(
+            span.get("cat").and_then(JsonValue::as_str),
+            Some("barrier-wait")
+        );
         assert_eq!(span.get("ts").and_then(JsonValue::as_f64), Some(10.0));
         assert_eq!(span.get("dur").and_then(JsonValue::as_f64), Some(4.0));
         let counter = &events[2];

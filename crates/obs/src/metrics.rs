@@ -67,7 +67,10 @@ pub struct Summary {
 pub fn summarize(events: &[Event]) -> Summary {
     let mut s = Summary::default();
     for ev in events {
-        s.per_kind.entry(ev.kind.label()).or_default().add(ev.dur_us);
+        s.per_kind
+            .entry(ev.kind.label())
+            .or_default()
+            .add(ev.dur_us);
         match ev.kind {
             EventKind::BarrierWait => {
                 *s.barrier_wait_us_by_thread.entry(ev.tid).or_default() += ev.dur_us;

@@ -188,10 +188,7 @@ pub struct TraceData {
 /// contents) and never blocks writers; the registry lock only orders
 /// concurrent drains against ring creation.
 pub fn drain_all() -> TraceData {
-    let rings: Vec<Arc<EventRing>> = REGISTRY
-        .lock()
-        .unwrap_or_else(|p| p.into_inner())
-        .clone();
+    let rings: Vec<Arc<EventRing>> = REGISTRY.lock().unwrap_or_else(|p| p.into_inner()).clone();
     let mut events = Vec::new();
     let mut dropped = 0u64;
     for ring in &rings {
@@ -217,7 +214,10 @@ mod tests {
         h.record_span(s, EventKind::Phase, "off-phase", 0, 0);
         h.record_counter("off-counter", 0, 1);
         assert!(
-            !drain_all().events.iter().any(|e| e.name.starts_with("off-")),
+            !drain_all()
+                .events
+                .iter()
+                .any(|e| e.name.starts_with("off-")),
             "disabled handle must record nothing"
         );
 
@@ -247,13 +247,19 @@ mod tests {
             .iter()
             .find(|e| e.name == "on-phase")
             .expect("phase recorded");
-        assert!(phase.dur_us >= 1_000, "slept 2ms, recorded {}", phase.dur_us);
+        assert!(
+            phase.dur_us >= 1_000,
+            "slept 2ms, recorded {}",
+            phase.dur_us
+        );
         assert_eq!(phase.tid, 3);
         assert_eq!(phase.arg, 42);
         assert!(data.events.iter().any(|e| e.name == "on-counter"));
         assert!(data.events.iter().any(|e| e.name == "on-thread2"));
         assert!(
-            data.events.windows(2).all(|w| w[0].start_us <= w[1].start_us),
+            data.events
+                .windows(2)
+                .all(|w| w[0].start_us <= w[1].start_us),
             "drain output sorted by start time"
         );
 

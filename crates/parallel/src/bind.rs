@@ -51,7 +51,7 @@ impl Topology {
 }
 
 /// Placement policy (the useful subset of `OMP_PROC_BIND`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BindPolicy {
     /// `OMP_PROC_BIND=false`: threads unbound; the OS may migrate them. In
     /// the simulator this is modelled as time-averaged uniform occupancy.

@@ -351,8 +351,13 @@ impl Team<'_> {
         for i in range {
             body(i);
         }
-        self.recorder
-            .record_span(span, EventKind::ChunkAcquire, "static", self.tid as u32, len);
+        self.recorder.record_span(
+            span,
+            EventKind::ChunkAcquire,
+            "static",
+            self.tid as u32,
+            len,
+        );
     }
 
     /// Work-sharing loop with an arbitrary [`Schedule`] and implicit ending

@@ -7,7 +7,8 @@
 //! cargo run --release --example compare_cpus IS        # one kernel
 //! ```
 
-use rvhpc::eval::experiment::fig_kernel_data;
+use rvhpc::eval::engine::{Engine, Plan};
+use rvhpc::eval::experiment::{fig_kernel_data, fig_kernel_plan};
 use rvhpc::eval::report::ascii_plot;
 use rvhpc::npb::BenchmarkId;
 
@@ -20,11 +21,25 @@ fn main() {
         (BenchmarkId::Cg, "Figure 5 — CG"),
         (BenchmarkId::Ft, "Figure 6 — FT"),
     ];
+    let selected = |bench: BenchmarkId| match &filter {
+        Some(f) => f == bench.name(),
+        None => true,
+    };
+
+    // Merge every selected figure's queries into one plan and evaluate
+    // it as a single parallel engine batch (RVHPC_JOBS controls the
+    // worker count); the per-kernel renders below are pure cache hits.
+    let mut plan = Plan::new();
+    for (bench, _) in kernels {
+        if selected(bench) {
+            plan.merge(fig_kernel_plan(bench));
+        }
+    }
+    Engine::global().execute(&plan);
+
     for (bench, title) in kernels {
-        if let Some(f) = &filter {
-            if f != bench.name() {
-                continue;
-            }
+        if !selected(bench) {
+            continue;
         }
         let curves = fig_kernel_data(bench);
         println!("{}", ascii_plot(title, "Mop/s", &curves));

@@ -1,13 +1,29 @@
 //! Free-form sweeps beyond the paper's tables, with CSV/JSON output.
 //!
+//! Sweeps resolve through the prediction engine: the grid is evaluated
+//! as one deduplicated parallel batch (`RVHPC_JOBS` controls the worker
+//! count) and repeated runs over the same bench/class are cache hits —
+//! the cache/executor counters are printed to stderr at the end.
+//!
 //! ```sh
 //! cargo run --release --example custom_sweep                # default grid
 //! cargo run --release --example custom_sweep MG C json      # one kernel
 //! ```
 
+use rvhpc::eval::engine::Engine;
 use rvhpc::eval::sweep::{grid_sweep, thread_sweep, to_csv, to_json};
 use rvhpc::machines::MachineId;
 use rvhpc::npb::{BenchmarkId, Class};
+
+fn engine_stats() {
+    let m = Engine::global().metrics();
+    eprintln!(
+        "engine: {} predictions computed, {} cache hits, occupancy {:.0}%",
+        m.prediction_misses,
+        m.prediction_hits,
+        100.0 * m.occupancy()
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +40,7 @@ fn main() {
         ];
         let samples = grid_sweep(&machines, &BenchmarkId::KERNELS, Class::C, &threads);
         print!("{}", to_csv(&samples));
+        engine_stats();
         return;
     }
 
@@ -48,4 +65,5 @@ fn main() {
     } else {
         print!("{}", to_csv(&samples));
     }
+    engine_stats();
 }

@@ -1,13 +1,17 @@
 //! Reproduce the paper's Figure 1: STREAM copy bandwidth scaling on the
 //! SG2044 vs the SG2042 (simulated), alongside a real host STREAM run.
 //!
+//! The simulated section goes through the same entry point the full
+//! report uses ([`experiment::fig1_data`]), so this example and
+//! `reproduce fig1` are guaranteed to print the same curve.
+//!
 //! ```sh
 //! cargo run --release --example stream_scaling
 //! ```
 
-use rvhpc::machines::presets;
+use rvhpc::eval::experiment;
 use rvhpc::parallel::Pool;
-use rvhpc::stream::{run_host_stream, simulated_curve, StreamKernel};
+use rvhpc::stream::{run_host_stream, StreamKernel};
 
 fn main() {
     // --- Host STREAM (real measurement on this machine). -----------------
@@ -26,25 +30,18 @@ fn main() {
     }
     assert!(host.validated, "host STREAM failed validation");
 
-    // --- Simulated Figure 1. ---------------------------------------------
+    // --- Simulated Figure 1, via the report's own generator. -------------
     println!("\nFigure 1 (simulated copy bandwidth, GB/s):");
-    let cores = [1u32, 2, 4, 8, 16, 32, 64];
-    let c44 = simulated_curve(&presets::sg2044(), &cores);
-    let c42 = simulated_curve(&presets::sg2042(), &cores);
+    let curves = experiment::fig1_data();
+    let (c44, c42) = (&curves[0].points, &curves[1].points);
     println!(
         "{:>6} {:>10} {:>10} {:>8}",
         "cores", "SG2044", "SG2042", "ratio"
     );
-    for (a, b) in c44.iter().zip(&c42) {
-        println!(
-            "{:>6} {:>10.1} {:>10.1} {:>8.2}",
-            a.cores,
-            a.copy_gbs,
-            b.copy_gbs,
-            a.copy_gbs / b.copy_gbs
-        );
+    for (&(cores, a), &(_, b)) in c44.iter().zip(c42) {
+        println!("{:>6} {:>10.1} {:>10.1} {:>8.2}", cores, a, b, a / b);
     }
-    let last = (c44.last().unwrap().copy_gbs, c42.last().unwrap().copy_gbs);
+    let last = (c44.last().unwrap().1, c42.last().unwrap().1);
     println!(
         "\nat 64 cores the SG2044 sustains {:.1}x the SG2042's bandwidth \
          (paper: 'over three times higher')",

@@ -9,11 +9,15 @@
 //! * `3.2 GHz`: a straight clock bump.
 //! * `DDR5++`: 25% more sustained memory bandwidth.
 //!
+//! The whole variant × kernel grid is declared as one engine plan (the
+//! variants ride in the plan's custom-machine table) and evaluated in a
+//! single parallel batch.
+//!
 //! ```sh
 //! cargo run --release --example whatif
 //! ```
 
-use rvhpc::eval::model::{predict, Scenario};
+use rvhpc::eval::engine::{Engine, MachineSel, Plan, Query, SpecKind};
 use rvhpc::machines::{presets, Machine, VectorIsa};
 use rvhpc::npb::{BenchmarkId, Class};
 
@@ -37,20 +41,42 @@ fn variants() -> Vec<(&'static str, Machine)> {
     ]
 }
 
+fn query(sel: MachineSel, bench: BenchmarkId) -> Query {
+    Query {
+        machine: sel,
+        bench,
+        class: Class::C,
+        threads: 64,
+        spec: SpecKind::PaperHeadline,
+    }
+}
+
 fn main() {
-    let vs = variants();
+    // Declare the full grid: every variant is a custom machine in the
+    // plan's side table; every (variant, kernel) pair is one query.
+    let mut plan = Plan::new();
+    let sels: Vec<(&str, MachineSel)> = variants()
+        .into_iter()
+        .map(|(name, m)| (name, plan.add_machine(m)))
+        .collect();
+    for bench in BenchmarkId::KERNELS {
+        for &(_, sel) in &sels {
+            plan.push(query(sel, bench));
+        }
+    }
+    let r = Engine::global().resolve(&plan);
+
     println!("predicted 64-core class C Mop/s (and gain over the SG2044 baseline):\n");
     print!("{:<6}", "bench");
-    for (name, _) in &vs {
+    for (name, _) in &sels {
         print!(" {name:>14}");
     }
     println!();
     for bench in BenchmarkId::KERNELS {
-        let profile = rvhpc::npb::profile(bench, Class::C);
-        let base = predict(&profile, &Scenario::paper_headline(&vs[0].1, bench, 64)).mops;
+        let base = r.get(&query(sels[0].1, bench)).mops;
         print!("{:<6}", bench.name());
-        for (_, m) in &vs {
-            let mops = predict(&profile, &Scenario::paper_headline(m, bench, 64)).mops;
+        for &(_, sel) in &sels {
+            let mops = r.get(&query(sel, bench)).mops;
             print!(" {:>8.0} {:+4.0}%", mops, 100.0 * (mops / base - 1.0));
         }
         println!();

@@ -10,12 +10,16 @@
 //! Options:
 //!   --trace <FILE>  write a Chrome trace_event timeline of the run
 //!                   (implies tracing on; RVHPC_TRACE=1 also enables it)
+//!   --predict       print the prediction engine's modelled SG2044
+//!                   time/rate next to each measured result
 //!   -h, --help      print this help and exit
 //! ```
 //!
 //! Exit codes: `0` all benchmarks verified, `1` at least one verification
 //! failed, `2` usage error, `3` trace file could not be written.
 
+use rvhpc::eval::engine::{Engine, Query};
+use rvhpc::machines::MachineId;
 use rvhpc::npb::{self, BenchmarkId, Class};
 use rvhpc::obs;
 use rvhpc::parallel::Pool;
@@ -45,6 +49,8 @@ fn usage_text() -> String {
          options:\n\
          \x20 --trace <FILE>  write a Chrome trace_event timeline of the run\n\
          \x20                 (implies tracing on; {}=1 also enables it)\n\
+         \x20 --predict       print the engine's modelled SG2044 time/rate\n\
+         \x20                 next to each measured result\n\
          \x20 -h, --help      print this help and exit\n\
          exit codes: 0 verified, 1 verification failure, 2 usage error,\n\
          \x20           3 trace write failure",
@@ -62,6 +68,7 @@ fn usage_error(msg: &str) -> ! {
 
 fn main() {
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut predict_mode = false;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,6 +81,7 @@ fn main() {
                 Some(p) => trace_path = Some(p.into()),
                 None => usage_error("--trace requires a file argument"),
             },
+            "--predict" => predict_mode = true,
             s if s.starts_with('-') => usage_error(&format!("unknown option '{s}'")),
             _ => positional.push(arg),
         }
@@ -119,6 +127,22 @@ fn main() {
     for bench in benches {
         let r = npb::run(bench, class, &pool);
         println!("{}", r.summary());
+        if predict_mode {
+            // The same entry point the reproduce driver uses: the global
+            // prediction engine, modelling this bench/class on the SG2044
+            // at the nearest supported thread count.
+            let model_threads = (threads as u32).min(64);
+            let pred = Engine::global().predict_one(Query::headline(
+                MachineId::Sg2044,
+                bench,
+                class,
+                model_threads,
+            ));
+            println!(
+                "  model: SG2044 @{} thread(s) — {:.3}s, {:.0} Mop/s",
+                model_threads, pred.seconds, pred.mops
+            );
+        }
         if !r.verified.passed() {
             failures += 1;
         }

@@ -6,19 +6,26 @@
 //! reproduce extensions             # the §7 future-work table (HPL/HPCG)
 //! reproduce --metrics out.json \
 //!           [BENCH] [CLASS] [THREADS]   # machine-readable metrics export
+//! reproduce --jobs 8               # engine worker count (else RVHPC_JOBS)
 //! ```
+//!
+//! Every model number flows through the prediction engine: the full
+//! report merges all experiments into one query plan, executes it once
+//! in parallel (`--jobs N`, or the `RVHPC_JOBS` environment variable,
+//! or all available cores), and renders from the warm cache. Output is
+//! byte-identical at any worker count.
 //!
 //! `--metrics` writes the versioned `rvhpc-metrics/1` JSON document for
 //! one predicted run on the SG2044 (default CG C 64): run identity,
-//! per-phase times, global stall attribution, and the exact per-core
-//! counter partition.
+//! per-phase times, global stall attribution, the exact per-core
+//! counter partition, and the engine's cache/executor counters.
 //!
 //! Exit codes: `0` success, `2` usage error, `3` output file could not
 //! be written.
 
-use rvhpc::eval::model::{predict, Scenario};
+use rvhpc::eval::engine::{set_default_jobs, Engine, Query};
 use rvhpc::eval::{experiment, metrics, report, runner};
-use rvhpc::machines::presets;
+use rvhpc::machines::{presets, MachineId};
 use rvhpc::npb::{BenchmarkId, Class};
 
 fn one(slug: &str) -> Option<String> {
@@ -74,12 +81,16 @@ fn one(slug: &str) -> Option<String> {
 }
 
 fn usage_text() -> &'static str {
-    "usage: reproduce [EXPERIMENT]\n\
-     \x20      reproduce --metrics <FILE> [BENCH] [CLASS] [THREADS]\n\
+    "usage: reproduce [--jobs N] [EXPERIMENT]\n\
+     \x20      reproduce [--jobs N] --metrics <FILE> [BENCH] [CLASS] [THREADS]\n\
      \x20 EXPERIMENT: table1..table8, fig1..fig6, stalls, extensions\n\
      \x20             (no argument: full report + results/ artifacts)\n\
+     \x20 --jobs N:   prediction-engine worker count (default: RVHPC_JOBS,\n\
+     \x20             then all available cores); output is byte-identical\n\
+     \x20             at any value\n\
      \x20 --metrics:  write the rvhpc-metrics/1 JSON document for one\n\
-     \x20             predicted SG2044 run (default: cg C 64)\n\
+     \x20             predicted SG2044 run (default: cg C 64), including\n\
+     \x20             the engine cache/executor counters\n\
      \x20 -h, --help: print this help and exit\n\
      exit codes: 0 success, 2 usage error, 3 output write failure"
 }
@@ -117,10 +128,14 @@ fn write_metrics(path: &std::path::Path, rest: &[String]) {
         usage_error("too many arguments");
     }
     let m = presets::sg2044();
-    let profile = rvhpc::npb::profile(bench, class);
-    let scenario = Scenario::headline(&m, threads.min(m.cores));
-    let pred = predict(&profile, &scenario);
-    let doc = metrics::prediction_document(&profile, &scenario, &pred);
+    let threads = threads.min(m.cores);
+    let engine = Engine::global();
+    let query = Query::headline(MachineId::Sg2044, bench, class, threads);
+    let pred = engine.predict_one(query);
+    let profile = engine.profile(bench, class);
+    let scenario = query.scenario(&m);
+    let doc =
+        metrics::prediction_document_with_engine(&profile, &scenario, &pred, &engine.metrics());
     if let Err(e) = std::fs::write(path, doc.to_json()) {
         eprintln!("reproduce: could not write {}: {e}", path.display());
         std::process::exit(3);
@@ -135,7 +150,27 @@ fn write_metrics(path: &std::path::Path, rest: &[String]) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `--jobs N` is a global option: extract it wherever it appears.
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--jobs" {
+            let Some(v) = args.get(i + 1) else {
+                usage_error("--jobs requires a worker count");
+            };
+            let jobs: usize = v
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| usage_error(&format!("invalid worker count '{v}'")));
+            set_default_jobs(jobs);
+            args.drain(i..=i + 1);
+        } else {
+            i += 1;
+        }
+    }
+
     match args.first().map(String::as_str) {
         Some("-h") | Some("--help") => {
             println!("{}", usage_text());

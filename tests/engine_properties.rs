@@ -1,0 +1,162 @@
+//! Property and stress tests for the prediction engine: cache-key
+//! stability (equal queries key equal; distinct grid points never
+//! collide) and concurrent use of one shared engine.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rvhpc::eval::engine::{Engine, Plan, Query};
+use rvhpc::machines::MachineId;
+use rvhpc::npb::{BenchmarkId, Class};
+
+const THREAD_POINTS: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+fn grid_query(mi: usize, bi: usize, ci: usize, ti: usize, paper: bool) -> Query {
+    let machine = MachineId::ALL[mi % MachineId::ALL.len()];
+    let bench = BenchmarkId::ALL[bi % BenchmarkId::ALL.len()];
+    let class = Class::ALL[ci % Class::ALL.len()];
+    let threads = THREAD_POINTS[ti % THREAD_POINTS.len()];
+    if paper {
+        Query::paper(machine, bench, class, threads)
+    } else {
+        Query::headline(machine, bench, class, threads)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Two independently constructed but equal queries produce equal
+    /// cache keys and equal stable fingerprints — in separate plans.
+    #[test]
+    fn equal_queries_key_equal(
+        mi in 0usize..64, bi in 0usize..64, ci in 0usize..64, ti in 0usize..64,
+        pi in 0usize..2,
+    ) {
+        let a = grid_query(mi, bi, ci, ti, pi == 1);
+        let b = grid_query(mi, bi, ci, ti, pi == 1);
+        prop_assert_eq!(a, b);
+        let plan_a = Plan::single(a);
+        let plan_b = Plan::single(b);
+        let (ka, kb) = (plan_a.key_of(&a), plan_b.key_of(&b));
+        prop_assert_eq!(ka, kb);
+        prop_assert_eq!(ka.fingerprint(), kb.fingerprint());
+    }
+
+    /// Distinct grid coordinates always produce distinct cache keys.
+    #[test]
+    fn distinct_queries_never_key_equal(
+        a_mi in 0usize..11, a_bi in 0usize..8, a_ci in 0usize..6, a_ti in 0usize..7,
+        a_pi in 0usize..2,
+        b_mi in 0usize..11, b_bi in 0usize..8, b_ci in 0usize..6, b_ti in 0usize..7,
+        b_pi in 0usize..2,
+    ) {
+        if (a_mi, a_bi, a_ci, a_ti, a_pi) == (b_mi, b_bi, b_ci, b_ti, b_pi) {
+            return ::std::result::Result::Ok(());
+        }
+        let qa = grid_query(a_mi, a_bi, a_ci, a_ti, a_pi == 1);
+        let qb = grid_query(b_mi, b_bi, b_ci, b_ti, b_pi == 1);
+        let plan = Plan::new();
+        prop_assert!(
+            plan.key_of(&qa) != plan.key_of(&qb),
+            "distinct grid points collided: {:?} vs {:?}", qa, qb
+        );
+    }
+}
+
+/// The stable fingerprints of the entire preset scenario grid (both spec
+/// kinds) are collision-free — the content address really is an address.
+#[test]
+fn sampled_grid_fingerprints_are_collision_free() {
+    let plan = Plan::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut total = 0usize;
+    for mi in 0..MachineId::ALL.len() {
+        for bi in 0..BenchmarkId::ALL.len() {
+            for ci in 0..Class::ALL.len() {
+                for ti in 0..THREAD_POINTS.len() {
+                    for paper in [false, true] {
+                        let q = grid_query(mi, bi, ci, ti, paper);
+                        assert!(
+                            seen.insert(plan.key_of(&q).fingerprint()),
+                            "fingerprint collision at {q:?}"
+                        );
+                        total += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(
+        total,
+        MachineId::ALL.len() * BenchmarkId::ALL.len() * Class::ALL.len() * THREAD_POINTS.len() * 2
+    );
+}
+
+/// Many threads hammering one shared engine with overlapping plans all
+/// observe results bit-identical to a serial reference, and the cache
+/// converges to exactly one entry per unique query.
+#[test]
+fn concurrent_execution_matches_serial_reference() {
+    let mut plan = Plan::new();
+    for &bench in &[
+        BenchmarkId::Ep,
+        BenchmarkId::Cg,
+        BenchmarkId::Mg,
+        BenchmarkId::Ft,
+    ] {
+        for &threads in &[1u32, 8, 64] {
+            plan.push(Query::paper(MachineId::Sg2044, bench, Class::B, threads));
+            plan.push(Query::paper(MachineId::Sg2042, bench, Class::B, threads));
+        }
+    }
+    let unique = plan.len(); // no duplicates in this grid
+
+    let reference: Vec<(u64, u64)> = Engine::new()
+        .execute_with_jobs(&plan, 1)
+        .iter()
+        .map(|p| (p.seconds.to_bits(), p.mops.to_bits()))
+        .collect();
+
+    let shared = Arc::new(Engine::new());
+    let plan = Arc::new(plan);
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let engine = Arc::clone(&shared);
+            let plan = Arc::clone(&plan);
+            std::thread::spawn(move || {
+                // Vary the worker count per thread to shake the schedule.
+                let jobs = 1 + t % 4;
+                let mut out = Vec::new();
+                for _ in 0..3 {
+                    out.push(
+                        engine
+                            .execute_with_jobs(&plan, jobs)
+                            .iter()
+                            .map(|p| (p.seconds.to_bits(), p.mops.to_bits()))
+                            .collect::<Vec<_>>(),
+                    );
+                }
+                out
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        for round in handle.join().expect("worker thread panicked") {
+            assert_eq!(round, reference, "concurrent result diverged from serial");
+        }
+    }
+
+    let m = shared.metrics();
+    // Racing threads may each compute a key before the first insert
+    // lands, but the cache must still converge to one entry per key and
+    // every probe must be accounted as a hit or a miss.
+    assert!(m.prediction_misses >= unique as u64);
+    assert_eq!(
+        m.prediction_hits + m.prediction_misses,
+        (8 * 3 * unique) as u64,
+        "every probe accounted"
+    );
+}
