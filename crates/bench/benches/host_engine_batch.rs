@@ -1,0 +1,63 @@
+//! Host microbenchmarks of the prediction engine's batch path — the
+//! throughput core of `rvhpc-serve`'s sharded workers: cold batches
+//! (every query computed), warm batches (pure cache service), and pool
+//! reuse versus spinning an ephemeral pool per batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc_bench::banner;
+use rvhpc_core::engine::{Engine, Plan, Query};
+use rvhpc_machines::MachineId;
+use rvhpc_npb::{BenchmarkId, Class};
+use rvhpc_parallel::Pool;
+
+/// A deterministic `n`-query plan over the machine × benchmark ×
+/// thread-count grid (the same shape the serve load generator replays).
+fn grid_plan(n: usize) -> Plan {
+    const THREADS: [u32; 4] = [1, 8, 32, 64];
+    let mut plan = Plan::new();
+    for k in 0..n {
+        let machine = MachineId::ALL[k % MachineId::ALL.len()];
+        let bench = BenchmarkId::ALL[(k / 3) % BenchmarkId::ALL.len()];
+        let class = Class::ALL[(k / 7) % Class::ALL.len()];
+        let threads = THREADS[(k / 5) % THREADS.len()];
+        plan.push(Query::paper(machine, bench, class, threads));
+    }
+    plan
+}
+
+fn bench(c: &mut Criterion) {
+    banner("engine batch throughput (host)");
+    let jobs = 4usize;
+
+    for n in [16usize, 64] {
+        let plan = grid_plan(n);
+        c.bench_function(&format!("batch_cold_{n}q"), |b| {
+            b.iter(|| {
+                // Fresh engine: every query is a miss, the whole model runs.
+                Engine::new().execute_with_jobs(&plan, jobs)
+            })
+        });
+
+        let engine = Engine::new();
+        engine.execute_with_jobs(&plan, jobs);
+        c.bench_function(&format!("batch_warm_{n}q"), |b| {
+            // Warmed engine: pure cache lookups plus plan bookkeeping.
+            b.iter(|| engine.execute_with_jobs(&plan, jobs))
+        });
+    }
+
+    // Pool reuse (the serve worker loop) against an ephemeral pool per
+    // batch, on a cold engine each iteration so the parallel compute
+    // path actually runs.
+    let plan = grid_plan(64);
+    let pool = Pool::new(jobs);
+    c.bench_function("batch_cold_64q_pool_reused", |b| {
+        b.iter(|| Engine::new().execute_on(&plan, &pool))
+    });
+    c.bench_function("batch_cold_64q_pool_ephemeral", |b| {
+        b.iter(|| Engine::new().execute_with_jobs(&plan, jobs))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

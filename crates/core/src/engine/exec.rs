@@ -193,6 +193,40 @@ impl Engine {
         self.execute(&plan).pop().expect("single-query plan")
     }
 
+    /// Resolve a single preset-machine query without the batch
+    /// machinery: one cache probe, one compute on a miss. This is the
+    /// hot path for externally-arriving single queries (`rvhpc-serve`),
+    /// where building and deduplicating a one-element [`Plan`] per
+    /// request is pure overhead. Shares the prediction cache with the
+    /// batch executor — a query resolved here is a hit there and vice
+    /// versa. Panics on a [`MachineSel::Custom`] selector, which is
+    /// meaningless without a plan's machine table.
+    ///
+    /// [`MachineSel::Custom`]: crate::engine::MachineSel::Custom
+    pub fn resolve_one(&self, q: &Query) -> Arc<Prediction> {
+        let plan = Plan::single(*q);
+        let key = plan.key_of(q);
+        if let Some(v) = self.predictions.peek(&key) {
+            self.predictions.count_hit();
+            return v;
+        }
+        self.predictions.count_miss();
+        let machine = plan.machine_of(q);
+        let profile = self.profile(q.bench, q.class);
+        let scenario = q.scenario(&machine);
+        let pred = Arc::new(predict(&profile, &scenario));
+        self.predictions.insert(key, Arc::clone(&pred));
+        pred
+    }
+
+    /// Whether `q` (keyed in `plan`'s context) is already in the
+    /// prediction cache. Does not count a probe — used by `rvhpc-serve`
+    /// to tag replies as warm/cold without disturbing the hit/miss
+    /// accounting.
+    pub fn is_cached(&self, plan: &Plan, q: &Query) -> bool {
+        self.predictions.peek(&plan.key_of(q)).is_some()
+    }
+
     /// Evaluate a plan with the default worker count; results in plan
     /// order.
     pub fn execute(&self, plan: &Plan) -> Vec<Arc<Prediction>> {
@@ -210,6 +244,19 @@ impl Engine {
     /// Evaluate a plan with an explicit worker count; results in plan
     /// order and byte-for-byte independent of `jobs`.
     pub fn execute_with_jobs(&self, plan: &Plan, jobs: usize) -> Vec<Arc<Prediction>> {
+        self.execute_inner(plan, jobs, None)
+    }
+
+    /// Evaluate a plan on a caller-provided persistent pool. Long-lived
+    /// callers (the serve shard workers) keep one pool per shard across
+    /// connections instead of paying thread spawn/join per batch; results
+    /// are byte-identical to [`Engine::execute_with_jobs`] at any pool
+    /// size.
+    pub fn execute_on(&self, plan: &Plan, pool: &Pool) -> Vec<Arc<Prediction>> {
+        self.execute_inner(plan, pool.nthreads(), Some(pool))
+    }
+
+    fn execute_inner(&self, plan: &Plan, jobs: usize, pool: Option<&Pool>) -> Vec<Arc<Prediction>> {
         let jobs = jobs.max(1);
 
         // Deduplicate by content key, preserving first-seen order so the
@@ -263,12 +310,17 @@ impl Engine {
         } else {
             let computed: Vec<Mutex<Option<Arc<Prediction>>>> =
                 misses.iter().map(|_| Mutex::new(None)).collect();
-            let pool = Pool::new(workers);
-            pool.run(|team| {
-                team.for_dynamic(0, misses.len(), 1, |k| {
-                    *computed[k].lock() = Some(compute(misses[k]));
+            let run_batch = |pool: &Pool| {
+                pool.run(|team| {
+                    team.for_dynamic(0, misses.len(), 1, |k| {
+                        *computed[k].lock() = Some(compute(misses[k]));
+                    });
                 });
-            });
+            };
+            match pool {
+                Some(p) => run_batch(p),
+                None => run_batch(&Pool::new(workers)),
+            }
             for (k, &i) in misses.iter().enumerate() {
                 results[i] = Some(
                     computed[k]
@@ -403,6 +455,64 @@ mod tests {
         assert_eq!(m.executed, 9);
         assert_eq!(m.capacity, 12);
         assert!((m.occupancy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolve_one_shares_the_prediction_cache() {
+        let engine = Engine::new();
+        let q = Query::paper(MachineId::Sg2044, BenchmarkId::Cg, Class::B, 8);
+
+        // Cold resolve computes; the second resolve is a pure cache hit
+        // returning the same allocation.
+        let a = engine.resolve_one(&q);
+        let m = engine.metrics();
+        assert_eq!((m.prediction_hits, m.prediction_misses), (0, 1));
+        let b = engine.resolve_one(&q);
+        let m = engine.metrics();
+        assert_eq!((m.prediction_hits, m.prediction_misses), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b));
+
+        // The batch executor sees the same cache: a plan holding the same
+        // query is all hits, and its result is the same allocation too.
+        let out = engine.execute_with_jobs(&Plan::single(q), 4);
+        let m = engine.metrics();
+        assert_eq!((m.prediction_hits, m.prediction_misses), (2, 1));
+        assert!(Arc::ptr_eq(&out[0], &a));
+    }
+
+    #[test]
+    fn is_cached_tracks_warmth_without_counting() {
+        let engine = Engine::new();
+        let plan = Plan::single(Query::paper(
+            MachineId::Sg2042,
+            BenchmarkId::Ep,
+            Class::B,
+            4,
+        ));
+        let q = plan.queries()[0];
+        assert!(!engine.is_cached(&plan, &q));
+        engine.execute_with_jobs(&plan, 1);
+        let before = engine.metrics();
+        assert!(engine.is_cached(&plan, &q));
+        assert_eq!(engine.metrics(), before, "is_cached must not count probes");
+    }
+
+    #[test]
+    fn execute_on_reused_pool_matches_ephemeral_pools() {
+        let plan = small_plan();
+        let reference = Engine::new().execute_with_jobs(&plan, 4);
+        let engine = Engine::new();
+        let pool = rvhpc_parallel::Pool::new(4);
+        // Two batches over one pool: cold then warm.
+        let cold = engine.execute_on(&plan, &pool);
+        let warm = engine.execute_on(&plan, &pool);
+        for (x, y) in reference.iter().zip(cold.iter().chain(warm.iter())) {
+            assert_eq!(x.seconds.to_bits(), y.seconds.to_bits());
+            assert_eq!(x.mops.to_bits(), y.mops.to_bits());
+        }
+        let m = engine.metrics();
+        assert_eq!(m.prediction_misses, plan.len() as u64);
+        assert_eq!(m.prediction_hits, plan.len() as u64);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod chrome;
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
@@ -35,6 +36,7 @@ pub mod ring;
 
 pub use chrome::{chrome_trace, write_chrome_trace};
 pub use event::{Event, EventKind};
+pub use hist::LatencyHistogram;
 pub use json::JsonValue;
 pub use metrics::{summarize, Summary};
 pub use recorder::{

@@ -1,0 +1,272 @@
+//! Sharded batching workers over one shared [`Engine`].
+//!
+//! Requests from all connections funnel into a small number of shards;
+//! each shard owns a bounded queue (the admission-control boundary), a
+//! persistent [`rvhpc_parallel::Pool`] reused across batches, and a
+//! worker thread that drains whatever is queued, merges the jobs into
+//! one [`Plan`], and resolves the batch through the engine — so
+//! concurrent identical queries deduplicate to a single computation and
+//! misses evaluate in parallel. Jobs are routed to shards by the
+//! query's content-addressed fingerprint, so repeats of the same query
+//! always meet the same shard (and each other's batch).
+//!
+//! Dropping the senders is the drain signal: [`Batcher::drain`] closes
+//! the queues, the workers finish everything already admitted, and the
+//! threads exit.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rvhpc_core::engine::{Engine, Plan, Query};
+use rvhpc_core::Prediction;
+use rvhpc_parallel::Pool;
+use std::sync::Arc;
+
+/// Most jobs merged into one engine batch.
+const MAX_BATCH: usize = 64;
+
+/// One admitted prediction job.
+pub struct Job {
+    /// Single-query plan (carries the custom machine table if any).
+    pub plan: Plan,
+    /// The query inside `plan`.
+    pub query: Query,
+    /// When the job was admitted (for service-time accounting).
+    pub enqueued_at: Instant,
+    /// Where the result goes; the connection side may have given up
+    /// (deadline), in which case the send fails and is ignored.
+    pub reply: SyncSender<JobResult>,
+}
+
+/// A finished job.
+pub struct JobResult {
+    /// The prediction.
+    pub pred: Arc<Prediction>,
+    /// Whether the prediction cache already held the result when the
+    /// batch containing this job was assembled.
+    pub cached: bool,
+    /// Queue + compute time in microseconds, measured at the worker.
+    pub service_us: u64,
+}
+
+/// Why a job was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The target shard's queue is full.
+    QueueFull,
+    /// The batcher is draining.
+    Draining,
+}
+
+struct Shard {
+    tx: SyncSender<Job>,
+    worker: JoinHandle<()>,
+}
+
+/// The sharded worker set.
+pub struct Batcher {
+    engine: &'static Engine,
+    shards: Mutex<Vec<Shard>>,
+    nshards: usize,
+}
+
+fn worker_loop(rx: Receiver<Job>, engine: &'static Engine, pool_threads: usize) {
+    let pool = Pool::new(pool_threads.max(1));
+    // Blocking recv returns Err only when every sender is gone — the
+    // drain signal. Everything admitted before the drain is still served.
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        while jobs.len() < MAX_BATCH {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+
+        // Merge into one plan; job i contributes exactly query i.
+        let mut plan = Plan::new();
+        for job in &jobs {
+            plan.merge(job.plan.clone());
+        }
+        debug_assert_eq!(plan.len(), jobs.len());
+
+        // Warmth is judged per merged query *before* execution, so the
+        // first arrival of a query reports cold even when batching
+        // dedups it against a twin in the same batch.
+        let cached: Vec<bool> = plan
+            .queries()
+            .iter()
+            .map(|q| engine.is_cached(&plan, q))
+            .collect();
+
+        let preds = engine.execute_on(&plan, &pool);
+
+        let done = Instant::now();
+        for ((job, pred), was_cached) in jobs.iter().zip(preds).zip(cached) {
+            let service_us = done.duration_since(job.enqueued_at).as_micros() as u64;
+            // A closed reply channel means the client stopped waiting
+            // (deadline or disconnect); the result is still cached.
+            let _ = job.reply.send(JobResult {
+                pred,
+                cached: was_cached,
+                service_us,
+            });
+        }
+    }
+}
+
+impl Batcher {
+    /// Start `nshards` workers, each with a bounded queue of
+    /// `queue_cap` jobs and a persistent pool of `pool_threads` threads.
+    pub fn new(
+        engine: &'static Engine,
+        nshards: usize,
+        queue_cap: usize,
+        pool_threads: usize,
+    ) -> Self {
+        let nshards = nshards.max(1);
+        let shards = (0..nshards)
+            .map(|i| {
+                let (tx, rx) = sync_channel(queue_cap.max(1));
+                let worker = std::thread::Builder::new()
+                    .name(format!("rvhpc-serve-shard-{i}"))
+                    .spawn(move || worker_loop(rx, engine, pool_threads))
+                    .expect("spawn shard worker");
+                Shard { tx, worker }
+            })
+            .collect();
+        Self {
+            engine,
+            shards: Mutex::new(shards),
+            nshards,
+        }
+    }
+
+    /// The engine this batcher resolves through.
+    pub fn engine(&self) -> &'static Engine {
+        self.engine
+    }
+
+    /// Number of shards.
+    pub fn nshards(&self) -> usize {
+        self.nshards
+    }
+
+    /// Route a job to its shard's queue. Fails fast when the queue is
+    /// full (admission control) or the batcher is draining.
+    pub fn submit(&self, job: Job) -> Result<(), AdmissionError> {
+        let shards = self.shards.lock();
+        if shards.is_empty() {
+            return Err(AdmissionError::Draining);
+        }
+        // Content-addressed routing: identical queries share a shard, so
+        // repeats batch together and dedup inside one engine call.
+        let shard = (job.plan.key_of(&job.query).fingerprint() as usize) % shards.len();
+        match shards[shard].tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(AdmissionError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(AdmissionError::Draining),
+        }
+    }
+
+    /// Graceful drain: close every queue, serve what was already
+    /// admitted, join the workers. Subsequent [`Batcher::submit`] calls
+    /// fail with [`AdmissionError::Draining`]. Idempotent.
+    pub fn drain(&self) {
+        let shards = std::mem::take(&mut *self.shards.lock());
+        for shard in shards {
+            drop(shard.tx);
+            let _ = shard.worker.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvhpc_machines::MachineId;
+    use rvhpc_npb::{BenchmarkId, Class};
+
+    fn job_for(q: Query) -> (Job, Receiver<JobResult>) {
+        let (tx, rx) = sync_channel(1);
+        (
+            Job {
+                plan: Plan::single(q),
+                query: q,
+                enqueued_at: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    fn leaked_engine() -> &'static Engine {
+        Box::leak(Box::new(Engine::new()))
+    }
+
+    #[test]
+    fn jobs_resolve_and_report_warmth() {
+        let batcher = Batcher::new(leaked_engine(), 2, 8, 2);
+        let q = Query::paper(MachineId::Sg2044, BenchmarkId::Ep, Class::B, 4);
+        let (job, rx) = job_for(q);
+        batcher.submit(job).expect("admitted");
+        let cold = rx.recv().expect("result");
+        assert!(!cold.cached, "first resolve must be cold");
+
+        let (job, rx) = job_for(q);
+        batcher.submit(job).expect("admitted");
+        let warm = rx.recv().expect("result");
+        assert!(warm.cached, "repeat must be warm");
+        assert_eq!(
+            cold.pred.seconds.to_bits(),
+            warm.pred.seconds.to_bits(),
+            "warm result must be identical"
+        );
+        batcher.drain();
+    }
+
+    #[test]
+    fn identical_queries_route_to_one_shard_and_dedup() {
+        let engine = leaked_engine();
+        let batcher = Batcher::new(engine, 4, 64, 1);
+        let q = Query::paper(MachineId::Sg2042, BenchmarkId::Mg, Class::B, 8);
+        let rxs: Vec<_> = (0..16)
+            .map(|_| {
+                let (job, rx) = job_for(q);
+                batcher.submit(job).expect("admitted");
+                rx
+            })
+            .collect();
+        for rx in rxs {
+            rx.recv().expect("every job answered");
+        }
+        batcher.drain();
+        // Identical queries share a content key: however the 16 jobs
+        // landed into batches, exactly one computation happened (a batch
+        // counts one probe per unique key, so probe counts depend on the
+        // batching, but misses cannot).
+        let m = engine.metrics();
+        assert_eq!(m.prediction_misses, 1, "16 identical jobs, one compute");
+        assert_eq!(m.executed, 1);
+    }
+
+    #[test]
+    fn draining_rejects_new_work_but_serves_admitted_jobs() {
+        let batcher = Batcher::new(leaked_engine(), 1, 8, 1);
+        let q = Query::paper(MachineId::Sg2044, BenchmarkId::Is, Class::A, 2);
+        let (job, rx) = job_for(q);
+        batcher.submit(job).expect("admitted");
+        batcher.drain();
+        assert!(rx.recv().is_ok(), "admitted job served through drain");
+        let (job, _rx) = job_for(q);
+        assert_eq!(batcher.submit(job), Err(AdmissionError::Draining));
+    }
+}

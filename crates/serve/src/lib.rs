@@ -1,0 +1,38 @@
+//! # rvhpc-serve
+//!
+//! A networked prediction service over the `rvhpc-core` engine — the
+//! paper's question ("what would benchmark X do on machine Y at N
+//! threads?") answered over the wire with predictable tail latency.
+//!
+//! * [`proto`] — the newline-delimited JSON protocol: a total, strict
+//!   request parser that lowers wire requests onto engine
+//!   [`Query`](rvhpc_core::engine::Query)/[`Plan`](rvhpc_core::engine::Plan)s
+//!   (presets plus custom-machine what-if descriptors) and structured
+//!   error replies.
+//! * [`batch`] — sharded workers: bounded admission queues, one
+//!   persistent [`rvhpc_parallel::Pool`] per shard, concurrent requests
+//!   merged into single engine batches (identical queries dedup to one
+//!   computation).
+//! * [`server`] — the std-`TcpListener` accept loop: per-connection
+//!   protocol handling, per-request deadlines, server counters
+//!   (accepted / rejected-at-admission / deadline-expired / cache hit
+//!   rate per connection) exported through the `rvhpc-metrics/1` writer,
+//!   and graceful drain on SIGTERM/ctrl-C or an admin `quit` request.
+//! * [`loadgen`] — the measuring client: replays deterministic request
+//!   mixes at a target rate and reports throughput and p50/p95/p99
+//!   latency via [`rvhpc_obs::LatencyHistogram`].
+//!
+//! The service is dependency-free by construction (std networking, the
+//! workspace's own JSON model) — see DESIGN.md §9.
+
+pub mod batch;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use batch::{AdmissionError, Batcher, Job, JobResult};
+pub use loadgen::{LoadReport, LoadgenConfig, Mix};
+pub use proto::{parse_request, ErrorKind, PredictRequest, ProtoError, Request};
+pub use server::{
+    drain_requested, install_signal_drain, request_drain, reset_drain, Server, ServerConfig,
+};

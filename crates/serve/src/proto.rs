@@ -1,0 +1,625 @@
+//! The wire protocol: newline-delimited JSON requests and replies.
+//!
+//! Every request is one line of JSON; every reply is one line of JSON.
+//! The parser is total — arbitrary bytes produce a structured error
+//! reply, never a panic or a dropped connection — and strict: unknown
+//! fields are rejected so client typos surface as errors instead of
+//! silently applying defaults.
+//!
+//! Request shapes (all fields except `bench` optional):
+//!
+//! ```json
+//! {"op":"predict","bench":"cg","class":"C","threads":64,"machine":"sg2044","spec":"paper","id":7}
+//! {"op":"predict","bench":"ep","machine":{"base":"sg2044","clock_ghz":3.2,"vlen_bits":256}}
+//! {"op":"metrics"}
+//! {"op":"ping"}
+//! {"op":"quit"}
+//! ```
+//!
+//! Replies carry `"ok":true` with a `result` object, or `"ok":false`
+//! with an `error` object naming a machine-readable `kind` (`parse`,
+//! `invalid`, `overloaded`, `deadline`, `draining`, `internal`) and a
+//! human-readable `message`. The request `id`, when present and
+//! well-formed, is echoed in both cases.
+
+use rvhpc_core::engine::{MachineSel, Plan, Query, SpecKind};
+use rvhpc_core::Prediction;
+use rvhpc_machines::{presets, Machine, MachineId, VectorIsa};
+use rvhpc_npb::{BenchmarkId, Class};
+use rvhpc_obs::json::{self, JsonValue};
+
+/// Machine-readable failure category carried in every error reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not valid JSON.
+    Parse,
+    /// Valid JSON, but not a valid request (unknown op, bad field, ...).
+    Invalid,
+    /// Rejected at admission: the target shard's queue is full.
+    Overloaded,
+    /// The request's deadline expired before a result was produced.
+    Deadline,
+    /// The server is draining and no longer accepts work.
+    Draining,
+    /// The server failed internally (reply channel died, ...).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Invalid => "invalid",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Draining => "draining",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A structured request failure: what went wrong, plus the request id
+/// when one could still be extracted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoError {
+    /// Echoed request id, when recoverable.
+    pub id: Option<u64>,
+    /// Failure category.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn new(id: Option<u64>, kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            id,
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// Which machine a prediction request targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineSpec {
+    /// One of the study's presets, by name.
+    Preset(MachineId),
+    /// A preset with field overrides (what-if descriptor).
+    Custom {
+        /// The preset the descriptor started from.
+        base: MachineId,
+        /// The fully-built machine.
+        machine: Box<Machine>,
+    },
+}
+
+/// A validated prediction request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictRequest {
+    /// Client-chosen id echoed in the reply.
+    pub id: Option<u64>,
+    pub bench: BenchmarkId,
+    pub class: Class,
+    pub threads: u32,
+    pub machine: MachineSpec,
+    /// `true` → [`SpecKind::PaperHeadline`]; `false` → [`SpecKind::Headline`].
+    pub paper_spec: bool,
+    /// Per-request deadline in milliseconds (server default applies when
+    /// absent).
+    pub deadline_ms: Option<u64>,
+}
+
+impl PredictRequest {
+    /// Lower the request onto the engine's query model: a single-query
+    /// plan (carrying the custom machine descriptor when present).
+    pub fn to_plan(&self) -> (Plan, Query) {
+        let mut plan = Plan::new();
+        let sel = match &self.machine {
+            MachineSpec::Preset(id) => MachineSel::Preset(*id),
+            MachineSpec::Custom { machine, .. } => plan.add_machine((**machine).clone()),
+        };
+        let q = Query {
+            machine: sel,
+            bench: self.bench,
+            class: self.class,
+            threads: self.threads,
+            spec: if self.paper_spec {
+                SpecKind::PaperHeadline
+            } else {
+                SpecKind::Headline
+            },
+        };
+        plan.push(q);
+        (plan, q)
+    }
+
+    /// Display label for the target machine (`SG2044` or `custom:SG2044`).
+    pub fn machine_label(&self) -> String {
+        match &self.machine {
+            MachineSpec::Preset(id) => id.name().to_string(),
+            MachineSpec::Custom { base, .. } => format!("custom:{}", base.name()),
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Resolve one prediction query.
+    Predict(Box<PredictRequest>),
+    /// Return the server's metrics document.
+    Metrics,
+    /// Liveness check.
+    Ping,
+    /// Begin graceful drain and shut the server down.
+    Quit,
+}
+
+fn norm(s: &str) -> String {
+    s.chars()
+        .filter(|c| !matches!(c, ' ' | '-' | '_'))
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+fn preset_by_name(id: Option<u64>, s: &str) -> Result<MachineId, ProtoError> {
+    let want = norm(s);
+    MachineId::ALL
+        .into_iter()
+        .find(|m| norm(m.name()) == want)
+        .ok_or_else(|| {
+            ProtoError::new(
+                id,
+                ErrorKind::Invalid,
+                format!("unknown machine preset '{s}'"),
+            )
+        })
+}
+
+fn req_id(doc: &JsonValue) -> Option<u64> {
+    let n = doc.get("id")?.as_f64()?;
+    if n.is_finite() && n >= 0.0 && n == n.trunc() && n < 9e15 {
+        Some(n as u64)
+    } else {
+        None
+    }
+}
+
+fn get_str<'a>(
+    doc: &'a JsonValue,
+    id: Option<u64>,
+    key: &str,
+) -> Result<Option<&'a str>, ProtoError> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(JsonValue::String(s)) => Ok(Some(s)),
+        Some(_) => Err(ProtoError::new(
+            id,
+            ErrorKind::Invalid,
+            format!("field '{key}' must be a string"),
+        )),
+    }
+}
+
+fn get_f64(doc: &JsonValue, id: Option<u64>, key: &str) -> Result<Option<f64>, ProtoError> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(JsonValue::Number(n)) if n.is_finite() => Ok(Some(*n)),
+        Some(_) => Err(ProtoError::new(
+            id,
+            ErrorKind::Invalid,
+            format!("field '{key}' must be a finite number"),
+        )),
+    }
+}
+
+fn get_uint(
+    doc: &JsonValue,
+    id: Option<u64>,
+    key: &str,
+    lo: u64,
+    hi: u64,
+) -> Result<Option<u64>, ProtoError> {
+    match get_f64(doc, id, key)? {
+        None => Ok(None),
+        Some(n) if n >= 0.0 && n == n.trunc() && (lo..=hi).contains(&(n as u64)) => {
+            Ok(Some(n as u64))
+        }
+        Some(_) => Err(ProtoError::new(
+            id,
+            ErrorKind::Invalid,
+            format!("field '{key}' must be an integer in {lo}..={hi}"),
+        )),
+    }
+}
+
+fn reject_unknown_keys(
+    doc: &JsonValue,
+    id: Option<u64>,
+    allowed: &[&str],
+    what: &str,
+) -> Result<(), ProtoError> {
+    if let JsonValue::Object(map) = doc {
+        for key in map.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ProtoError::new(
+                    id,
+                    ErrorKind::Invalid,
+                    format!("unknown {what} field '{key}'"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+const MACHINE_KEYS: [&str; 7] = [
+    "base",
+    "clock_ghz",
+    "cores",
+    "vlen_bits",
+    "mlp_scale",
+    "stream_mlp_scale",
+    "bandwidth_scale",
+];
+
+fn parse_machine(doc: &JsonValue, id: Option<u64>) -> Result<MachineSpec, ProtoError> {
+    match doc.get("machine") {
+        None => Ok(MachineSpec::Preset(MachineId::Sg2044)),
+        Some(JsonValue::String(s)) => Ok(MachineSpec::Preset(preset_by_name(id, s)?)),
+        Some(obj @ JsonValue::Object(_)) => {
+            reject_unknown_keys(obj, id, &MACHINE_KEYS, "machine")?;
+            let base = match get_str(obj, id, "base")? {
+                Some(s) => preset_by_name(id, s)?,
+                None => MachineId::Sg2044,
+            };
+            let mut m = presets::by_id(base);
+            let invalid = |msg: String| ProtoError::new(id, ErrorKind::Invalid, msg);
+            if let Some(clock) = get_f64(obj, id, "clock_ghz")? {
+                if !(0.1..=20.0).contains(&clock) {
+                    return Err(invalid("clock_ghz must be in 0.1..=20".into()));
+                }
+                m.clock_ghz = clock;
+            }
+            if let Some(cores) = get_uint(obj, id, "cores", 1, 1024)? {
+                let cores = cores as u32;
+                if !cores.is_multiple_of(m.numa_regions) {
+                    return Err(invalid(format!(
+                        "cores must be a multiple of the base's {} NUMA regions",
+                        m.numa_regions
+                    )));
+                }
+                m.cores = cores;
+                m.cores_per_cluster = m.cores_per_cluster.min(cores);
+            }
+            if let Some(vlen) = get_uint(obj, id, "vlen_bits", 64, 4096)? {
+                let vlen = vlen as u32;
+                if !vlen.is_power_of_two() {
+                    return Err(invalid("vlen_bits must be a power of two".into()));
+                }
+                m.vector = match m.vector {
+                    VectorIsa::Rvv0_7 { .. } => VectorIsa::Rvv0_7 { vlen_bits: vlen },
+                    VectorIsa::Rvv1_0 { .. } => VectorIsa::Rvv1_0 { vlen_bits: vlen },
+                    other => {
+                        return Err(invalid(format!(
+                            "vlen_bits only applies to RVV machines, base has {other:?}"
+                        )))
+                    }
+                };
+            }
+            let scale = |key: &str| -> Result<f64, ProtoError> {
+                match get_f64(obj, id, key)? {
+                    Some(s) if (0.01..=64.0).contains(&s) => Ok(s),
+                    Some(_) => Err(invalid(format!("{key} must be in 0.01..=64"))),
+                    None => Ok(1.0),
+                }
+            };
+            m.core.mlp *= scale("mlp_scale")?;
+            m.core.stream_mlp *= scale("stream_mlp_scale")?;
+            m.memory.sustained_fraction *= scale("bandwidth_scale")?;
+            Ok(MachineSpec::Custom {
+                base,
+                machine: Box::new(m),
+            })
+        }
+        Some(_) => Err(ProtoError::new(
+            id,
+            ErrorKind::Invalid,
+            "field 'machine' must be a preset name or a descriptor object",
+        )),
+    }
+}
+
+const PREDICT_KEYS: [&str; 8] = [
+    "op",
+    "id",
+    "bench",
+    "class",
+    "threads",
+    "machine",
+    "spec",
+    "deadline_ms",
+];
+
+fn parse_predict(doc: &JsonValue, id: Option<u64>) -> Result<Request, ProtoError> {
+    reject_unknown_keys(doc, id, &PREDICT_KEYS, "request")?;
+    let bench = match get_str(doc, id, "bench")? {
+        Some(s) => BenchmarkId::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| {
+                ProtoError::new(id, ErrorKind::Invalid, format!("unknown benchmark '{s}'"))
+            })?,
+        None => {
+            return Err(ProtoError::new(
+                id,
+                ErrorKind::Invalid,
+                "predict requires a 'bench' field",
+            ))
+        }
+    };
+    let class = match get_str(doc, id, "class")? {
+        Some(s) => Class::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| {
+                ProtoError::new(id, ErrorKind::Invalid, format!("unknown class '{s}'"))
+            })?,
+        None => Class::C,
+    };
+    let threads = get_uint(doc, id, "threads", 1, 1024)?.unwrap_or(1) as u32;
+    let machine = parse_machine(doc, id)?;
+    let paper_spec = match get_str(doc, id, "spec")? {
+        None => true,
+        Some(s) if s.eq_ignore_ascii_case("paper") => true,
+        Some(s) if s.eq_ignore_ascii_case("headline") => false,
+        Some(s) => {
+            return Err(ProtoError::new(
+                id,
+                ErrorKind::Invalid,
+                format!("unknown spec '{s}' (expected 'paper' or 'headline')"),
+            ))
+        }
+    };
+    let deadline_ms = get_uint(doc, id, "deadline_ms", 1, 600_000)?;
+    Ok(Request::Predict(Box::new(PredictRequest {
+        id,
+        bench,
+        class,
+        threads,
+        machine,
+        paper_spec,
+        deadline_ms,
+    })))
+}
+
+/// Parse one request line. Total: any input yields either a request or a
+/// [`ProtoError`] that renders as a structured error reply.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let doc = json::parse(line.trim())
+        .map_err(|e| ProtoError::new(None, ErrorKind::Parse, e.to_string()))?;
+    if !matches!(doc, JsonValue::Object(_)) {
+        return Err(ProtoError::new(
+            None,
+            ErrorKind::Invalid,
+            "request must be a JSON object",
+        ));
+    }
+    let id = req_id(&doc);
+    match doc.get("op").map(|v| (v.as_str(), v)) {
+        // A missing op means predict, the common case.
+        None => parse_predict(&doc, id),
+        Some((Some("predict"), _)) => parse_predict(&doc, id),
+        Some((Some("metrics"), _)) => {
+            reject_unknown_keys(&doc, id, &["op", "id"], "request")?;
+            Ok(Request::Metrics)
+        }
+        Some((Some("ping"), _)) => {
+            reject_unknown_keys(&doc, id, &["op", "id"], "request")?;
+            Ok(Request::Ping)
+        }
+        Some((Some("quit"), _)) => {
+            reject_unknown_keys(&doc, id, &["op", "id"], "request")?;
+            Ok(Request::Quit)
+        }
+        Some((Some(other), _)) => Err(ProtoError::new(
+            id,
+            ErrorKind::Invalid,
+            format!("unknown op '{other}'"),
+        )),
+        Some((None, _)) => Err(ProtoError::new(
+            id,
+            ErrorKind::Invalid,
+            "field 'op' must be a string",
+        )),
+    }
+}
+
+fn id_field(id: Option<u64>) -> Option<(String, JsonValue)> {
+    id.map(|v| ("id".to_string(), JsonValue::from(v)))
+}
+
+/// Render a success reply (one line, no trailing newline).
+pub fn render_ok(id: Option<u64>, result: JsonValue) -> String {
+    let mut fields = vec![
+        ("ok".to_string(), JsonValue::Bool(true)),
+        ("result".to_string(), result),
+    ];
+    fields.extend(id_field(id));
+    JsonValue::object(fields).to_json()
+}
+
+/// Render a structured error reply (one line, no trailing newline).
+pub fn render_error(e: &ProtoError) -> String {
+    let mut fields = vec![
+        ("ok".to_string(), JsonValue::Bool(false)),
+        (
+            "error".to_string(),
+            JsonValue::object([
+                ("kind".to_string(), JsonValue::from(e.kind.label())),
+                ("message".to_string(), JsonValue::from(e.message.as_str())),
+            ]),
+        ),
+    ];
+    fields.extend(id_field(e.id));
+    JsonValue::object(fields).to_json()
+}
+
+/// The `result` object of a predict reply.
+///
+/// Deliberately excludes cache state: the model is deterministic, so a
+/// repeated identical request must produce a byte-identical reply whether
+/// it was computed or served warm. Cache hits are visible through the
+/// server counters (`{"op":"metrics"}`) instead.
+pub fn prediction_result(req: &PredictRequest, pred: &Prediction) -> JsonValue {
+    JsonValue::object([
+        ("bench".to_string(), JsonValue::from(req.bench.name())),
+        ("class".to_string(), JsonValue::from(req.class.name())),
+        ("machine".to_string(), JsonValue::from(req.machine_label())),
+        (
+            "threads".to_string(),
+            JsonValue::from(u64::from(req.threads)),
+        ),
+        (
+            "spec".to_string(),
+            JsonValue::from(if req.paper_spec { "paper" } else { "headline" }),
+        ),
+        ("seconds".to_string(), JsonValue::from(pred.seconds)),
+        ("mops".to_string(), JsonValue::from(pred.mops)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predict(line: &str) -> PredictRequest {
+        match parse_request(line).expect("parses") {
+            Request::Predict(p) => *p,
+            other => panic!("expected predict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimal_predict_applies_defaults() {
+        let p = predict(r#"{"bench":"cg"}"#);
+        assert_eq!(p.bench, BenchmarkId::Cg);
+        assert_eq!(p.class, Class::C);
+        assert_eq!(p.threads, 1);
+        assert_eq!(p.machine, MachineSpec::Preset(MachineId::Sg2044));
+        assert!(p.paper_spec);
+        assert_eq!(p.deadline_ms, None);
+    }
+
+    #[test]
+    fn full_predict_round_trips_every_field() {
+        let p = predict(
+            r#"{"op":"predict","id":9,"bench":"ft","class":"B","threads":16,
+                "machine":"sg2042","spec":"headline","deadline_ms":250}"#,
+        );
+        assert_eq!(p.id, Some(9));
+        assert_eq!(p.bench, BenchmarkId::Ft);
+        assert_eq!(p.class, Class::B);
+        assert_eq!(p.threads, 16);
+        assert_eq!(p.machine, MachineSpec::Preset(MachineId::Sg2042));
+        assert!(!p.paper_spec);
+        assert_eq!(p.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn preset_names_match_loosely() {
+        for (s, want) in [
+            ("SG2044", MachineId::Sg2044),
+            ("epyc 7742", MachineId::Epyc7742),
+            ("epyc-7742", MachineId::Epyc7742),
+            ("milk-v jupyter", MachineId::MilkVJupyter),
+        ] {
+            let p = predict(&format!(r#"{{"bench":"ep","machine":"{s}"}}"#));
+            assert_eq!(p.machine, MachineSpec::Preset(want), "{s}");
+        }
+    }
+
+    #[test]
+    fn custom_machine_applies_overrides() {
+        let p = predict(
+            r#"{"bench":"mg","machine":{"base":"sg2044","clock_ghz":3.2,
+                "vlen_bits":256,"mlp_scale":2.0,"bandwidth_scale":1.25}}"#,
+        );
+        let base = presets::sg2044();
+        match &p.machine {
+            MachineSpec::Custom { base: b, machine } => {
+                assert_eq!(*b, MachineId::Sg2044);
+                assert_eq!(machine.clock_ghz, 3.2);
+                assert_eq!(machine.vector, VectorIsa::Rvv1_0 { vlen_bits: 256 });
+                assert_eq!(machine.core.mlp, base.core.mlp * 2.0);
+                assert_eq!(
+                    machine.memory.sustained_fraction,
+                    base.memory.sustained_fraction * 1.25
+                );
+            }
+            other => panic!("expected custom machine, got {other:?}"),
+        }
+        assert_eq!(p.machine_label(), "custom:SG2044");
+    }
+
+    #[test]
+    fn custom_machine_plan_keys_differ_from_preset() {
+        let preset = predict(r#"{"bench":"cg","threads":64}"#);
+        let custom = predict(r#"{"bench":"cg","threads":64,"machine":{"clock_ghz":3.2}}"#);
+        let (pp, pq) = preset.to_plan();
+        let (cp, cq) = custom.to_plan();
+        assert_ne!(pp.key_of(&pq), cp.key_of(&cq));
+    }
+
+    #[test]
+    fn errors_carry_kind_and_id() {
+        let e = parse_request("not json at all").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Parse);
+        let e = parse_request(r#"{"op":"predict","id":3,"bench":"nope"}"#).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Invalid);
+        assert_eq!(e.id, Some(3));
+        let e = parse_request(r#"{"id":1,"bench":"cg","threadz":4}"#).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Invalid);
+        assert!(e.message.contains("threadz"));
+        let e = parse_request(r#"{"bench":"cg","machine":{"base":"sg2042","vlen_bits":96}}"#)
+            .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Invalid);
+        let e = parse_request(r#"{"bench":"ep","machine":{"base":"xeon 8170","vlen_bits":256}}"#)
+            .unwrap_err();
+        assert!(e.message.contains("RVV"), "{}", e.message);
+    }
+
+    #[test]
+    fn admin_ops_parse_and_reject_extras() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op":"quit"}"#).unwrap(), Request::Quit);
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","id":1}"#).unwrap(),
+            Request::Metrics
+        );
+        assert!(parse_request(r#"{"op":"ping","bench":"cg"}"#).is_err());
+    }
+
+    #[test]
+    fn replies_are_single_line_valid_json() {
+        let ok = render_ok(Some(4), JsonValue::from("pong"));
+        let doc = json::parse(&ok).expect("valid");
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(doc.get("id").and_then(JsonValue::as_f64), Some(4.0));
+        let err = render_error(&ProtoError::new(
+            None,
+            ErrorKind::Overloaded,
+            "queue full\nretry later",
+        ));
+        assert!(!err.contains('\n'), "replies must be single-line");
+        let doc = json::parse(&err).expect("valid");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(JsonValue::as_str),
+            Some("overloaded")
+        );
+    }
+}

@@ -1,0 +1,513 @@
+//! The TCP server: accept loop, per-connection protocol handling,
+//! admission control, deadlines, counters, and graceful drain.
+//!
+//! One thread per live connection parses newline-delimited requests and
+//! submits prediction jobs to the shared [`Batcher`]; the bounded shard
+//! queues are the admission-control boundary (a full queue produces an
+//! immediate `overloaded` reply instead of unbounded buffering). Every
+//! predict carries a deadline — the client's `deadline_ms` or the server
+//! default — after which the connection answers `deadline` and moves on;
+//! the computed result still lands in the cache.
+//!
+//! Shutdown is cooperative: an admin `quit` request, [`request_drain`],
+//! or SIGTERM/SIGINT (via [`install_signal_drain`]) sets one flag. The
+//! accept loop stops, each connection finishes its current request,
+//! the batcher serves everything already admitted, and [`Server::run`]
+//! returns the final metrics document.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rvhpc_core::engine::Engine;
+use rvhpc_obs::{metrics, JsonValue, LatencyHistogram};
+
+use crate::batch::{AdmissionError, Batcher, Job};
+use crate::proto::{self, ErrorKind, PredictRequest, ProtoError, Request};
+
+/// Hard cap on one request line; longer input is a protocol error.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+/// Read poll interval — how quickly idle connections notice a drain.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// Accept poll interval.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Process-wide drain flag set by signal handlers and `quit` requests.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Request a graceful drain of every server in this process.
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Whether a drain has been requested.
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}
+
+/// Reset the drain flag (tests start servers sequentially in one
+/// process).
+pub fn reset_drain() {
+    DRAIN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" fn drain_on_signal(_sig: i32) {
+    // Async-signal-safe: a single atomic store.
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGTERM and SIGINT to a graceful drain. Uses the libc `signal`
+/// entry point std already links against; no crate dependency.
+#[cfg(unix)]
+pub fn install_signal_drain() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, drain_on_signal);
+        signal(SIGTERM, drain_on_signal);
+    }
+}
+
+/// No-op off unix; `quit` and [`request_drain`] still work.
+#[cfg(not(unix))]
+pub fn install_signal_drain() {}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Batching shards (worker threads).
+    pub shards: usize,
+    /// Bounded queue depth per shard — the admission limit.
+    pub queue_cap: usize,
+    /// Engine pool threads per shard.
+    pub pool_threads: usize,
+    /// Deadline applied when a request names none.
+    pub default_deadline_ms: u64,
+    /// Maximum simultaneous connections; beyond this, connections are
+    /// answered `overloaded` and closed.
+    pub max_conns: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let shards = cores.clamp(1, 4);
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            shards,
+            queue_cap: 128,
+            pool_threads: (cores / shards).max(1),
+            default_deadline_ms: 10_000,
+            max_conns: 256,
+        }
+    }
+}
+
+/// Monotonic server counters, exported as the `server` metrics section.
+#[derive(Default)]
+struct Counters {
+    conns_accepted: AtomicU64,
+    conns_rejected: AtomicU64,
+    conns_closed: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    protocol_errors: AtomicU64,
+    invalid: AtomicU64,
+    rejected_admission: AtomicU64,
+    deadline_expired: AtomicU64,
+    internal_errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    /// Sum of per-connection cache hit rates (per-connection hit rate is
+    /// the serve-level warmth a single client observed).
+    conn_hit_rate_sum: Mutex<f64>,
+    /// Service time (admission → result) of completed predicts.
+    service: Mutex<LatencyHistogram>,
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl Counters {
+    fn to_json(&self, active_conns: usize) -> JsonValue {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let closed = self.conns_closed.load(Ordering::Relaxed);
+        let mean_conn_hit_rate = if closed == 0 {
+            0.0
+        } else {
+            *self.conn_hit_rate_sum.lock() / closed as f64
+        };
+        let c = |a: &AtomicU64| JsonValue::from(a.load(Ordering::Relaxed));
+        JsonValue::object([
+            (
+                "connections".to_string(),
+                JsonValue::object([
+                    ("accepted".to_string(), c(&self.conns_accepted)),
+                    ("rejected".to_string(), c(&self.conns_rejected)),
+                    ("closed".to_string(), c(&self.conns_closed)),
+                    ("active".to_string(), JsonValue::from(active_conns)),
+                    (
+                        "mean_cache_hit_rate".to_string(),
+                        JsonValue::from(mean_conn_hit_rate),
+                    ),
+                ]),
+            ),
+            (
+                "requests".to_string(),
+                JsonValue::object([
+                    ("received".to_string(), c(&self.requests)),
+                    ("ok".to_string(), c(&self.ok)),
+                    ("protocol_errors".to_string(), c(&self.protocol_errors)),
+                    ("invalid".to_string(), c(&self.invalid)),
+                    (
+                        "rejected_admission".to_string(),
+                        c(&self.rejected_admission),
+                    ),
+                    ("deadline_expired".to_string(), c(&self.deadline_expired)),
+                    ("internal_errors".to_string(), c(&self.internal_errors)),
+                ]),
+            ),
+            (
+                "cache".to_string(),
+                JsonValue::object([
+                    ("hits".to_string(), JsonValue::from(hits)),
+                    ("misses".to_string(), JsonValue::from(misses)),
+                    ("hit_rate".to_string(), JsonValue::from(rate(hits, misses))),
+                ]),
+            ),
+            ("service_latency".to_string(), self.service.lock().to_json()),
+        ])
+    }
+}
+
+/// A bound, running prediction server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: ServerConfig,
+    batcher: Arc<Batcher>,
+    counters: Arc<Counters>,
+    active_conns: Arc<AtomicUsize>,
+}
+
+impl Server {
+    /// Bind the listener and start the shard workers (on the process
+    /// global [`Engine`]).
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        Self::bind_on(config, Engine::global())
+    }
+
+    /// As [`Server::bind`], resolving through a caller-chosen engine
+    /// (tests use a fresh engine for isolated counters).
+    pub fn bind_on(config: ServerConfig, engine: &'static Engine) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let batcher = Arc::new(Batcher::new(
+            engine,
+            config.shards,
+            config.queue_cap,
+            config.pool_threads,
+        ));
+        Ok(Server {
+            listener,
+            local_addr,
+            config,
+            batcher,
+            counters: Arc::new(Counters::default()),
+            active_conns: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot the full metrics document: `server` counters plus the
+    /// engine's cache/executor section.
+    pub fn metrics_document(&self) -> JsonValue {
+        build_metrics_doc(
+            &self.counters,
+            self.active_conns.load(Ordering::Relaxed),
+            &self.batcher,
+        )
+    }
+
+    /// Serve until a drain is requested (`quit`, signal, or
+    /// [`request_drain`]); then stop accepting, let connections finish,
+    /// drain the batcher, and return the final metrics document.
+    pub fn run(self) -> std::io::Result<JsonValue> {
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !drain_requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    handles.retain(|h| !h.is_finished());
+                    if self.active_conns.load(Ordering::Relaxed) >= self.config.max_conns {
+                        self.counters.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                        reject_connection(stream);
+                        continue;
+                    }
+                    self.counters.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                    self.active_conns.fetch_add(1, Ordering::Relaxed);
+                    let ctx = ConnCtx {
+                        batcher: Arc::clone(&self.batcher),
+                        counters: Arc::clone(&self.counters),
+                        active: Arc::clone(&self.active_conns),
+                        default_deadline: Duration::from_millis(self.config.default_deadline_ms),
+                    };
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name("rvhpc-serve-conn".to_string())
+                            .spawn(move || ctx.serve(stream))
+                            .expect("spawn connection thread"),
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Stop accepting: close the listener socket, then let every
+        // connection finish its current request and the batcher serve
+        // what was already admitted.
+        drop(self.listener);
+        for h in handles {
+            let _ = h.join();
+        }
+        self.batcher.drain();
+        Ok(build_metrics_doc(
+            &self.counters,
+            self.active_conns.load(Ordering::Relaxed),
+            &self.batcher,
+        ))
+    }
+}
+
+fn build_metrics_doc(counters: &Counters, active: usize, batcher: &Batcher) -> JsonValue {
+    let mut doc = metrics::document("rvhpc-serve");
+    if let JsonValue::Object(map) = &mut doc {
+        map.insert("server".to_string(), counters.to_json(active));
+        map.insert("engine".to_string(), batcher.engine().metrics().to_json());
+    }
+    doc
+}
+
+fn reject_connection(mut stream: TcpStream) {
+    let reply = proto::render_error(&ProtoError {
+        id: None,
+        kind: ErrorKind::Overloaded,
+        message: "connection limit reached".to_string(),
+    });
+    let _ = writeln!(stream, "{reply}");
+}
+
+struct ConnCtx {
+    batcher: Arc<Batcher>,
+    counters: Arc<Counters>,
+    active: Arc<AtomicUsize>,
+    default_deadline: Duration,
+}
+
+impl ConnCtx {
+    fn serve(self, stream: TcpStream) {
+        let mut conn_hits = 0u64;
+        let mut conn_misses = 0u64;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return self.finish(conn_hits, conn_misses),
+        };
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            if drain_requested() {
+                break;
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let keep_going = self.handle_line(
+                        line.trim_end_matches(['\r', '\n']),
+                        &mut writer,
+                        &mut conn_hits,
+                        &mut conn_misses,
+                    );
+                    line.clear();
+                    if !keep_going {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Partial line stays buffered in `line`; keep
+                    // polling, but bound the buffer.
+                    if line.len() > MAX_LINE_BYTES {
+                        self.counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = writeln!(
+                            writer,
+                            "{}",
+                            proto::render_error(&ProtoError {
+                                id: None,
+                                kind: ErrorKind::Parse,
+                                message: "request line exceeds 64 KiB".to_string(),
+                            })
+                        );
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        self.finish(conn_hits, conn_misses)
+    }
+
+    fn finish(&self, conn_hits: u64, conn_misses: u64) {
+        if conn_hits + conn_misses > 0 {
+            *self.counters.conn_hit_rate_sum.lock() += rate(conn_hits, conn_misses);
+        }
+        self.counters.conns_closed.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Process one request line; returns false when the connection
+    /// should close.
+    fn handle_line(
+        &self,
+        line: &str,
+        writer: &mut TcpStream,
+        conn_hits: &mut u64,
+        conn_misses: &mut u64,
+    ) -> bool {
+        if line.is_empty() {
+            return true;
+        }
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let reply = match proto::parse_request(line) {
+            Err(e) => {
+                let counter = match e.kind {
+                    ErrorKind::Parse => &self.counters.protocol_errors,
+                    _ => &self.counters.invalid,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                proto::render_error(&e)
+            }
+            Ok(Request::Ping) => {
+                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                proto::render_ok(None, JsonValue::from("pong"))
+            }
+            Ok(Request::Metrics) => {
+                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                let doc = build_metrics_doc(
+                    &self.counters,
+                    self.active.load(Ordering::Relaxed),
+                    &self.batcher,
+                );
+                proto::render_ok(None, doc)
+            }
+            Ok(Request::Quit) => {
+                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                let reply = proto::render_ok(None, JsonValue::from("draining"));
+                let _ = writeln!(writer, "{reply}");
+                request_drain();
+                return false;
+            }
+            Ok(Request::Predict(req)) => self.predict(&req, conn_hits, conn_misses),
+        };
+        writeln!(writer, "{reply}").is_ok()
+    }
+
+    fn predict(&self, req: &PredictRequest, conn_hits: &mut u64, conn_misses: &mut u64) -> String {
+        let (plan, query) = req.to_plan();
+        let (tx, rx) = sync_channel(1);
+        let job = Job {
+            plan,
+            query,
+            enqueued_at: Instant::now(),
+            reply: tx,
+        };
+        match self.batcher.submit(job) {
+            Err(AdmissionError::QueueFull) => {
+                self.counters
+                    .rejected_admission
+                    .fetch_add(1, Ordering::Relaxed);
+                return proto::render_error(&ProtoError {
+                    id: req.id,
+                    kind: ErrorKind::Overloaded,
+                    message: "shard queue full, retry later".to_string(),
+                });
+            }
+            Err(AdmissionError::Draining) => {
+                return proto::render_error(&ProtoError {
+                    id: req.id,
+                    kind: ErrorKind::Draining,
+                    message: "server is draining".to_string(),
+                });
+            }
+            Ok(()) => {}
+        }
+        let deadline = req
+            .deadline_ms
+            .map(Duration::from_millis)
+            .unwrap_or(self.default_deadline);
+        match rx.recv_timeout(deadline) {
+            Ok(res) => {
+                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                if res.cached {
+                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    *conn_hits += 1;
+                } else {
+                    self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    *conn_misses += 1;
+                }
+                self.counters.service.lock().record(res.service_us);
+                proto::render_ok(req.id, proto::prediction_result(req, &res.pred))
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                self.counters
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                proto::render_error(&ProtoError {
+                    id: req.id,
+                    kind: ErrorKind::Deadline,
+                    message: format!("deadline of {} ms expired", deadline.as_millis()),
+                })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                self.counters
+                    .internal_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                proto::render_error(&ProtoError {
+                    id: req.id,
+                    kind: ErrorKind::Internal,
+                    message: "worker dropped the job".to_string(),
+                })
+            }
+        }
+    }
+}

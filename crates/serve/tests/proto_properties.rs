@@ -1,0 +1,88 @@
+//! Property tests for the wire protocol: the request parser must be
+//! total (never panic, whatever the bytes), and every rejection must
+//! render as a structured, parseable error reply.
+
+use proptest::prelude::*;
+use rvhpc_obs::{json, JsonValue};
+use rvhpc_serve::proto::{parse_request, render_error};
+
+/// The parser's contract on a rejected line: the error reply is one line
+/// of valid JSON with `ok:false` and a non-empty `error.kind`/`message`.
+fn assert_structured_error(line: &str) {
+    if let Err(e) = parse_request(line) {
+        let reply = render_error(&e);
+        assert!(!reply.contains('\n'), "reply must stay one line");
+        let doc = json::parse(&reply).expect("error reply must be valid JSON");
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(false)));
+        let kind = doc
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(JsonValue::as_str)
+            .expect("error reply carries a kind");
+        assert!(!kind.is_empty());
+        let msg = doc
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(JsonValue::as_str)
+            .expect("error reply carries a message");
+        assert!(!msg.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (lossily decoded, as the server does) never panic
+    /// the parser and always produce a structured reply.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        raw in prop::collection::vec(0u16..256u16, 0usize..256),
+    ) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let line = String::from_utf8_lossy(&bytes);
+        assert_structured_error(&line);
+    }
+
+    /// JSON-ish fragments — braces, quotes, colons, digits — hit the
+    /// parser's deeper paths (truncated objects, bad escapes, wrong
+    /// types) without panicking.
+    #[test]
+    fn malformed_json_never_panics(
+        picks in prop::collection::vec(0usize..16, 0usize..64),
+    ) {
+        const FRAGMENTS: [&str; 16] = [
+            "{", "}", "\"", ":", ",", "[", "]", "bench", "op", "predict",
+            "1e999", "-", "\\u00", "{\"bench\":", "null", " ",
+        ];
+        let line: String = picks.iter().map(|&p| FRAGMENTS[p]).collect();
+        assert_structured_error(&line);
+    }
+
+    /// Well-formed JSON objects with hostile field values (wrong types,
+    /// out-of-range numbers, unknown keys) are rejected structurally,
+    /// not by panicking.
+    #[test]
+    fn hostile_field_values_never_panic(
+        key in 0usize..8,
+        val in 0usize..10,
+    ) {
+        const KEYS: [&str; 8] = [
+            "op", "bench", "class", "threads", "machine", "deadline_ms",
+            "paper_spec", "definitely_unknown",
+        ];
+        const VALUES: [&str; 10] = [
+            "null", "-1", "1e999", "\"\"", "\"zz\"", "[]", "{}",
+            "18446744073709551616", "true", "0.5",
+        ];
+        let line = format!("{{\"{}\":{}}}", KEYS[key], VALUES[val]);
+        assert_structured_error(&line);
+    }
+}
+
+#[test]
+fn truncated_valid_requests_never_panic() {
+    let full = r#"{"op":"predict","id":7,"bench":"cg","class":"C","threads":64,"machine":{"base":"sg2044","clock_ghz":3.2},"deadline_ms":500}"#;
+    for cut in 0..full.len() {
+        assert_structured_error(&full[..cut]);
+    }
+}

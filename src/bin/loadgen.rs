@@ -1,0 +1,119 @@
+//! The rvhpc load generator.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7171                 # 1000 mixed requests, 4 conns
+//! loadgen --addr HOST:PORT --requests 5000 \
+//!         --conns 8 --rate 2000 --mix preset \
+//!         --deadline-ms 1000 --out report.json
+//! ```
+//!
+//! Replays the deterministic request mix of `rvhpc-serve::loadgen`
+//! against a running `serve` instance and prints an `rvhpc-metrics/1`
+//! document with throughput, error counts, cache hit rate and
+//! p50/p95/p99 latency to stdout (and `--out FILE` when given).
+//!
+//! Exit codes: `0` all requests answered `ok`, `1` some requests failed
+//! or were dropped, `2` usage error, `3` connect/write failure.
+
+use rvhpc::serve::{loadgen, LoadgenConfig, Mix};
+
+fn usage_text() -> &'static str {
+    "usage: loadgen --addr HOST:PORT [--requests N] [--conns N] [--rate R]\n\
+     \x20              [--mix preset|mixed] [--deadline-ms N] [--out FILE]\n\
+     \x20 --addr:        server address (required)\n\
+     \x20 --requests:    total requests to send (default 1000)\n\
+     \x20 --conns:       concurrent connections (default 4)\n\
+     \x20 --rate:        target aggregate requests/sec (default 0 = unthrottled)\n\
+     \x20 --mix:         preset machines only, or mixed with custom\n\
+     \x20                what-if descriptors (default mixed)\n\
+     \x20 --deadline-ms: per-request deadline forwarded to the server\n\
+     \x20 --out:         also write the metrics document to FILE\n\
+     \x20 -h, --help:    print this help and exit\n\
+     exit codes: 0 all ok, 1 errors/drops observed, 2 usage error,\n\
+     \x20            3 connect/write failure"
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    eprintln!("{}", usage_text());
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage_error(&format!("{flag} needs a numeric argument")))
+}
+
+fn main() {
+    let mut cfg = LoadgenConfig::default();
+    let mut addr_given = false;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                cfg.addr = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--addr needs HOST:PORT"));
+                addr_given = true;
+            }
+            "--requests" => cfg.requests = parse_num("--requests", args.next()),
+            "--conns" => cfg.conns = parse_num("--conns", args.next()),
+            "--rate" => cfg.rate = parse_num("--rate", args.next()),
+            "--deadline-ms" => cfg.deadline_ms = Some(parse_num("--deadline-ms", args.next())),
+            "--mix" => {
+                cfg.mix = match args.next().as_deref() {
+                    Some("preset") => Mix::Preset,
+                    Some("mixed") => Mix::Mixed,
+                    _ => usage_error("--mix must be 'preset' or 'mixed'"),
+                };
+            }
+            "--out" => {
+                out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--out needs a file path"))
+                        .into(),
+                );
+            }
+            "-h" | "--help" => {
+                println!("{}", usage_text());
+                return;
+            }
+            other => usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    if !addr_given {
+        usage_error("--addr is required");
+    }
+    if cfg.requests == 0 || cfg.conns == 0 {
+        usage_error("--requests and --conns must be at least 1");
+    }
+
+    let report = match loadgen::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(3);
+        }
+    };
+    let text = report.doc.to_json();
+    println!("{text}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, text + "\n") {
+            eprintln!("loadgen: cannot write {}: {e}", path.display());
+            std::process::exit(3);
+        }
+    }
+    eprintln!(
+        "loadgen: {} ok, {} errors, {} dropped; cache hit rate {:.1}%; p50 {} us, p99 {} us",
+        report.ok,
+        report.errors,
+        report.dropped,
+        report.cache_hit_rate * 100.0,
+        report.p50_us,
+        report.p99_us
+    );
+    if report.errors > 0 || report.dropped > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,114 @@
+//! The rvhpc prediction server.
+//!
+//! ```text
+//! serve                            # listen on 127.0.0.1:7171
+//! serve --addr 127.0.0.1:0        # ephemeral port (printed on stdout)
+//! serve --shards 4 --queue 128    # worker shards / admission queue depth
+//! serve --pool-threads 4          # engine pool threads per shard
+//! serve --deadline-ms 10000       # default per-request deadline
+//! serve --metrics out.json        # write final metrics document on exit
+//! ```
+//!
+//! Speaks the newline-delimited JSON protocol of `rvhpc-serve` (see
+//! README "Serving predictions"). Runs until SIGTERM/ctrl-C or an admin
+//! `{"op":"quit"}` request, then drains gracefully: in-flight requests
+//! finish, admitted queue entries are served, and the final
+//! `rvhpc-metrics/1` document (server counters + engine cache state) is
+//! written.
+//!
+//! Exit codes: `0` success, `2` usage error, `3` bind or metrics-write
+//! failure.
+
+use rvhpc::serve::{install_signal_drain, Server, ServerConfig};
+
+fn usage_text() -> &'static str {
+    "usage: serve [--addr HOST:PORT] [--shards N] [--queue N]\n\
+     \x20            [--pool-threads N] [--deadline-ms N] [--metrics FILE]\n\
+     \x20 --addr:         bind address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
+     \x20 --shards:       batching worker shards (default: up to 4)\n\
+     \x20 --queue:        admission queue depth per shard (default 128)\n\
+     \x20 --pool-threads: engine pool threads per shard (default: cores/shards)\n\
+     \x20 --deadline-ms:  default per-request deadline (default 10000)\n\
+     \x20 --metrics:      write the final rvhpc-metrics/1 document here on exit\n\
+     \x20 -h, --help:     print this help and exit\n\
+     stops on SIGTERM/ctrl-C or an admin {\"op\":\"quit\"} request\n\
+     exit codes: 0 success, 2 usage error, 3 bind/write failure"
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    eprintln!("{}", usage_text());
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage_error(&format!("{flag} needs a numeric argument")))
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7171".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut metrics_path: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--addr needs HOST:PORT"));
+            }
+            "--shards" => config.shards = parse_num("--shards", args.next()),
+            "--queue" => config.queue_cap = parse_num("--queue", args.next()),
+            "--pool-threads" => config.pool_threads = parse_num("--pool-threads", args.next()),
+            "--deadline-ms" => config.default_deadline_ms = parse_num("--deadline-ms", args.next()),
+            "--metrics" => {
+                metrics_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--metrics needs a file path"))
+                        .into(),
+                );
+            }
+            "-h" | "--help" => {
+                println!("{}", usage_text());
+                return;
+            }
+            other => usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    if config.shards == 0 || config.queue_cap == 0 {
+        usage_error("--shards and --queue must be at least 1");
+    }
+
+    install_signal_drain();
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: bind failed: {e}");
+            std::process::exit(3);
+        }
+    };
+    // The CI smoke step and scripts parse this line for the ephemeral
+    // port; keep its shape stable.
+    println!("rvhpc-serve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    match server.run() {
+        Ok(doc) => {
+            eprintln!("serve: drained cleanly");
+            if let Some(path) = metrics_path {
+                if let Err(e) = std::fs::write(&path, doc.to_json() + "\n") {
+                    eprintln!("serve: cannot write {}: {e}", path.display());
+                    std::process::exit(3);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("serve: accept loop failed: {e}");
+            std::process::exit(3);
+        }
+    }
+}

@@ -11,4 +11,5 @@ pub use rvhpc_machines as machines;
 pub use rvhpc_npb as npb;
 pub use rvhpc_obs as obs;
 pub use rvhpc_parallel as parallel;
+pub use rvhpc_serve as serve;
 pub use rvhpc_stream as stream;

@@ -1,0 +1,248 @@
+//! End-to-end tests for `rvhpc-serve`: boot a real server on an
+//! ephemeral port and drive it over TCP.
+//!
+//! Covers the ISSUE acceptance criteria: golden replies for a preset and
+//! a custom-machine query (byte-equal to the directly computed
+//! prediction), warm-cache behaviour (hit counter increases, repeat
+//! reply byte-identical), the 1k-request mixed loadgen workload with
+//! zero drops, admission-control rejections under a tiny queue, and
+//! graceful drain via the admin `quit` op.
+//!
+//! The drain flag is process-global, so tests that boot a server
+//! serialize on [`SERVER_LOCK`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rvhpc::obs::{json, JsonValue};
+use rvhpc::serve::{loadgen, proto, reset_drain, LoadgenConfig, Mix, Server, ServerConfig};
+
+static SERVER_LOCK: Mutex<()> = Mutex::new(());
+
+fn boot(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<JsonValue>) {
+    reset_drain();
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let writer = stream.try_clone().unwrap();
+        Self {
+            writer,
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("write request");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        assert!(reply.ends_with('\n'), "replies are newline-terminated");
+        reply.trim_end().to_string()
+    }
+}
+
+/// The reply the server must produce for `line`, computed directly
+/// through the same proto + engine path on a fresh local engine.
+fn golden_reply(line: &str) -> String {
+    let req = match proto::parse_request(line).expect("well-formed") {
+        proto::Request::Predict(p) => *p,
+        other => panic!("expected predict, got {other:?}"),
+    };
+    let (plan, query) = req.to_plan();
+    let idx = plan
+        .queries()
+        .iter()
+        .position(|q| *q == query)
+        .expect("query is in its own plan");
+    let engine = rvhpc::eval::engine::Engine::new();
+    let pred = engine.execute(&plan).remove(idx);
+    proto::render_ok(req.id, proto::prediction_result(&req, &pred))
+}
+
+fn cache_counters(metrics_reply: &str) -> (u64, u64) {
+    let doc = json::parse(metrics_reply).expect("metrics reply parses");
+    let cache = doc
+        .get("result")
+        .and_then(|r| r.get("server"))
+        .and_then(|s| s.get("cache"))
+        .expect("server.cache section");
+    let hits = cache.get("hits").and_then(JsonValue::as_f64).unwrap() as u64;
+    let misses = cache.get("misses").and_then(JsonValue::as_f64).unwrap() as u64;
+    (hits, misses)
+}
+
+#[test]
+fn golden_replies_and_warm_cache() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    let (addr, handle) = boot(test_config());
+    let mut client = Client::connect(addr);
+
+    // Golden reply, preset machine.
+    let preset = r#"{"id":1,"bench":"cg","class":"C","threads":64,"machine":"sg2044"}"#;
+    let reply = client.roundtrip(preset);
+    assert_eq!(reply, golden_reply(preset), "preset reply must be golden");
+
+    // Golden reply, custom what-if machine.
+    let custom = r#"{"id":2,"bench":"ft","class":"B","threads":8,"machine":{"base":"sg2044","clock_ghz":3.2,"vlen_bits":256}}"#;
+    let reply = client.roundtrip(custom);
+    assert_eq!(reply, golden_reply(custom), "custom reply must be golden");
+
+    // Warm cache: the repeat is byte-identical and the hit counter grows.
+    let (hits_before, _) = cache_counters(&client.roundtrip(r#"{"op":"metrics"}"#));
+    let first = client.roundtrip(preset);
+    let second = client.roundtrip(preset);
+    assert_eq!(first, second, "warm reply must be byte-identical");
+    let (hits_after, _) = cache_counters(&client.roundtrip(r#"{"op":"metrics"}"#));
+    assert!(
+        hits_after >= hits_before + 2,
+        "repeat requests must hit the warm cache ({hits_before} -> {hits_after})"
+    );
+
+    // Malformed and invalid lines get structured errors on the same
+    // connection, which stays usable.
+    let reply = client.roundtrip("this is not json");
+    assert!(reply.contains(r#""ok":false"#) && reply.contains(r#""kind":"parse""#));
+    let reply = client.roundtrip(r#"{"bench":"nope"}"#);
+    assert!(reply.contains(r#""kind":"invalid""#));
+    assert_eq!(
+        client.roundtrip(r#"{"op":"ping"}"#),
+        r#"{"ok":true,"result":"pong"}"#
+    );
+
+    // Graceful drain via admin quit; the final document reports our traffic.
+    let reply = client.roundtrip(r#"{"op":"quit"}"#);
+    assert!(reply.contains("draining"));
+    let doc = handle.join().expect("server thread");
+    let ok = doc
+        .get("server")
+        .and_then(|s| s.get("requests"))
+        .and_then(|r| r.get("ok"))
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+    assert!(
+        ok >= 4.0,
+        "final metrics must count the ok requests, got {ok}"
+    );
+}
+
+/// The ISSUE acceptance run: a 1k-request mixed workload completes with
+/// zero dropped well-formed requests, reports p50/p99 in the metrics
+/// document, and leaves a warm cache behind.
+#[test]
+fn loadgen_1k_mixed_workload_drops_nothing() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    let (addr, handle) = boot(test_config());
+
+    let report = loadgen::run(&LoadgenConfig {
+        addr: addr.to_string(),
+        requests: 1000,
+        conns: 4,
+        rate: 0.0,
+        mix: Mix::Mixed,
+        deadline_ms: Some(30_000),
+    })
+    .expect("loadgen run");
+
+    assert_eq!(report.ok, 1000, "every well-formed request must succeed");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.dropped, 0);
+    assert!(
+        report.cache_hit_rate > 0.5,
+        "small request grid must go warm, got {}",
+        report.cache_hit_rate
+    );
+    let latency = report
+        .doc
+        .get("loadgen")
+        .and_then(|l| l.get("latency"))
+        .expect("latency section");
+    for q in ["p50_us", "p99_us"] {
+        let v = latency.get(q).and_then(JsonValue::as_f64).expect(q);
+        assert!(v > 0.0, "{q} must be positive");
+    }
+
+    let mut client = Client::connect(addr);
+    client.roundtrip(r#"{"op":"quit"}"#);
+    handle.join().expect("server thread");
+}
+
+/// A one-slot queue with a single shard forces admission rejections
+/// under a burst; rejected requests get the `overloaded` error kind and
+/// the counter records them.
+#[test]
+fn admission_control_rejects_with_structured_error() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    let (addr, handle) = boot(ServerConfig {
+        shards: 1,
+        queue_cap: 1,
+        pool_threads: 1,
+        ..test_config()
+    });
+
+    let report = loadgen::run(&LoadgenConfig {
+        addr: addr.to_string(),
+        requests: 400,
+        conns: 8,
+        rate: 0.0,
+        mix: Mix::Preset,
+        deadline_ms: Some(30_000),
+    })
+    .expect("loadgen run");
+
+    // Nothing is dropped at the transport level and every reply is
+    // structured; under a one-deep queue some bursts may be rejected.
+    assert_eq!(report.dropped, 0);
+    assert_eq!(report.ok + report.errors, 400);
+    let by_kind = report
+        .doc
+        .get("loadgen")
+        .and_then(|l| l.get("errors_by_kind"))
+        .expect("errors_by_kind section");
+    if report.errors > 0 {
+        let overloaded = by_kind
+            .get("overloaded")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0) as u64;
+        assert_eq!(
+            overloaded, report.errors,
+            "only admission rejections are acceptable errors here"
+        );
+    }
+
+    let mut client = Client::connect(addr);
+    client.roundtrip(r#"{"op":"quit"}"#);
+    let doc = handle.join().expect("server thread");
+    let rejected = doc
+        .get("server")
+        .and_then(|s| s.get("requests"))
+        .and_then(|r| r.get("rejected_admission"))
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+    assert_eq!(
+        rejected as u64, report.errors,
+        "counter matches observed rejections"
+    );
+}
