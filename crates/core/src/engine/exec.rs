@@ -21,7 +21,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 use rvhpc_npb::profile::WorkloadProfile;
 use rvhpc_npb::{BenchmarkId, Class};
-use rvhpc_obs::JsonValue;
+use rvhpc_obs::{EventKind, JsonValue, TraceCtx};
 use rvhpc_parallel::Pool;
 
 use crate::engine::cache::ShardedCache;
@@ -244,23 +244,49 @@ impl Engine {
     /// Evaluate a plan with an explicit worker count; results in plan
     /// order and byte-for-byte independent of `jobs`.
     pub fn execute_with_jobs(&self, plan: &Plan, jobs: usize) -> Vec<Arc<Prediction>> {
-        self.execute_inner(plan, jobs, None)
+        self.execute_inner(plan, jobs, None, None)
     }
 
     /// Evaluate a plan on a caller-provided persistent pool. Long-lived
     /// callers (the serve shard workers) keep one pool per shard across
     /// connections instead of paying thread spawn/join per batch; results
     /// are byte-identical to [`Engine::execute_with_jobs`] at any pool
-    /// size.
+    /// size. Unlike the ephemeral-pool path, misses always run through the
+    /// pool — even a single miss — so a request's trace shows real
+    /// pool-worker execution.
     pub fn execute_on(&self, plan: &Plan, pool: &Pool) -> Vec<Arc<Prediction>> {
-        self.execute_inner(plan, pool.nthreads(), Some(pool))
+        self.execute_inner(plan, pool.nthreads(), Some(pool), None)
     }
 
-    fn execute_inner(&self, plan: &Plan, jobs: usize, pool: Option<&Pool>) -> Vec<Arc<Prediction>> {
+    /// [`Engine::execute_on`] with a request trace attached: the dedup
+    /// pass, every cache-probe outcome and the miss execution are recorded
+    /// as spans of `trace`, and the pool tags its `region` spans with the
+    /// trace id — the engine-and-below layers of an end-to-end request
+    /// trace.
+    pub fn execute_on_traced(
+        &self,
+        plan: &Plan,
+        pool: &Pool,
+        trace: &mut TraceCtx,
+    ) -> Vec<Arc<Prediction>> {
+        self.execute_inner(plan, pool.nthreads(), Some(pool), Some(trace))
+    }
+
+    fn execute_inner(
+        &self,
+        plan: &Plan,
+        jobs: usize,
+        pool: Option<&Pool>,
+        mut trace: Option<&mut TraceCtx>,
+    ) -> Vec<Arc<Prediction>> {
         let jobs = jobs.max(1);
+        let trace_id = trace.as_ref().map(|t| t.id());
 
         // Deduplicate by content key, preserving first-seen order so the
         // work list (and thus every counter) is deterministic.
+        if let Some(t) = trace.as_deref_mut() {
+            t.push("dedup");
+        }
         let mut index_of: HashMap<CacheKey, usize> = HashMap::new();
         let mut uniques: Vec<(CacheKey, Query)> = Vec::new();
         let mut slot_of: Vec<usize> = Vec::with_capacity(plan.len());
@@ -272,6 +298,9 @@ impl Engine {
             });
             slot_of.push(slot);
         }
+        if let Some(t) = trace.as_deref_mut() {
+            t.pop(EventKind::DedupMerge);
+        }
 
         // Probe the cache once per unique query.
         let mut results: Vec<Option<Arc<Prediction>>> = Vec::with_capacity(uniques.len());
@@ -281,11 +310,17 @@ impl Engine {
                 Some(v) => {
                     self.predictions.count_hit();
                     results.push(Some(v));
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.mark(EventKind::CacheProbe, "cache-hit");
+                    }
                 }
                 None => {
                     self.predictions.count_miss();
                     results.push(None);
                     misses.push(i);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.mark(EventKind::CacheProbe, "cache-miss");
+                    }
                 }
             }
         }
@@ -303,19 +338,32 @@ impl Engine {
         };
 
         let workers = jobs.min(misses.len().max(1));
-        if workers <= 1 || misses.len() <= 1 {
+        if let Some(t) = trace.as_deref_mut() {
+            t.push("execute");
+        }
+        // A caller-provided persistent pool always runs the misses — even
+        // one — so a single cold request still executes on (and is traced
+        // through) a real pool worker; the ephemeral path keeps its serial
+        // shortcut to avoid spawning threads for trivial work.
+        if pool.is_none() && (workers <= 1 || misses.len() <= 1) {
             for &i in &misses {
                 results[i] = Some(compute(i));
             }
-        } else {
+        } else if !misses.is_empty() {
             let computed: Vec<Mutex<Option<Arc<Prediction>>>> =
                 misses.iter().map(|_| Mutex::new(None)).collect();
-            let run_batch = |pool: &Pool| {
-                pool.run(|team| {
-                    team.for_dynamic(0, misses.len(), 1, |k| {
-                        *computed[k].lock() = Some(compute(misses[k]));
-                    });
+            let body = |team: &rvhpc_parallel::Team| {
+                team.for_dynamic(0, misses.len(), 1, |k| {
+                    *computed[k].lock() = Some(compute(misses[k]));
                 });
+            };
+            let run_batch = |pool: &Pool| match trace_id {
+                Some(id) => {
+                    pool.run_traced(id, body);
+                }
+                None => {
+                    pool.run(body);
+                }
             };
             match pool {
                 Some(p) => run_batch(p),
@@ -329,6 +377,9 @@ impl Engine {
                         .expect("executor produced no result"),
                 );
             }
+        }
+        if let Some(t) = trace {
+            t.pop(EventKind::EngineExec);
         }
 
         // Executor accounting: how full the worker rounds were.
@@ -513,6 +564,47 @@ mod tests {
         let m = engine.metrics();
         assert_eq!(m.prediction_misses, plan.len() as u64);
         assert_eq!(m.prediction_hits, plan.len() as u64);
+    }
+
+    #[test]
+    fn traced_execution_records_all_layers_under_one_id() {
+        use rvhpc_obs::{self as obs};
+        // A distinctive id: no other test records events with this arg.
+        let id = 987_654_321u64;
+        obs::set_enabled(true);
+        let engine = Engine::new();
+        let pool = Pool::new(2);
+        let plan = Plan::single(Query::paper(
+            MachineId::Sg2044,
+            BenchmarkId::Cg,
+            Class::B,
+            5,
+        ));
+        let mut trace = TraceCtx::start(id, 0);
+        trace.set_retain(true);
+        let out = engine.execute_on_traced(&plan, &pool, &mut trace);
+        obs::set_enabled(false);
+        assert_eq!(out.len(), 1);
+
+        // Retained (slow-dump) view: dedup, probe outcome, execution.
+        let names: Vec<&str> = trace.retained().iter().map(|s| s.name).collect();
+        assert!(names.contains(&"dedup"), "retained: {names:?}");
+        assert!(names.contains(&"cache-miss"), "retained: {names:?}");
+        assert!(names.contains(&"execute"), "retained: {names:?}");
+
+        // Ring view: engine spans AND a pool-worker region span share the
+        // trace id, even though the plan held a single (cold) query.
+        let events = obs::drain_all().events;
+        let mine: Vec<_> = events.iter().filter(|e| e.arg == id).collect();
+        assert!(
+            mine.iter().any(|e| e.kind == EventKind::Region),
+            "single cold query must execute on a traced pool worker"
+        );
+        assert!(mine.iter().any(|e| e.kind == EventKind::EngineExec));
+        assert!(mine
+            .iter()
+            .any(|e| e.kind == EventKind::CacheProbe && e.name == "cache-miss"));
+        assert!(mine.iter().any(|e| e.kind == EventKind::DedupMerge));
     }
 
     #[test]

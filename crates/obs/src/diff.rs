@@ -1,0 +1,369 @@
+//! Regression diffing of two `rvhpc-metrics/1` documents.
+//!
+//! [`diff_documents`] walks a baseline and a current metrics document in
+//! lockstep and produces a [`DiffReport`]: every numeric change is
+//! reported, and a change becomes a *regression* when it crosses a
+//! configurable threshold. The rules mirror how the paper compares
+//! compiler/config generations (GCC 12 vs 15, SG2042 vs SG2044):
+//!
+//! * **Quantiles** — keys like `p50_us`/`p99_us`/`mean_us` fail when the
+//!   current value exceeds `baseline × max_quantile_ratio` and also the
+//!   absolute `floor_us` (so a 3 µs → 9 µs wiggle on an idle box never
+//!   gates a build).
+//! * **Counter invariants** — self-consistency of the *current* document,
+//!   machine-independent: `dropped` and `errors` counters must be zero,
+//!   and every latency section's quantile ladder must be monotone
+//!   (`p50 ≤ p99 ≤ max`, and all-zero when `count` is zero).
+//! * **Schema** — both documents must carry the same `schema` tag.
+//! * **Shape** — keys present on one side only are informational, or
+//!   regressions under `strict`.
+//!
+//! The report renders human-readable (one line per finding) and the
+//! `obsdiff` binary maps it onto exit codes for CI gating.
+
+use crate::json::JsonValue;
+
+/// Thresholds for [`diff_documents`].
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// A quantile regresses when `current > baseline * this` (and above
+    /// `floor_us`). CI uses a generous 2.0.
+    pub max_quantile_ratio: f64,
+    /// Quantile changes below this absolute value never regress —
+    /// absorbs scheduler noise on near-idle latencies.
+    pub floor_us: f64,
+    /// When set, keys present on one side only are regressions.
+    pub strict: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self {
+            max_quantile_ratio: 2.0,
+            floor_us: 200.0,
+            strict: false,
+        }
+    }
+}
+
+/// How serious one finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A change worth seeing, but within thresholds.
+    Info,
+    /// A threshold or invariant violation; the diff fails.
+    Regression,
+}
+
+/// One comparison outcome.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Dotted path into the document (`loadgen.latency.p99_us`).
+    pub path: String,
+    /// Human-readable description of what changed or broke.
+    pub message: String,
+    /// Whether this finding fails the diff.
+    pub severity: Severity,
+}
+
+/// Everything [`diff_documents`] found.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// All findings, document order.
+    pub findings: Vec<Finding>,
+}
+
+impl DiffReport {
+    fn push(&mut self, path: &str, severity: Severity, message: String) {
+        self.findings.push(Finding {
+            path: path.to_string(),
+            message,
+            severity,
+        });
+    }
+
+    /// The regressions only.
+    pub fn regressions(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Regression)
+    }
+
+    /// Whether any finding fails the diff.
+    pub fn has_regressions(&self) -> bool {
+        self.regressions().next().is_some()
+    }
+
+    /// Render the report, regressions first, one finding per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let regressions: Vec<&Finding> = self.regressions().collect();
+        if regressions.is_empty() {
+            out.push_str("obs-diff: OK — no regressions\n");
+        } else {
+            out.push_str(&format!(
+                "obs-diff: FAIL — {} regression(s)\n",
+                regressions.len()
+            ));
+            for f in &regressions {
+                out.push_str(&format!("  REGRESSION {}: {}\n", f.path, f.message));
+            }
+        }
+        for f in &self.findings {
+            if f.severity == Severity::Info {
+                out.push_str(&format!("  info {}: {}\n", f.path, f.message));
+            }
+        }
+        out
+    }
+}
+
+/// Is this key a latency quantile/mean the ratio rule applies to?
+fn is_quantile_key(key: &str) -> bool {
+    key == "mean_us" || (key.starts_with('p') && key.ends_with("_us"))
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+/// Compare two metrics documents under `cfg`.
+pub fn diff_documents(baseline: &JsonValue, current: &JsonValue, cfg: &DiffConfig) -> DiffReport {
+    let mut report = DiffReport::default();
+    let schema = |doc: &JsonValue| {
+        doc.get("schema")
+            .and_then(JsonValue::as_str)
+            .map(String::from)
+    };
+    let (bs, cs) = (schema(baseline), schema(current));
+    if bs != cs {
+        report.push(
+            "schema",
+            Severity::Regression,
+            format!("schema mismatch: baseline {bs:?} vs current {cs:?}"),
+        );
+    }
+    walk(baseline, current, "", cfg, &mut report);
+    invariants(current, "", &mut report);
+    report
+}
+
+fn walk(base: &JsonValue, cur: &JsonValue, path: &str, cfg: &DiffConfig, report: &mut DiffReport) {
+    match (base, cur) {
+        (JsonValue::Object(b), JsonValue::Object(c)) => {
+            for (key, bv) in b {
+                match c.get(key) {
+                    Some(cv) => walk(bv, cv, &join(path, key), cfg, report),
+                    None => report.push(
+                        &join(path, key),
+                        if cfg.strict {
+                            Severity::Regression
+                        } else {
+                            Severity::Info
+                        },
+                        "present in baseline, missing in current".to_string(),
+                    ),
+                }
+            }
+            for key in c.keys() {
+                if !b.contains_key(key) {
+                    report.push(
+                        &join(path, key),
+                        if cfg.strict {
+                            Severity::Regression
+                        } else {
+                            Severity::Info
+                        },
+                        "new in current, absent from baseline".to_string(),
+                    );
+                }
+            }
+        }
+        (JsonValue::Number(b), JsonValue::Number(c)) => {
+            if b == c {
+                return;
+            }
+            let key = path.rsplit('.').next().unwrap_or(path);
+            if is_quantile_key(key) {
+                let regressed = *c > *b * cfg.max_quantile_ratio && *c > cfg.floor_us;
+                let ratio = if *b > 0.0 { *c / *b } else { f64::INFINITY };
+                report.push(
+                    path,
+                    if regressed {
+                        Severity::Regression
+                    } else {
+                        Severity::Info
+                    },
+                    format!(
+                        "{b} -> {c} ({ratio:.2}x, threshold {:.2}x above {} us)",
+                        cfg.max_quantile_ratio, cfg.floor_us
+                    ),
+                );
+            } else {
+                report.push(path, Severity::Info, format!("{b} -> {c}"));
+            }
+        }
+        (b, c) if b == c => {}
+        (b, c) => report.push(
+            path,
+            if cfg.strict {
+                Severity::Regression
+            } else {
+                Severity::Info
+            },
+            format!("type/value changed: {} -> {}", b.to_json(), c.to_json()),
+        ),
+    }
+}
+
+/// Self-consistency checks on the current document.
+fn invariants(doc: &JsonValue, path: &str, report: &mut DiffReport) {
+    let JsonValue::Object(map) = doc else { return };
+
+    // Zero-tolerance counters: transport drops and unanswered errors.
+    for key in ["dropped", "errors"] {
+        if let Some(v) = map.get(key).and_then(JsonValue::as_f64) {
+            if v > 0.0 {
+                report.push(
+                    &join(path, key),
+                    Severity::Regression,
+                    format!("counter invariant violated: {key} = {v} (must be 0)"),
+                );
+            }
+        }
+    }
+
+    // Latency sections: the quantile ladder must be monotone, and an
+    // empty histogram must report all zeros.
+    if let (Some(count), Some(p50), Some(p99), Some(max)) = (
+        map.get("count").and_then(JsonValue::as_f64),
+        map.get("p50_us").and_then(JsonValue::as_f64),
+        map.get("p99_us").and_then(JsonValue::as_f64),
+        map.get("max_us").and_then(JsonValue::as_f64),
+    ) {
+        if count == 0.0 && (p50 != 0.0 || p99 != 0.0 || max != 0.0) {
+            report.push(
+                path,
+                Severity::Regression,
+                format!(
+                    "empty histogram reports nonzero quantiles (p50={p50}, p99={p99}, max={max})"
+                ),
+            );
+        }
+        if p50 > p99 || p99 > max {
+            report.push(
+                path,
+                Severity::Regression,
+                format!("quantile ladder not monotone: p50={p50}, p99={p99}, max={max}"),
+            );
+        }
+    }
+
+    for (key, v) in map {
+        invariants(v, &join(path, key), report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn doc(p99: u64, dropped: u64) -> JsonValue {
+        parse(&format!(
+            r#"{{"schema":"rvhpc-metrics/1","generator":"rvhpc-loadgen",
+                "loadgen":{{"ok":1000,"errors":0,"dropped":{dropped},
+                "latency":{{"count":1000,"mean_us":350,"min_us":10,"max_us":{max},
+                            "p50_us":300,"p99_us":{p99}}}}}}}"#,
+            max = p99.max(5000)
+        ))
+        .expect("test doc parses")
+    }
+
+    #[test]
+    fn identical_documents_have_no_regressions() {
+        let a = doc(4000, 0);
+        let report = diff_documents(&a, &a.clone(), &DiffConfig::default());
+        assert!(!report.has_regressions(), "{}", report.render());
+        assert!(report.render().contains("OK"));
+    }
+
+    #[test]
+    fn injected_p99_regression_fails_with_readable_report() {
+        let base = doc(4000, 0);
+        let bad = doc(9000, 0);
+        let report = diff_documents(&base, &bad, &DiffConfig::default());
+        assert!(report.has_regressions());
+        let text = report.render();
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("loadgen.latency.p99_us"), "{text}");
+        assert!(text.contains("2.25x"), "{text}");
+    }
+
+    #[test]
+    fn quantile_wiggle_below_floor_or_ratio_is_info_only() {
+        let base = doc(4000, 0);
+        // 1.5x: below the 2x ratio.
+        let report = diff_documents(&base, &doc(6000, 0), &DiffConfig::default());
+        assert!(!report.has_regressions(), "{}", report.render());
+        // 10x but below the absolute floor.
+        let small_base = parse(
+            r#"{"schema":"rvhpc-metrics/1","latency":{"count":10,"mean_us":2,
+                "min_us":1,"max_us":30,"p50_us":2,"p99_us":3}}"#,
+        )
+        .unwrap();
+        let small_cur = parse(
+            r#"{"schema":"rvhpc-metrics/1","latency":{"count":10,"mean_us":2,
+                "min_us":1,"max_us":30,"p50_us":2,"p99_us":30}}"#,
+        )
+        .unwrap();
+        let report = diff_documents(&small_base, &small_cur, &DiffConfig::default());
+        assert!(!report.has_regressions(), "{}", report.render());
+    }
+
+    #[test]
+    fn counter_invariants_catch_drops_and_broken_ladders() {
+        let base = doc(4000, 0);
+        let report = diff_documents(&base, &doc(4000, 3), &DiffConfig::default());
+        assert!(report.has_regressions());
+        assert!(report.render().contains("dropped"), "{}", report.render());
+
+        let broken = parse(
+            r#"{"schema":"rvhpc-metrics/1","latency":{"count":5,"mean_us":10,
+                "min_us":1,"max_us":50,"p50_us":40,"p99_us":20}}"#,
+        )
+        .unwrap();
+        let report = diff_documents(&broken, &broken.clone(), &DiffConfig::default());
+        assert!(report.has_regressions(), "non-monotone ladder must fail");
+    }
+
+    #[test]
+    fn schema_mismatch_and_strict_shape_changes_fail() {
+        let base = doc(4000, 0);
+        let mut other = doc(4000, 0);
+        if let JsonValue::Object(map) = &mut other {
+            map.insert("schema".to_string(), JsonValue::from("rvhpc-metrics/2"));
+        }
+        assert!(diff_documents(&base, &other, &DiffConfig::default()).has_regressions());
+
+        let mut missing = doc(4000, 0);
+        if let JsonValue::Object(map) = &mut missing {
+            map.remove("loadgen");
+        }
+        let lax = diff_documents(&base, &missing, &DiffConfig::default());
+        assert!(!lax.has_regressions(), "{}", lax.render());
+        let strict = diff_documents(
+            &base,
+            &missing,
+            &DiffConfig {
+                strict: true,
+                ..DiffConfig::default()
+            },
+        );
+        assert!(strict.has_regressions());
+    }
+}

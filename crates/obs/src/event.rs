@@ -6,7 +6,7 @@
 //! allocation happens on the hot path.
 
 /// What kind of time span or marker an [`Event`] describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum EventKind {
     /// Time a thread spent blocked in a barrier (entry to exit).
@@ -22,6 +22,24 @@ pub enum EventKind {
     Phase = 4,
     /// A point-in-time counter sample; `arg` carries the value.
     Counter = 5,
+    /// Wire-to-request parsing of one served request; `arg` is the
+    /// request's trace id.
+    ProtoParse = 6,
+    /// Time a served request spent in its shard's admission queue
+    /// before a worker picked it up; `arg` is the trace id.
+    QueueWait = 7,
+    /// Merging admitted jobs into one engine plan (batch assembly);
+    /// `arg` is the trace id of the batch's first job.
+    DedupMerge = 8,
+    /// A prediction-cache probe outcome: the span is zero-length and the
+    /// name is `"cache-hit"` or `"cache-miss"`; `arg` is the trace id.
+    CacheProbe = 9,
+    /// Engine execution of a (possibly merged) plan; `arg` is the trace
+    /// id of the batch's first job.
+    EngineExec = 10,
+    /// Serializing and writing a reply back to the client; `arg` is the
+    /// trace id.
+    ReplyWrite = 11,
 }
 
 impl EventKind {
@@ -34,6 +52,12 @@ impl EventKind {
             EventKind::Region => "region",
             EventKind::Phase => "phase",
             EventKind::Counter => "counter",
+            EventKind::ProtoParse => "proto-parse",
+            EventKind::QueueWait => "queue-wait",
+            EventKind::DedupMerge => "dedup-merge",
+            EventKind::CacheProbe => "cache-probe",
+            EventKind::EngineExec => "engine-exec",
+            EventKind::ReplyWrite => "reply-write",
         }
     }
 
@@ -45,6 +69,12 @@ impl EventKind {
             3 => Some(EventKind::Region),
             4 => Some(EventKind::Phase),
             5 => Some(EventKind::Counter),
+            6 => Some(EventKind::ProtoParse),
+            7 => Some(EventKind::QueueWait),
+            8 => Some(EventKind::DedupMerge),
+            9 => Some(EventKind::CacheProbe),
+            10 => Some(EventKind::EngineExec),
+            11 => Some(EventKind::ReplyWrite),
             _ => None,
         }
     }
@@ -80,6 +110,12 @@ mod tests {
             EventKind::Region,
             EventKind::Phase,
             EventKind::Counter,
+            EventKind::ProtoParse,
+            EventKind::QueueWait,
+            EventKind::DedupMerge,
+            EventKind::CacheProbe,
+            EventKind::EngineExec,
+            EventKind::ReplyWrite,
         ] {
             assert_eq!(EventKind::from_u8(kind as u8), Some(kind));
         }
@@ -95,6 +131,12 @@ mod tests {
             EventKind::Region.label(),
             EventKind::Phase.label(),
             EventKind::Counter.label(),
+            EventKind::ProtoParse.label(),
+            EventKind::QueueWait.label(),
+            EventKind::DedupMerge.label(),
+            EventKind::CacheProbe.label(),
+            EventKind::EngineExec.label(),
+            EventKind::ReplyWrite.label(),
         ];
         let unique: std::collections::HashSet<_> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len());

@@ -130,11 +130,14 @@ impl LatencyHistogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                // The topmost non-empty bucket holds the maximum sample —
-                // report it exactly. Values beyond the covered octaves are
-                // clamped into that bucket, so its nominal upper bound
-                // could under-state them.
-                if Some(i) == last {
+                // Only the final rank is guaranteed to be the maximum
+                // sample — report that one exactly. Other ranks landing in
+                // the topmost non-empty bucket must report the bucket
+                // bound: that bucket can hold several distinct values
+                // (values beyond the covered octaves all clamp into the
+                // last octave), and returning `max_us` for a mid-bucket
+                // rank would overstate it by orders of magnitude.
+                if Some(i) == last && rank == self.count {
                     return self.max_us;
                 }
                 return bucket_upper(i).min(self.max_us);
@@ -267,5 +270,56 @@ mod tests {
         assert_eq!(h.max_us(), u64::MAX);
         // Quantile clamps to the observed max rather than a bucket bound.
         assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_everywhere() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_us(), 0);
+        assert_eq!(h.max_us(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "empty quantile({q}) must be 0");
+        }
+        // Merging an empty histogram into an empty one stays empty.
+        let mut a = LatencyHistogram::new();
+        a.merge(&h);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        for v in [0u64, 5, 63, 64, 100_000, u64::MAX] {
+            let mut h = LatencyHistogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "single sample {v}, quantile({q})");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_top_bucket_does_not_overstate_mid_bucket_ranks() {
+        // Both values clamp into the same last-octave bucket: one is a
+        // genuine ~2^40 µs latency, the other is u64::MAX (e.g. a
+        // negative-duration artifact saturating). The p50 must report the
+        // bucket bound (~2^41), not the clamped maximum.
+        let moderate = (1u64 << 40) + (31u64 << 35) + 5;
+        let mut a = LatencyHistogram::new();
+        a.record(moderate);
+        let mut b = LatencyHistogram::new();
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        let p50 = a.quantile(0.5);
+        assert!(p50 >= moderate, "p50 must not under-state: {p50}");
+        assert!(
+            p50 < 1u64 << 42,
+            "p50 {p50} overstates a mid-bucket rank by orders of magnitude"
+        );
+        // The final rank is still the exact maximum.
+        assert_eq!(a.quantile(1.0), u64::MAX);
     }
 }

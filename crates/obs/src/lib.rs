@@ -27,19 +27,25 @@
 //! ```
 
 pub mod chrome;
+pub mod diff;
 pub mod event;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod ring;
+pub mod timeseries;
+pub mod trace;
 
 pub use chrome::{chrome_trace, write_chrome_trace};
+pub use diff::{diff_documents, DiffConfig, DiffReport};
 pub use event::{Event, EventKind};
 pub use hist::LatencyHistogram;
 pub use json::JsonValue;
 pub use metrics::{summarize, Summary};
 pub use recorder::{
-    disabled_handle, drain_all, enabled, handle, init_from_env, now_us, record, set_enabled,
-    RecorderHandle, SpanStart, TraceData, TRACE_ENV,
+    disabled_handle, drain_all, enabled, handle, init_from_env, now_us, pin_epoch, record,
+    set_enabled, RecorderHandle, SpanStart, TraceData, TRACE_ENV,
 };
+pub use timeseries::{Sample, Timeseries};
+pub use trace::{RetainedSpan, TraceCtx};

@@ -60,6 +60,13 @@ pub fn init_from_env() -> bool {
     enabled()
 }
 
+/// Pin the recorder epoch without enabling recording. Timestamp-only
+/// consumers (slow-request dumps, the timeseries sampler) call this so
+/// [`now_us`] advances even when `RVHPC_TRACE` is off.
+pub fn pin_epoch() {
+    let _ = EPOCH.get_or_init(Instant::now);
+}
+
 /// Microseconds since the recorder epoch (pinned at first enable).
 #[inline]
 pub fn now_us() -> u64 {
@@ -88,6 +95,20 @@ pub fn disabled_handle() -> RecorderHandle {
 #[derive(Debug, Clone, Copy)]
 #[must_use = "a span start should be closed with record_span"]
 pub struct SpanStart(Option<u64>);
+
+impl SpanStart {
+    /// A span start pinned to an explicit epoch-relative timestamp —
+    /// used by [`crate::trace::TraceCtx`] when retaining spans for a
+    /// slow-request dump while global recording is off.
+    pub fn at(start_us: u64) -> Self {
+        SpanStart(Some(start_us))
+    }
+
+    /// The start timestamp, when one was taken.
+    pub fn value(self) -> Option<u64> {
+        self.0
+    }
+}
 
 /// Per-region snapshot of the recorder switch; all methods are `#[inline]`
 /// no-ops when the snapshot said "off".

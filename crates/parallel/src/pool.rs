@@ -163,6 +163,27 @@ impl Pool {
         R: Send,
         F: Fn(&Team) -> R + Sync,
     {
+        self.run_with_arg(None, f)
+    }
+
+    /// Like [`Pool::run`], but tag every member's `region` trace span with
+    /// `trace_id` instead of the pool's region ordinal. The serve layer
+    /// uses this to stitch pool-worker execution into a request's trace:
+    /// filtering a Chrome trace on the id surfaces the worker spans next
+    /// to the request's proto/queue/engine spans.
+    pub fn run_traced<R, F>(&self, trace_id: u64, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Team) -> R + Sync,
+    {
+        self.run_with_arg(Some(trace_id), f)
+    }
+
+    fn run_with_arg<R, F>(&self, trace_arg: Option<u64>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Team) -> R + Sync,
+    {
         let n = self.nthreads;
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         {
@@ -170,10 +191,10 @@ impl Pool {
             // then branches on a register-resident bool, so instrumented
             // inner loops cost nothing when tracing is off.
             let recorder = obs::handle();
-            let region = if recorder.is_enabled() {
-                self.regions.fetch_add(1, Ordering::Relaxed)
-            } else {
-                0
+            let region = match trace_arg {
+                Some(id) => id,
+                None if recorder.is_enabled() => self.regions.fetch_add(1, Ordering::Relaxed),
+                None => 0,
             };
             let team_shared = Arc::clone(&self.team);
             let results = &results;

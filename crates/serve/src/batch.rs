@@ -14,6 +14,7 @@
 //! the queues, the workers finish everything already admitted, and the
 //! threads exit.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -21,6 +22,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use rvhpc_core::engine::{Engine, Plan, Query};
 use rvhpc_core::Prediction;
+use rvhpc_obs::{self as obs, Event, EventKind, TraceCtx};
 use rvhpc_parallel::Pool;
 use std::sync::Arc;
 
@@ -35,6 +37,12 @@ pub struct Job {
     pub query: Query,
     /// When the job was admitted (for service-time accounting).
     pub enqueued_at: Instant,
+    /// The request's trace id; the worker tags queue-wait and execution
+    /// spans with it (0 when the connection did not assign one).
+    pub trace_id: u64,
+    /// Admission time on the recorder clock ([`rvhpc_obs::now_us`]),
+    /// the start of the job's queue-wait span.
+    pub enqueued_us: u64,
     /// Where the result goes; the connection side may have given up
     /// (deadline), in which case the send fails and is ignored.
     pub reply: SyncSender<JobResult>,
@@ -49,6 +57,11 @@ pub struct JobResult {
     pub cached: bool,
     /// Queue + compute time in microseconds, measured at the worker.
     pub service_us: u64,
+    /// Time spent waiting in the shard queue, in microseconds.
+    pub queue_us: u64,
+    /// Engine execution time of the batch that served this job, in
+    /// microseconds.
+    pub exec_us: u64,
 }
 
 /// Why a job was not admitted.
@@ -69,19 +82,50 @@ struct Shard {
 pub struct Batcher {
     engine: &'static Engine,
     shards: Mutex<Vec<Shard>>,
+    /// Jobs admitted but not yet picked up, per shard. Outlives a drain
+    /// so the timeseries sampler can keep reading (depths drop to 0).
+    depths: Vec<Arc<AtomicUsize>>,
     nshards: usize,
 }
 
-fn worker_loop(rx: Receiver<Job>, engine: &'static Engine, pool_threads: usize) {
+fn worker_loop(
+    rx: Receiver<Job>,
+    engine: &'static Engine,
+    pool_threads: usize,
+    shard_id: u32,
+    depth: Arc<AtomicUsize>,
+) {
     let pool = Pool::new(pool_threads.max(1));
     // Blocking recv returns Err only when every sender is gone — the
     // drain signal. Everything admitted before the drain is still served.
     while let Ok(first) = rx.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
         let mut jobs = vec![first];
         while jobs.len() < MAX_BATCH {
             match rx.try_recv() {
-                Ok(job) => jobs.push(job),
+                Ok(job) => {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    jobs.push(job);
+                }
                 Err(_) => break,
+            }
+        }
+
+        // The pickup moment closes every job's queue-wait span: admission
+        // happened on the connection thread, so the span is recorded here
+        // from explicit timestamps, tagged with each job's trace id.
+        let picked_us = obs::now_us();
+        let recorder = obs::handle();
+        if recorder.is_enabled() {
+            for job in &jobs {
+                obs::record(Event {
+                    kind: EventKind::QueueWait,
+                    name: "queue",
+                    tid: shard_id,
+                    start_us: job.enqueued_us,
+                    dur_us: picked_us.saturating_sub(job.enqueued_us),
+                    arg: job.trace_id,
+                });
             }
         }
 
@@ -101,7 +145,12 @@ fn worker_loop(rx: Receiver<Job>, engine: &'static Engine, pool_threads: usize) 
             .map(|q| engine.is_cached(&plan, q))
             .collect();
 
-        let preds = engine.execute_on(&plan, &pool);
+        // The batch executes under the first job's trace id (dedup-merge,
+        // cache-probe and engine-exec spans, plus traced pool regions).
+        let mut trace = TraceCtx::with_handle(jobs[0].trace_id, shard_id, recorder);
+        let exec_start = Instant::now();
+        let preds = engine.execute_on_traced(&plan, &pool, &mut trace);
+        let exec_us = exec_start.elapsed().as_micros() as u64;
 
         let done = Instant::now();
         for ((job, pred), was_cached) in jobs.iter().zip(preds).zip(cached) {
@@ -112,6 +161,8 @@ fn worker_loop(rx: Receiver<Job>, engine: &'static Engine, pool_threads: usize) 
                 pred,
                 cached: was_cached,
                 service_us,
+                queue_us: picked_us.saturating_sub(job.enqueued_us),
+                exec_us,
             });
         }
     }
@@ -127,12 +178,16 @@ impl Batcher {
         pool_threads: usize,
     ) -> Self {
         let nshards = nshards.max(1);
+        let depths: Vec<Arc<AtomicUsize>> = (0..nshards)
+            .map(|_| Arc::new(AtomicUsize::new(0)))
+            .collect();
         let shards = (0..nshards)
             .map(|i| {
                 let (tx, rx) = sync_channel(queue_cap.max(1));
+                let depth = Arc::clone(&depths[i]);
                 let worker = std::thread::Builder::new()
                     .name(format!("rvhpc-serve-shard-{i}"))
-                    .spawn(move || worker_loop(rx, engine, pool_threads))
+                    .spawn(move || worker_loop(rx, engine, pool_threads, i as u32, depth))
                     .expect("spawn shard worker");
                 Shard { tx, worker }
             })
@@ -140,6 +195,7 @@ impl Batcher {
         Self {
             engine,
             shards: Mutex::new(shards),
+            depths,
             nshards,
         }
     }
@@ -154,6 +210,15 @@ impl Batcher {
         self.nshards
     }
 
+    /// Jobs admitted but not yet picked up, per shard — the live queue
+    /// depth gauges the timeseries sampler exports.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.depths
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Route a job to its shard's queue. Fails fast when the queue is
     /// full (admission control) or the batcher is draining.
     pub fn submit(&self, job: Job) -> Result<(), AdmissionError> {
@@ -165,7 +230,10 @@ impl Batcher {
         // repeats batch together and dedup inside one engine call.
         let shard = (job.plan.key_of(&job.query).fingerprint() as usize) % shards.len();
         match shards[shard].tx.try_send(job) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.depths[shard].fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
             Err(TrySendError::Full(_)) => Err(AdmissionError::QueueFull),
             Err(TrySendError::Disconnected(_)) => Err(AdmissionError::Draining),
         }
@@ -202,6 +270,8 @@ mod tests {
                 plan: Plan::single(q),
                 query: q,
                 enqueued_at: Instant::now(),
+                trace_id: 0,
+                enqueued_us: obs::now_us(),
                 reply: tx,
             },
             rx,

@@ -151,6 +151,16 @@ pub enum Request {
     Predict(Box<PredictRequest>),
     /// Return the server's metrics document.
     Metrics,
+    /// Return the server's slow-request log (retained span dumps).
+    Slow,
+    /// Stream live telemetry: `samples` gauge snapshots as NDJSON, one
+    /// taken every `interval_ms` milliseconds.
+    Watch {
+        /// How many samples to stream before the op completes.
+        samples: u64,
+        /// Milliseconds between samples (0 = back-to-back).
+        interval_ms: u64,
+    },
     /// Liveness check.
     Ping,
     /// Begin graceful drain and shut the server down.
@@ -416,6 +426,17 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             reject_unknown_keys(&doc, id, &["op", "id"], "request")?;
             Ok(Request::Metrics)
         }
+        Some((Some("slow"), _)) => {
+            reject_unknown_keys(&doc, id, &["op", "id"], "request")?;
+            Ok(Request::Slow)
+        }
+        Some((Some("watch"), _)) => {
+            reject_unknown_keys(&doc, id, &["op", "id", "samples", "interval_ms"], "request")?;
+            Ok(Request::Watch {
+                samples: get_uint(&doc, id, "samples", 1, 10_000)?.unwrap_or(5),
+                interval_ms: get_uint(&doc, id, "interval_ms", 0, 60_000)?.unwrap_or(100),
+            })
+        }
         Some((Some("ping"), _)) => {
             reject_unknown_keys(&doc, id, &["op", "id"], "request")?;
             Ok(Request::Ping)
@@ -446,6 +467,18 @@ pub fn render_ok(id: Option<u64>, result: JsonValue) -> String {
     let mut fields = vec![
         ("ok".to_string(), JsonValue::Bool(true)),
         ("result".to_string(), result),
+    ];
+    fields.extend(id_field(id));
+    JsonValue::object(fields).to_json()
+}
+
+/// As [`render_ok`] with the request's span dump attached as a top-level
+/// `trace` field — the slow-request path (`--slow-us` threshold).
+pub fn render_ok_traced(id: Option<u64>, result: JsonValue, trace: JsonValue) -> String {
+    let mut fields = vec![
+        ("ok".to_string(), JsonValue::Bool(true)),
+        ("result".to_string(), result),
+        ("trace".to_string(), trace),
     ];
     fields.extend(id_field(id));
     JsonValue::object(fields).to_json()
@@ -600,6 +633,47 @@ mod tests {
             Request::Metrics
         );
         assert!(parse_request(r#"{"op":"ping","bench":"cg"}"#).is_err());
+        assert_eq!(parse_request(r#"{"op":"slow"}"#).unwrap(), Request::Slow);
+        assert!(parse_request(r#"{"op":"slow","samples":3}"#).is_err());
+    }
+
+    #[test]
+    fn watch_parses_with_defaults_and_bounds() {
+        assert_eq!(
+            parse_request(r#"{"op":"watch"}"#).unwrap(),
+            Request::Watch {
+                samples: 5,
+                interval_ms: 100
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"watch","samples":3,"interval_ms":0}"#).unwrap(),
+            Request::Watch {
+                samples: 3,
+                interval_ms: 0
+            }
+        );
+        assert!(parse_request(r#"{"op":"watch","samples":0}"#).is_err());
+        assert!(parse_request(r#"{"op":"watch","interval_ms":90000}"#).is_err());
+        assert!(parse_request(r#"{"op":"watch","bench":"cg"}"#).is_err());
+    }
+
+    #[test]
+    fn traced_reply_carries_the_span_dump() {
+        let trace = JsonValue::object([
+            ("trace_id".to_string(), JsonValue::from(42u64)),
+            ("spans".to_string(), JsonValue::Array(vec![])),
+        ]);
+        let line = render_ok_traced(Some(7), JsonValue::from("x"), trace);
+        assert!(!line.contains('\n'));
+        let doc = json::parse(&line).expect("valid");
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            doc.get("trace")
+                .and_then(|t| t.get("trace_id"))
+                .and_then(JsonValue::as_f64),
+            Some(42.0)
+        );
     }
 
     #[test]

@@ -9,12 +9,27 @@
 //! default — after which the connection answers `deadline` and moves on;
 //! the computed result still lands in the cache.
 //!
+//! Every request gets a [`TraceCtx`] whose id comes from a process-wide
+//! counter, so ids are unique and monotone per connection. The context
+//! records parse and reply-write spans on the connection thread; the
+//! shard worker tags queue-wait, dedup, cache-probe, engine-exec and
+//! pool-region spans with the same id — one Chrome trace follows a
+//! request across all four layers. When `slow_us` is configured, any
+//! predict at or above the threshold carries its span dump in the
+//! reply's `trace` field and lands in the admin `slow` log.
+//!
+//! Live telemetry: a [`Timeseries`] ring collects gauge snapshots —
+//! either from a background sampler thread (`sample_interval_ms > 0`)
+//! or on demand at each `metrics` request (interval 0, deterministic) —
+//! and the admin `watch` op streams fresh snapshots as NDJSON.
+//!
 //! Shutdown is cooperative: an admin `quit` request, [`request_drain`],
 //! or SIGTERM/SIGINT (via [`install_signal_drain`]) sets one flag. The
 //! accept loop stops, each connection finishes its current request,
 //! the batcher serves everything already admitted, and [`Server::run`]
 //! returns the final metrics document.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -24,7 +39,9 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rvhpc_core::engine::Engine;
-use rvhpc_obs::{metrics, JsonValue, LatencyHistogram};
+use rvhpc_obs::{
+    self as obs, metrics, EventKind, JsonValue, LatencyHistogram, Sample, Timeseries, TraceCtx,
+};
 
 use crate::batch::{AdmissionError, Batcher, Job};
 use crate::proto::{self, ErrorKind, PredictRequest, ProtoError, Request};
@@ -35,9 +52,21 @@ const MAX_LINE_BYTES: usize = 64 * 1024;
 const READ_POLL: Duration = Duration::from_millis(50);
 /// Accept poll interval.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Most retained slow-request dumps (admin `slow` op).
+const SLOW_LOG_CAP: usize = 64;
 
 /// Process-wide drain flag set by signal handlers and `quit` requests.
 static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide trace id sequence. Ids start at 1 (0 marks "no trace")
+/// and are handed out in request order, so within one connection they
+/// are strictly increasing and across every server in the process they
+/// never collide.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn next_trace_id() -> u64 {
+    TRACE_SEQ.fetch_add(1, Ordering::Relaxed) + 1
+}
 
 /// Request a graceful drain of every server in this process.
 pub fn request_drain() {
@@ -96,6 +125,13 @@ pub struct ServerConfig {
     /// Maximum simultaneous connections; beyond this, connections are
     /// answered `overloaded` and closed.
     pub max_conns: usize,
+    /// Slow-request threshold in microseconds: a predict whose service
+    /// time reaches it replies with a span dump in `trace` and lands in
+    /// the admin `slow` log. 0 dumps every predict; `None` disables.
+    pub slow_us: Option<u64>,
+    /// Timeseries sampling interval. 0 samples on demand at each
+    /// `metrics` request (deterministic); >0 runs a background sampler.
+    pub sample_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +147,8 @@ impl Default for ServerConfig {
             pool_threads: (cores / shards).max(1),
             default_deadline_ms: 10_000,
             max_conns: 256,
+            slow_us: None,
+            sample_interval_ms: 0,
         }
     }
 }
@@ -199,6 +237,58 @@ impl Counters {
     }
 }
 
+/// One gauge snapshot of the server's live state, as flat named values.
+///
+/// Names split into two families the determinism test relies on:
+/// counter-derived gauges (request/cache/queue counts — identical for
+/// identical request sequences regardless of `--jobs`), and `*_us`
+/// latency gauges (wall-clock dependent, excluded from determinism
+/// comparisons along with the sample timestamp).
+fn sample_gauges(counters: &Counters, active: usize, batcher: &Batcher) -> Vec<(String, f64)> {
+    let hits = counters.cache_hits.load(Ordering::Relaxed);
+    let misses = counters.cache_misses.load(Ordering::Relaxed);
+    let depths = batcher.queue_depths();
+    let mut gauges: Vec<(String, f64)> = vec![
+        (
+            "conns_accepted".to_string(),
+            counters.conns_accepted.load(Ordering::Relaxed) as f64,
+        ),
+        ("conns_active".to_string(), active as f64),
+        (
+            "requests_received".to_string(),
+            counters.requests.load(Ordering::Relaxed) as f64,
+        ),
+        (
+            "requests_ok".to_string(),
+            counters.ok.load(Ordering::Relaxed) as f64,
+        ),
+        (
+            "rejected_admission".to_string(),
+            counters.rejected_admission.load(Ordering::Relaxed) as f64,
+        ),
+        (
+            "deadline_expired".to_string(),
+            counters.deadline_expired.load(Ordering::Relaxed) as f64,
+        ),
+        ("cache_hits".to_string(), hits as f64),
+        ("cache_misses".to_string(), misses as f64),
+        ("cache_hit_rate".to_string(), rate(hits, misses)),
+        (
+            "queue_depth_total".to_string(),
+            depths.iter().sum::<usize>() as f64,
+        ),
+    ];
+    for (i, d) in depths.iter().enumerate() {
+        gauges.push((format!("queue_depth_shard{i}"), *d as f64));
+    }
+    let service = counters.service.lock();
+    gauges.push(("service_p50_us".to_string(), service.quantile(0.5) as f64));
+    gauges.push(("service_p99_us".to_string(), service.quantile(0.99) as f64));
+    gauges.push(("service_max_us".to_string(), service.max_us() as f64));
+    gauges.push(("service_mean_us".to_string(), service.mean_us()));
+    gauges
+}
+
 /// A bound, running prediction server.
 pub struct Server {
     listener: TcpListener,
@@ -207,6 +297,8 @@ pub struct Server {
     batcher: Arc<Batcher>,
     counters: Arc<Counters>,
     active_conns: Arc<AtomicUsize>,
+    timeseries: Arc<Timeseries>,
+    slow_log: Arc<Mutex<VecDeque<JsonValue>>>,
 }
 
 impl Server {
@@ -228,6 +320,10 @@ impl Server {
             config.queue_cap,
             config.pool_threads,
         ));
+        let timeseries = Arc::new(Timeseries::new(
+            obs::timeseries::DEFAULT_CAPACITY,
+            config.sample_interval_ms * 1_000,
+        ));
         Ok(Server {
             listener,
             local_addr,
@@ -235,6 +331,8 @@ impl Server {
             batcher,
             counters: Arc::new(Counters::default()),
             active_conns: Arc::new(AtomicUsize::new(0)),
+            timeseries,
+            slow_log: Arc::new(Mutex::new(VecDeque::new())),
         })
     }
 
@@ -244,12 +342,13 @@ impl Server {
     }
 
     /// Snapshot the full metrics document: `server` counters plus the
-    /// engine's cache/executor section.
+    /// engine's cache/executor section and the `timeseries` ring.
     pub fn metrics_document(&self) -> JsonValue {
         build_metrics_doc(
             &self.counters,
             self.active_conns.load(Ordering::Relaxed),
             &self.batcher,
+            &self.timeseries,
         )
     }
 
@@ -258,6 +357,37 @@ impl Server {
     /// drain the batcher, and return the final metrics document.
     pub fn run(self) -> std::io::Result<JsonValue> {
         let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let sampler = if self.config.sample_interval_ms > 0 {
+            let interval = Duration::from_millis(self.config.sample_interval_ms);
+            let counters = Arc::clone(&self.counters);
+            let active = Arc::clone(&self.active_conns);
+            let batcher = Arc::clone(&self.batcher);
+            let timeseries = Arc::clone(&self.timeseries);
+            Some(
+                std::thread::Builder::new()
+                    .name("rvhpc-serve-sampler".to_string())
+                    .spawn(move || {
+                        while !drain_requested() {
+                            timeseries.sample_now(sample_gauges(
+                                &counters,
+                                active.load(Ordering::Relaxed),
+                                &batcher,
+                            ));
+                            // Sleep in short slices so a drain is noticed
+                            // promptly even with long intervals.
+                            let mut left = interval;
+                            while !left.is_zero() && !drain_requested() {
+                                let step = left.min(READ_POLL);
+                                std::thread::sleep(step);
+                                left = left.saturating_sub(step);
+                            }
+                        }
+                    })
+                    .expect("spawn sampler thread"),
+            )
+        } else {
+            None
+        };
         while !drain_requested() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -267,12 +397,16 @@ impl Server {
                         reject_connection(stream);
                         continue;
                     }
-                    self.counters.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                    let conn_ord = self.counters.conns_accepted.fetch_add(1, Ordering::Relaxed);
                     self.active_conns.fetch_add(1, Ordering::Relaxed);
                     let ctx = ConnCtx {
                         batcher: Arc::clone(&self.batcher),
                         counters: Arc::clone(&self.counters),
                         active: Arc::clone(&self.active_conns),
+                        timeseries: Arc::clone(&self.timeseries),
+                        slow_log: Arc::clone(&self.slow_log),
+                        slow_us: self.config.slow_us,
+                        conn_ord: conn_ord as u32,
                         default_deadline: Duration::from_millis(self.config.default_deadline_ms),
                     };
                     handles.push(
@@ -295,20 +429,36 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+        if let Some(h) = sampler {
+            let _ = h.join();
+        }
         self.batcher.drain();
         Ok(build_metrics_doc(
             &self.counters,
             self.active_conns.load(Ordering::Relaxed),
             &self.batcher,
+            &self.timeseries,
         ))
     }
 }
 
-fn build_metrics_doc(counters: &Counters, active: usize, batcher: &Batcher) -> JsonValue {
+fn build_metrics_doc(
+    counters: &Counters,
+    active: usize,
+    batcher: &Batcher,
+    timeseries: &Timeseries,
+) -> JsonValue {
+    // On-demand mode: each metrics snapshot takes exactly one sample, so
+    // the section's sample count tracks the request sequence, not the
+    // wall clock — deterministic across `--jobs` settings.
+    if timeseries.interval_us() == 0 {
+        timeseries.sample_now(sample_gauges(counters, active, batcher));
+    }
     let mut doc = metrics::document("rvhpc-serve");
     if let JsonValue::Object(map) = &mut doc {
         map.insert("server".to_string(), counters.to_json(active));
         map.insert("engine".to_string(), batcher.engine().metrics().to_json());
+        map.insert("timeseries".to_string(), timeseries.to_json());
     }
     doc
 }
@@ -326,6 +476,10 @@ struct ConnCtx {
     batcher: Arc<Batcher>,
     counters: Arc<Counters>,
     active: Arc<AtomicUsize>,
+    timeseries: Arc<Timeseries>,
+    slow_log: Arc<Mutex<VecDeque<JsonValue>>>,
+    slow_us: Option<u64>,
+    conn_ord: u32,
     default_deadline: Duration,
 }
 
@@ -408,7 +562,17 @@ impl ConnCtx {
             return true;
         }
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let reply = match proto::parse_request(line) {
+        // One trace per request: the id is process-unique and monotone
+        // within the connection. The same context threads through parse,
+        // the shard handoff (via the Job), and the reply write.
+        let mut trace = TraceCtx::start(next_trace_id(), self.conn_ord);
+        if self.slow_us.is_some() {
+            trace.set_retain(true);
+        }
+        trace.push("parse");
+        let parsed = proto::parse_request(line);
+        trace.pop(EventKind::ProtoParse);
+        let reply = match parsed {
             Err(e) => {
                 let counter = match e.kind {
                     ErrorKind::Parse => &self.counters.protocol_errors,
@@ -427,28 +591,84 @@ impl ConnCtx {
                     &self.counters,
                     self.active.load(Ordering::Relaxed),
                     &self.batcher,
+                    &self.timeseries,
                 );
                 proto::render_ok(None, doc)
+            }
+            Ok(Request::Slow) => {
+                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                let log = self.slow_log.lock();
+                proto::render_ok(None, JsonValue::Array(log.iter().cloned().collect()))
+            }
+            Ok(Request::Watch {
+                samples,
+                interval_ms,
+            }) => {
+                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                return self.watch(writer, samples, interval_ms);
             }
             Ok(Request::Quit) => {
                 self.counters.ok.fetch_add(1, Ordering::Relaxed);
                 let reply = proto::render_ok(None, JsonValue::from("draining"));
+                trace.push("reply");
                 let _ = writeln!(writer, "{reply}");
+                trace.pop(EventKind::ReplyWrite);
                 request_drain();
                 return false;
             }
-            Ok(Request::Predict(req)) => self.predict(&req, conn_hits, conn_misses),
+            Ok(Request::Predict(req)) => self.predict(&req, &mut trace, conn_hits, conn_misses),
         };
-        writeln!(writer, "{reply}").is_ok()
+        trace.push("reply");
+        let ok = writeln!(writer, "{reply}").is_ok();
+        trace.pop(EventKind::ReplyWrite);
+        ok
     }
 
-    fn predict(&self, req: &PredictRequest, conn_hits: &mut u64, conn_misses: &mut u64) -> String {
+    /// Stream `samples` fresh gauge snapshots as NDJSON, one every
+    /// `interval_ms` milliseconds — the admin `watch` op. Read-only:
+    /// streamed samples do not enter the timeseries ring.
+    fn watch(&self, writer: &mut TcpStream, samples: u64, interval_ms: u64) -> bool {
+        for i in 0..samples {
+            if i > 0 && interval_ms > 0 {
+                std::thread::sleep(Duration::from_millis(interval_ms));
+            }
+            if drain_requested() {
+                return false;
+            }
+            let sample = Sample {
+                t_us: obs::now_us(),
+                gauges: sample_gauges(
+                    &self.counters,
+                    self.active.load(Ordering::Relaxed),
+                    &self.batcher,
+                )
+                .into_iter()
+                .collect(),
+            };
+            let line = proto::render_ok(None, sample.to_json());
+            if writeln!(writer, "{line}").is_err() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn predict(
+        &self,
+        req: &PredictRequest,
+        trace: &mut TraceCtx,
+        conn_hits: &mut u64,
+        conn_misses: &mut u64,
+    ) -> String {
         let (plan, query) = req.to_plan();
         let (tx, rx) = sync_channel(1);
+        let enqueued_us = obs::now_us();
         let job = Job {
             plan,
             query,
             enqueued_at: Instant::now(),
+            trace_id: trace.id(),
+            enqueued_us,
             reply: tx,
         };
         match self.batcher.submit(job) {
@@ -486,7 +706,39 @@ impl ConnCtx {
                     *conn_misses += 1;
                 }
                 self.counters.service.lock().record(res.service_us);
-                proto::render_ok(req.id, proto::prediction_result(req, &res.pred))
+                // Mirror the worker-side spans into this request's
+                // retained dump (the worker already recorded them into
+                // its own ring under the batch's trace id; these copies
+                // feed only the slow-request dump).
+                trace.retain_span(EventKind::QueueWait, "queue", enqueued_us, res.queue_us);
+                trace.retain_span(
+                    EventKind::EngineExec,
+                    "execute",
+                    enqueued_us + res.queue_us,
+                    res.exec_us,
+                );
+                trace.retain_span(
+                    EventKind::CacheProbe,
+                    if res.cached {
+                        "cache-hit"
+                    } else {
+                        "cache-miss"
+                    },
+                    enqueued_us,
+                    0,
+                );
+                let result = proto::prediction_result(req, &res.pred);
+                if self.slow_us.is_some_and(|t| res.service_us >= t) {
+                    let dump = trace.dump();
+                    let mut log = self.slow_log.lock();
+                    if log.len() == SLOW_LOG_CAP {
+                        log.pop_front();
+                    }
+                    log.push_back(dump.clone());
+                    proto::render_ok_traced(req.id, result, dump)
+                } else {
+                    proto::render_ok(req.id, result)
+                }
             }
             Err(RecvTimeoutError::Timeout) => {
                 self.counters

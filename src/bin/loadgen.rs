@@ -19,7 +19,8 @@ use rvhpc::serve::{loadgen, LoadgenConfig, Mix};
 
 fn usage_text() -> &'static str {
     "usage: loadgen --addr HOST:PORT [--requests N] [--conns N] [--rate R]\n\
-     \x20              [--mix preset|mixed] [--deadline-ms N] [--out FILE]\n\
+     \x20              [--mix preset|mixed] [--deadline-ms N] [--sample-ms N]\n\
+     \x20              [--out FILE]\n\
      \x20 --addr:        server address (required)\n\
      \x20 --requests:    total requests to send (default 1000)\n\
      \x20 --conns:       concurrent connections (default 4)\n\
@@ -27,6 +28,9 @@ fn usage_text() -> &'static str {
      \x20 --mix:         preset machines only, or mixed with custom\n\
      \x20                what-if descriptors (default mixed)\n\
      \x20 --deadline-ms: per-request deadline forwarded to the server\n\
+     \x20 --sample-ms:   sample the server's cache hit rate every N ms during\n\
+     \x20                the run (per-interval rates: warmup vs steady state;\n\
+     \x20                default 0 = off)\n\
      \x20 --out:         also write the metrics document to FILE\n\
      \x20 -h, --help:    print this help and exit\n\
      exit codes: 0 all ok, 1 errors/drops observed, 2 usage error,\n\
@@ -61,6 +65,7 @@ fn main() {
             "--conns" => cfg.conns = parse_num("--conns", args.next()),
             "--rate" => cfg.rate = parse_num("--rate", args.next()),
             "--deadline-ms" => cfg.deadline_ms = Some(parse_num("--deadline-ms", args.next())),
+            "--sample-ms" => cfg.sample_ms = parse_num("--sample-ms", args.next()),
             "--mix" => {
                 cfg.mix = match args.next().as_deref() {
                     Some("preset") => Mix::Preset,
@@ -113,6 +118,15 @@ fn main() {
         report.p50_us,
         report.p99_us
     );
+    if !report.cache_hit_rate_samples.is_empty() {
+        let s = &report.cache_hit_rate_samples;
+        eprintln!(
+            "loadgen: {} hit-rate samples (first {:.1}%, last {:.1}%)",
+            s.len(),
+            s[0] * 100.0,
+            s[s.len() - 1] * 100.0
+        );
+    }
     if report.errors > 0 || report.dropped > 0 {
         std::process::exit(1);
     }

@@ -1,0 +1,99 @@
+//! Compare two `rvhpc-metrics/1` documents for regressions.
+//!
+//! ```text
+//! obsdiff baseline.json current.json               # default thresholds
+//! obsdiff baseline.json current.json --ratio 1.5   # tighter quantile gate
+//! obsdiff baseline.json current.json --floor-us 50 # lower noise floor
+//! obsdiff baseline.json current.json --strict      # shape changes fail too
+//! ```
+//!
+//! Prints a human-readable report (regressions first) and exits nonzero
+//! when the current document regresses: a latency quantile beyond
+//! `baseline * ratio` (and above the noise floor), a counter invariant
+//! violated (drops/errors, non-monotone quantile ladder), or — with
+//! `--strict` — a document shape change. CI runs this against the
+//! committed baseline under `results/` after the serve+loadgen smoke.
+//!
+//! Exit codes: `0` no regression, `1` regression found, `2` usage
+//! error, `3` unreadable or unparseable input.
+
+use rvhpc::obs::{diff_documents, DiffConfig};
+
+fn usage_text() -> &'static str {
+    "usage: obsdiff BASELINE.json CURRENT.json [--ratio R] [--floor-us N] [--strict]\n\
+     \x20 BASELINE.json: reference rvhpc-metrics/1 document\n\
+     \x20 CURRENT.json:  candidate document to gate\n\
+     \x20 --ratio:       quantile regression ratio (default 2.0: fail when\n\
+     \x20                current > baseline * ratio)\n\
+     \x20 --floor-us:    ignore quantile growth below this absolute value\n\
+     \x20                (default 200 us — scheduler noise on idle latencies)\n\
+     \x20 --strict:      keys present on one side only are regressions\n\
+     \x20 -h, --help:    print this help and exit\n\
+     exit codes: 0 no regression, 1 regression, 2 usage error, 3 read/parse failure"
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("obsdiff: {msg}");
+    eprintln!("{}", usage_text());
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> rvhpc::obs::JsonValue {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obsdiff: cannot read {path}: {e}");
+            std::process::exit(3);
+        }
+    };
+    match rvhpc::obs::json::parse(text.trim()) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("obsdiff: {path} is not valid JSON: {e}");
+            std::process::exit(3);
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = DiffConfig::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ratio" => {
+                cfg.max_quantile_ratio = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--ratio needs a numeric argument"));
+            }
+            "--floor-us" => {
+                cfg.floor_us = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--floor-us needs a numeric argument"));
+            }
+            "--strict" => cfg.strict = true,
+            "-h" | "--help" => {
+                println!("{}", usage_text());
+                return;
+            }
+            other if other.starts_with('-') => usage_error(&format!("unknown argument '{other}'")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        usage_error("expected exactly two documents: BASELINE.json CURRENT.json");
+    };
+    if cfg.max_quantile_ratio < 1.0 {
+        usage_error("--ratio must be at least 1.0");
+    }
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let report = diff_documents(&baseline, &current, &cfg);
+    print!("{}", report.render());
+    if report.has_regressions() {
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,7 @@
 //! reproduce --metrics out.json \
 //!           [BENCH] [CLASS] [THREADS]   # machine-readable metrics export
 //! reproduce --jobs 8               # engine worker count (else RVHPC_JOBS)
+//! reproduce obs-diff BASE.json CUR.json [--ratio R] [--floor-us N] [--strict]
 //! ```
 //!
 //! Every model number flows through the prediction engine: the full
@@ -83,6 +84,8 @@ fn one(slug: &str) -> Option<String> {
 fn usage_text() -> &'static str {
     "usage: reproduce [--jobs N] [EXPERIMENT]\n\
      \x20      reproduce [--jobs N] --metrics <FILE> [BENCH] [CLASS] [THREADS]\n\
+     \x20      reproduce obs-diff BASE.json CUR.json [--ratio R] [--floor-us N]\n\
+     \x20                [--strict]\n\
      \x20 EXPERIMENT: table1..table8, fig1..fig6, stalls, extensions\n\
      \x20             (no argument: full report + results/ artifacts)\n\
      \x20 --jobs N:   prediction-engine worker count (default: RVHPC_JOBS,\n\
@@ -91,8 +94,13 @@ fn usage_text() -> &'static str {
      \x20 --metrics:  write the rvhpc-metrics/1 JSON document for one\n\
      \x20             predicted SG2044 run (default: cg C 64), including\n\
      \x20             the engine cache/executor counters\n\
+     \x20 obs-diff:   compare two rvhpc-metrics/1 documents; exit 1 on a\n\
+     \x20             latency-quantile regression (> baseline * ratio) or a\n\
+     \x20             counter-invariant violation (same gate as the obsdiff\n\
+     \x20             binary; CI runs it against results/baseline_metrics.json)\n\
      \x20 -h, --help: print this help and exit\n\
-     exit codes: 0 success, 2 usage error, 3 output write failure"
+     exit codes: 0 success, 1 obs-diff regression, 2 usage error,\n\
+     \x20            3 output write failure"
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -149,6 +157,49 @@ fn write_metrics(path: &std::path::Path, rest: &[String]) {
     );
 }
 
+/// The `obs-diff` subcommand: compare two metrics documents with the
+/// same rules as the standalone `obsdiff` binary. Never returns.
+fn obs_diff(rest: &[String]) -> ! {
+    let mut cfg = rvhpc::obs::DiffConfig::default();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ratio" => {
+                cfg.max_quantile_ratio = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--ratio needs a numeric argument"));
+            }
+            "--floor-us" => {
+                cfg.floor_us = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--floor-us needs a numeric argument"));
+            }
+            "--strict" => cfg.strict = true,
+            other if other.starts_with('-') => usage_error(&format!("unknown option '{other}'")),
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        usage_error("obs-diff expects exactly two documents: BASE.json CUR.json");
+    };
+    let load = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("reproduce: cannot read {path}: {e}");
+            std::process::exit(3);
+        });
+        rvhpc::obs::json::parse(text.trim()).unwrap_or_else(|e| {
+            eprintln!("reproduce: {path} is not valid JSON: {e}");
+            std::process::exit(3);
+        })
+    };
+    let report = rvhpc::obs::diff_documents(&load(baseline_path), &load(current_path), &cfg);
+    print!("{}", report.render());
+    std::process::exit(if report.has_regressions() { 1 } else { 0 });
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -183,6 +234,7 @@ fn main() {
             write_metrics(std::path::Path::new(path), &args[2..]);
             return;
         }
+        Some("obs-diff") => obs_diff(&args[1..]),
         Some(slug) if slug.starts_with('-') => {
             usage_error(&format!("unknown option '{slug}'"));
         }

@@ -7,6 +7,9 @@
 //! serve --pool-threads 4          # engine pool threads per shard
 //! serve --deadline-ms 10000       # default per-request deadline
 //! serve --metrics out.json        # write final metrics document on exit
+//! serve --slow-us 5000            # dump spans of predicts slower than 5 ms
+//! serve --sample-ms 1000          # background timeseries sampler interval
+//! serve --trace trace.json        # record spans; write Chrome trace on exit
 //! ```
 //!
 //! Speaks the newline-delimited JSON protocol of `rvhpc-serve` (see
@@ -24,12 +27,19 @@ use rvhpc::serve::{install_signal_drain, Server, ServerConfig};
 fn usage_text() -> &'static str {
     "usage: serve [--addr HOST:PORT] [--shards N] [--queue N]\n\
      \x20            [--pool-threads N] [--deadline-ms N] [--metrics FILE]\n\
+     \x20            [--slow-us N] [--sample-ms N] [--trace FILE]\n\
      \x20 --addr:         bind address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
      \x20 --shards:       batching worker shards (default: up to 4)\n\
      \x20 --queue:        admission queue depth per shard (default 128)\n\
      \x20 --pool-threads: engine pool threads per shard (default: cores/shards)\n\
      \x20 --deadline-ms:  default per-request deadline (default 10000)\n\
      \x20 --metrics:      write the final rvhpc-metrics/1 document here on exit\n\
+     \x20 --slow-us:      slow-request threshold in us: predicts at or over it\n\
+     \x20                 reply with a span dump and land in the admin slow log\n\
+     \x20                 (0 = every predict; omit to disable)\n\
+     \x20 --sample-ms:    timeseries sampler interval (default 0 = sample on\n\
+     \x20                 each metrics request)\n\
+     \x20 --trace:        enable span recording; write a Chrome trace here on exit\n\
      \x20 -h, --help:     print this help and exit\n\
      stops on SIGTERM/ctrl-C or an admin {\"op\":\"quit\"} request\n\
      exit codes: 0 success, 2 usage error, 3 bind/write failure"
@@ -52,6 +62,7 @@ fn main() {
         ..ServerConfig::default()
     };
     let mut metrics_path: Option<std::path::PathBuf> = None;
+    let mut trace_path: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,10 +75,19 @@ fn main() {
             "--queue" => config.queue_cap = parse_num("--queue", args.next()),
             "--pool-threads" => config.pool_threads = parse_num("--pool-threads", args.next()),
             "--deadline-ms" => config.default_deadline_ms = parse_num("--deadline-ms", args.next()),
+            "--slow-us" => config.slow_us = Some(parse_num("--slow-us", args.next())),
+            "--sample-ms" => config.sample_interval_ms = parse_num("--sample-ms", args.next()),
             "--metrics" => {
                 metrics_path = Some(
                     args.next()
                         .unwrap_or_else(|| usage_error("--metrics needs a file path"))
+                        .into(),
+                );
+            }
+            "--trace" => {
+                trace_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--trace needs a file path"))
                         .into(),
                 );
             }
@@ -83,6 +103,9 @@ fn main() {
     }
 
     install_signal_drain();
+    if trace_path.is_some() {
+        rvhpc::obs::set_enabled(true);
+    }
     let server = match Server::bind(config) {
         Ok(s) => s,
         Err(e) => {
@@ -101,6 +124,19 @@ fn main() {
             eprintln!("serve: drained cleanly");
             if let Some(path) = metrics_path {
                 if let Err(e) = std::fs::write(&path, doc.to_json() + "\n") {
+                    eprintln!("serve: cannot write {}: {e}", path.display());
+                    std::process::exit(3);
+                }
+            }
+            if let Some(path) = trace_path {
+                let data = rvhpc::obs::drain_all();
+                eprintln!(
+                    "serve: writing {} trace events to {} ({} dropped)",
+                    data.events.len(),
+                    path.display(),
+                    data.dropped
+                );
+                if let Err(e) = rvhpc::obs::chrome::write_chrome_trace(&path, &data) {
                     eprintln!("serve: cannot write {}: {e}", path.display());
                     std::process::exit(3);
                 }

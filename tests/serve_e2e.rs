@@ -163,6 +163,7 @@ fn loadgen_1k_mixed_workload_drops_nothing() {
         rate: 0.0,
         mix: Mix::Mixed,
         deadline_ms: Some(30_000),
+        sample_ms: 0,
     })
     .expect("loadgen run");
 
@@ -209,6 +210,7 @@ fn admission_control_rejects_with_structured_error() {
         rate: 0.0,
         mix: Mix::Preset,
         deadline_ms: Some(30_000),
+        sample_ms: 0,
     })
     .expect("loadgen run");
 
