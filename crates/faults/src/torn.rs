@@ -1,0 +1,114 @@
+//! [`TornWriter`]: an `io::Write` adaptor that tears writes apart.
+//!
+//! Wraps any writer and deterministically degrades it: every other call
+//! fails with [`io::ErrorKind::Interrupted`] (EINTR), and the calls that
+//! do succeed accept at most `chunk` bytes. A reply path that assumes
+//! one `write()` moves a whole frame loses bytes under this wrapper; a
+//! correct loop (retry on `Interrupted`, advance by the returned count)
+//! delivers every byte unchanged — which is exactly what the torn-write
+//! chaos site asserts.
+
+use std::io::{self, Write};
+
+/// Deterministically torn `io::Write` wrapper.
+#[derive(Debug)]
+pub struct TornWriter<W> {
+    inner: W,
+    /// Maximum bytes accepted per successful write (>= 1).
+    chunk: usize,
+    /// Calls observed, driving the EINTR alternation.
+    calls: u64,
+    /// Short writes performed.
+    short_writes: u64,
+    /// `Interrupted` errors returned.
+    interrupts: u64,
+}
+
+impl<W: Write> TornWriter<W> {
+    /// Wrap `inner`, allowing at most `chunk` bytes per write (clamped
+    /// to at least 1 so progress is always possible).
+    pub fn new(inner: W, chunk: usize) -> Self {
+        Self {
+            inner,
+            chunk: chunk.max(1),
+            calls: 0,
+            short_writes: 0,
+            interrupts: 0,
+        }
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// `(short_writes, interrupts)` performed so far.
+    pub fn tally(&self) -> (u64, u64) {
+        (self.short_writes, self.interrupts)
+    }
+}
+
+impl<W: Write> Write for TornWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.calls += 1;
+        if self.calls % 2 == 1 {
+            self.interrupts += 1;
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "injected EINTR"));
+        }
+        let take = buf.len().min(self.chunk);
+        if take < buf.len() {
+            self.short_writes += 1;
+        }
+        self.inner.write(&buf[..take])
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shape of a correct frame-write loop: retry `Interrupted`,
+    /// advance by the returned count.
+    fn write_all_resilient<W: Write>(w: &mut W, mut buf: &[u8]) -> io::Result<()> {
+        while !buf.is_empty() {
+            match w.write(buf) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => buf = &buf[n..],
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        w.flush()
+    }
+
+    #[test]
+    fn resilient_loop_delivers_every_byte() {
+        let payload = b"{\"id\":9,\"ok\":true,\"pred\":[1.5,2.5]}\n";
+        let mut torn = TornWriter::new(Vec::new(), 3);
+        write_all_resilient(&mut torn, payload).expect("loop survives tearing");
+        let (shorts, eintrs) = torn.tally();
+        assert!(shorts > 0, "a 3-byte chunk limit must force short writes");
+        assert!(eintrs > 0, "alternation must inject EINTR");
+        assert_eq!(torn.into_inner(), payload.to_vec());
+    }
+
+    #[test]
+    fn naive_single_write_loses_bytes() {
+        let mut torn = TornWriter::new(Vec::new(), 3);
+        // First call: EINTR. Second: truncated to 3 bytes.
+        assert!(torn.write(b"0123456789").is_err());
+        assert_eq!(torn.write(b"0123456789").unwrap(), 3);
+        assert_eq!(torn.into_inner(), b"012".to_vec());
+    }
+
+    #[test]
+    fn chunk_is_clamped_to_one() {
+        let mut torn = TornWriter::new(Vec::new(), 0);
+        write_all_resilient(&mut torn, b"ab").unwrap();
+        assert_eq!(torn.into_inner(), b"ab".to_vec());
+    }
+}

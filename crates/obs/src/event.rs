@@ -40,6 +40,12 @@ pub enum EventKind {
     /// Serializing and writing a reply back to the client; `arg` is the
     /// trace id.
     ReplyWrite = 11,
+    /// A fault-injection site fired (chaos testing); the name is the
+    /// fault site key and `arg` is the site's 1-based occurrence index.
+    FaultInject = 12,
+    /// A recovery action taken in response to a fault (worker respawn,
+    /// stalled-connection shed, load-shed); `arg` is action-specific.
+    FaultRecover = 13,
 }
 
 impl EventKind {
@@ -58,6 +64,8 @@ impl EventKind {
             EventKind::CacheProbe => "cache-probe",
             EventKind::EngineExec => "engine-exec",
             EventKind::ReplyWrite => "reply-write",
+            EventKind::FaultInject => "fault-inject",
+            EventKind::FaultRecover => "fault-recover",
         }
     }
 
@@ -75,6 +83,8 @@ impl EventKind {
             9 => Some(EventKind::CacheProbe),
             10 => Some(EventKind::EngineExec),
             11 => Some(EventKind::ReplyWrite),
+            12 => Some(EventKind::FaultInject),
+            13 => Some(EventKind::FaultRecover),
             _ => None,
         }
     }
@@ -116,6 +126,8 @@ mod tests {
             EventKind::CacheProbe,
             EventKind::EngineExec,
             EventKind::ReplyWrite,
+            EventKind::FaultInject,
+            EventKind::FaultRecover,
         ] {
             assert_eq!(EventKind::from_u8(kind as u8), Some(kind));
         }
@@ -137,6 +149,8 @@ mod tests {
             EventKind::CacheProbe.label(),
             EventKind::EngineExec.label(),
             EventKind::ReplyWrite.label(),
+            EventKind::FaultInject.label(),
+            EventKind::FaultRecover.label(),
         ];
         let unique: std::collections::HashSet<_> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len());

@@ -179,7 +179,39 @@ impl Pool {
         self.run_with_arg(Some(trace_id), f)
     }
 
+    /// Like [`Pool::run`], but a panic in any team member is *returned*
+    /// instead of re-thrown, leaving the caller free to respawn, retry or
+    /// degrade. The serving stack's self-healing shard workers are built on
+    /// this: a poisoned batch becomes an `Err` carrying the panic payload,
+    /// never an unwinding worker thread.
+    ///
+    /// The same SPMD caveat as [`Pool::run`] applies: a body that panics
+    /// between paired collectives strands its surviving members, so
+    /// injected or anticipated panics must happen outside barrier episodes.
+    pub fn run_catching<R, F>(&self, f: F) -> Result<Vec<R>, Box<dyn Any + Send>>
+    where
+        R: Send,
+        F: Fn(&Team) -> R + Sync,
+    {
+        self.run_with_arg_catching(None, f)
+    }
+
     fn run_with_arg<R, F>(&self, trace_arg: Option<u64>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Team) -> R + Sync,
+    {
+        match self.run_with_arg_catching(trace_arg, f) {
+            Ok(results) => results,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    fn run_with_arg_catching<R, F>(
+        &self,
+        trace_arg: Option<u64>,
+        f: F,
+    ) -> Result<Vec<R>, Box<dyn Any + Send>>
     where
         R: Send,
         F: Fn(&Team) -> R + Sync,
@@ -210,21 +242,21 @@ impl Pool {
                 *results[tid].lock() = Some(r);
                 recorder.record_span(span, EventKind::Region, "parallel", tid as u32, region);
             };
-            self.run_erased(&job);
+            self.run_erased(&job)?;
         }
-        results
+        Ok(results
             .into_iter()
             .map(|m| m.into_inner().expect("team member produced no result"))
-            .collect()
+            .collect())
     }
 
     /// Dispatch a type-erased job to the workers, run the tid-0 share on the
-    /// calling thread, and wait for full completion.
-    fn run_erased(&self, job: &(dyn Fn(usize) + Sync + '_)) {
+    /// calling thread, and wait for full completion. Returns one captured
+    /// panic payload (dropping any others) if any team member panicked.
+    fn run_erased(&self, job: &(dyn Fn(usize) + Sync + '_)) -> Result<(), Box<dyn Any + Send>> {
         if self.nthreads == 1 {
             // Fast path: no workers, still honour panic semantics.
-            job(0);
-            return;
+            return catch_unwind(AssertUnwindSafe(|| job(0)));
         }
         // Erase the borrow lifetime. Sound because we block below until all
         // workers have finished with the pointer.
@@ -255,9 +287,9 @@ impl Pool {
         }
         if let Some(p) = panics.pop() {
             panics.clear();
-            drop(panics);
-            std::panic::resume_unwind(p);
+            return Err(p);
         }
+        Ok(())
     }
 }
 

@@ -1,0 +1,108 @@
+//! Panic isolation: a panicking job must not poison the pool.
+//!
+//! The serving stack's self-healing shard workers lean on exactly the
+//! guarantees exercised here — [`Pool::run_catching`] converts a team
+//! member's panic into an `Err`, and the pool then keeps forking correct,
+//! deterministic regions as if nothing had happened.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rvhpc_parallel::Pool;
+
+/// A deterministic workload: static loop + reduction, checked exactly.
+fn checked_region(pool: &Pool, n: usize) {
+    let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    let sums = pool.run(|team| {
+        let mut local = 0u64;
+        team.for_static(0, n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            local += i as u64;
+        });
+        team.reduce_sum_u64(local)
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    let expect = (n as u64 - 1) * n as u64 / 2;
+    assert!(
+        sums.iter().all(|&s| s == expect),
+        "every member sees the team total"
+    );
+}
+
+#[test]
+fn run_catching_returns_the_payload() {
+    let pool = Pool::new(3);
+    let err = pool
+        .run_catching(|team| {
+            if team.tid() == 1 {
+                panic!("chaos-{}", team.tid());
+            }
+            team.tid()
+        })
+        .expect_err("a panicking member must surface as Err");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("payload is a panic message");
+    assert_eq!(msg, "chaos-1");
+}
+
+#[test]
+fn pool_survives_a_panicking_job() {
+    let pool = Pool::new(4);
+    assert!(pool
+        .run_catching(|team| {
+            if team.tid() == 3 {
+                panic!("deliberate");
+            }
+        })
+        .is_err());
+    // The pool must still fork full, correct teams afterwards.
+    checked_region(&pool, 1003);
+    let r = pool.run(|team| team.tid() * 2);
+    assert_eq!(r, vec![0, 2, 4, 6]);
+}
+
+#[test]
+fn pool_survives_repeated_panic_recover_cycles() {
+    let pool = Pool::new(3);
+    for round in 0..20 {
+        let res = pool.run_catching(move |team| {
+            if team.tid() == round % 3 {
+                panic!("round {round}");
+            }
+            team.tid()
+        });
+        assert!(res.is_err(), "round {round} must report its panic");
+        checked_region(&pool, 257);
+    }
+}
+
+#[test]
+fn caller_thread_panic_is_caught_too() {
+    let pool = Pool::new(2);
+    // tid 0 is the calling thread; its panic must not unwind through
+    // run_catching either.
+    assert!(pool
+        .run_catching(|team| {
+            if team.tid() == 0 {
+                panic!("caller share");
+            }
+        })
+        .is_err());
+    checked_region(&pool, 64);
+}
+
+#[test]
+fn single_thread_pool_catches_inline_panics() {
+    let pool = Pool::new(1);
+    assert!(pool.run_catching(|_| panic!("inline")).is_err());
+    assert_eq!(pool.run(|t| t.nthreads()), vec![1]);
+}
+
+#[test]
+fn successful_run_catching_returns_tid_indexed_results() {
+    let pool = Pool::new(5);
+    let r = pool.run_catching(|team| team.tid() * 10).expect("no panic");
+    assert_eq!(r, vec![0, 10, 20, 30, 40]);
+}

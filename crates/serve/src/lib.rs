@@ -21,16 +21,28 @@
 //! * [`loadgen`] — the measuring client: replays deterministic request
 //!   mixes at a target rate and reports throughput and p50/p95/p99
 //!   latency via [`rvhpc_obs::LatencyHistogram`].
+//! * [`client`] — the self-healing client: [`client::RetryClient`]
+//!   reconnects through drops, retries transient server errors with
+//!   capped-exponential seeded-jitter backoff, and honours load-shed
+//!   `retry_after_ms` hints; used by the load generator's `--retry`
+//!   mode and the chaos e2e suite.
+//!
+//! Fault injection (`rvhpc_faults`) threads through [`batch`] (worker
+//! panics, shard stalls) and [`server`] (torn writes, connection drops,
+//! corrupted replies, queue-saturation bursts); recovery counters are
+//! exported in a gated `faults` metrics section.
 //!
 //! The service is dependency-free by construction (std networking, the
 //! workspace's own JSON model) — see DESIGN.md §9.
 
 pub mod batch;
+pub mod client;
 pub mod loadgen;
 pub mod proto;
 pub mod server;
 
 pub use batch::{AdmissionError, Batcher, Job, JobResult};
+pub use client::{ClientConfig, ClientError, ClientStats, RetryClient};
 pub use loadgen::{LoadReport, LoadgenConfig, Mix};
 pub use proto::{parse_request, ErrorKind, PredictRequest, ProtoError, Request};
 pub use server::{

@@ -69,15 +69,28 @@ pub struct ProtoError {
     pub kind: ErrorKind,
     /// Human-readable detail.
     pub message: String,
+    /// Degradation hint: how long the client should back off before
+    /// retrying (load-shed replies). Rendered only when present, so
+    /// replies without a hint are byte-identical to the pre-hint wire
+    /// format.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtoError {
-    fn new(id: Option<u64>, kind: ErrorKind, message: impl Into<String>) -> Self {
+    /// A structured failure with no retry hint.
+    pub fn new(id: Option<u64>, kind: ErrorKind, message: impl Into<String>) -> Self {
         Self {
             id,
             kind,
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attach a retry-after hint (load-shed replies).
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -486,18 +499,48 @@ pub fn render_ok_traced(id: Option<u64>, result: JsonValue, trace: JsonValue) ->
 
 /// Render a structured error reply (one line, no trailing newline).
 pub fn render_error(e: &ProtoError) -> String {
+    let mut error = vec![
+        ("kind".to_string(), JsonValue::from(e.kind.label())),
+        ("message".to_string(), JsonValue::from(e.message.as_str())),
+    ];
+    if let Some(ms) = e.retry_after_ms {
+        error.push(("retry_after_ms".to_string(), JsonValue::from(ms)));
+    }
     let mut fields = vec![
         ("ok".to_string(), JsonValue::Bool(false)),
-        (
-            "error".to_string(),
-            JsonValue::object([
-                ("kind".to_string(), JsonValue::from(e.kind.label())),
-                ("message".to_string(), JsonValue::from(e.message.as_str())),
-            ]),
-        ),
+        ("error".to_string(), JsonValue::object(error)),
     ];
     fields.extend(id_field(e.id));
     JsonValue::object(fields).to_json()
+}
+
+/// Write one reply frame — `line` plus the terminating newline — and
+/// flush, surviving partial writes and `EINTR`.
+///
+/// A plain `write()` on a socket may accept only a prefix of the buffer
+/// (small send windows, signal interruption); assuming full success
+/// silently truncates frames mid-reply. This loop advances by the count
+/// the writer actually took and retries `Interrupted`, so a frame is
+/// either delivered whole or fails with a real error.
+pub fn write_frame<W: std::io::Write + ?Sized>(w: &mut W, line: &str) -> std::io::Result<()> {
+    write_all_retrying(w, line.as_bytes())?;
+    write_all_retrying(w, b"\n")?;
+    w.flush()
+}
+
+fn write_all_retrying<W: std::io::Write + ?Sized>(
+    w: &mut W,
+    mut buf: &[u8],
+) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        match w.write(buf) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// The `result` object of a predict reply.
@@ -674,6 +717,35 @@ mod tests {
                 .and_then(JsonValue::as_f64),
             Some(42.0)
         );
+    }
+
+    #[test]
+    fn retry_hint_renders_only_when_present() {
+        let bare = render_error(&ProtoError::new(Some(2), ErrorKind::Overloaded, "shed"));
+        assert!(!bare.contains("retry_after_ms"), "{bare}");
+        let hinted = render_error(
+            &ProtoError::new(Some(2), ErrorKind::Overloaded, "shed").with_retry_after(150),
+        );
+        let doc = json::parse(&hinted).expect("valid");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(JsonValue::as_f64),
+            Some(150.0)
+        );
+    }
+
+    #[test]
+    fn write_frame_survives_torn_writes() {
+        let line = render_ok(Some(11), JsonValue::from("pong"));
+        let mut torn = rvhpc_faults::TornWriter::new(Vec::new(), 2);
+        write_frame(&mut torn, &line).expect("frame delivered despite tearing");
+        let (shorts, eintrs) = torn.tally();
+        assert!(
+            shorts > 0 && eintrs > 0,
+            "the wrapper actually degraded the writer"
+        );
+        assert_eq!(torn.into_inner(), format!("{line}\n").into_bytes());
     }
 
     #[test]

@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rvhpc_core::engine::Engine;
+use rvhpc_faults::{note_recovery, FaultPlan, FaultSite, Injector, TornWriter};
 use rvhpc_obs::{
     self as obs, metrics, EventKind, JsonValue, LatencyHistogram, Sample, Timeseries, TraceCtx,
 };
@@ -132,6 +133,15 @@ pub struct ServerConfig {
     /// Timeseries sampling interval. 0 samples on demand at each
     /// `metrics` request (deterministic); >0 runs a background sampler.
     pub sample_interval_ms: u64,
+    /// Chaos fault plan (`--faults` / `RVHPC_FAULTS`). `None` — the
+    /// default — leaves the serving path untouched: no injector exists
+    /// and no fault code runs.
+    pub faults: Option<FaultPlan>,
+    /// How long a connection may sit on a *partial* request line before
+    /// it is shed as stalled (also the per-connection write timeout).
+    pub stall_timeout_ms: u64,
+    /// Back-off hint carried in load-shed (`overloaded`) replies.
+    pub retry_after_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -149,6 +159,9 @@ impl Default for ServerConfig {
             max_conns: 256,
             slow_us: None,
             sample_interval_ms: 0,
+            faults: None,
+            stall_timeout_ms: 30_000,
+            retry_after_ms: 100,
         }
     }
 }
@@ -173,6 +186,12 @@ struct Counters {
     conn_hit_rate_sum: Mutex<f64>,
     /// Service time (admission → result) of completed predicts.
     service: Mutex<LatencyHistogram>,
+    /// Load-shed replies (injected saturation + genuine queue-full).
+    /// Exported in the gated `faults` metrics section, not `server`,
+    /// so the healthy-path document shape is unchanged.
+    shed_total: AtomicU64,
+    /// Connections shed for stalling mid-line past the stall timeout.
+    stalled_conns_shed: AtomicU64,
 }
 
 fn rate(hits: u64, misses: u64) -> f64 {
@@ -314,11 +333,19 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let batcher = Arc::new(Batcher::new(
+        // An inactive plan (empty or seed-only) builds no injector at
+        // all: the fault branches in the serving path never run.
+        let injector = config
+            .faults
+            .as_ref()
+            .filter(|p| p.is_active())
+            .map(|p| Arc::new(Injector::new(p.clone())));
+        let batcher = Arc::new(Batcher::with_injector(
             engine,
             config.shards,
             config.queue_cap,
             config.pool_threads,
+            injector,
         ));
         let timeseries = Arc::new(Timeseries::new(
             obs::timeseries::DEFAULT_CAPACITY,
@@ -400,6 +427,7 @@ impl Server {
                     let conn_ord = self.counters.conns_accepted.fetch_add(1, Ordering::Relaxed);
                     self.active_conns.fetch_add(1, Ordering::Relaxed);
                     let ctx = ConnCtx {
+                        injector: self.batcher.injector().cloned(),
                         batcher: Arc::clone(&self.batcher),
                         counters: Arc::clone(&self.counters),
                         active: Arc::clone(&self.active_conns),
@@ -408,6 +436,8 @@ impl Server {
                         slow_us: self.config.slow_us,
                         conn_ord: conn_ord as u32,
                         default_deadline: Duration::from_millis(self.config.default_deadline_ms),
+                        stall_timeout: Duration::from_millis(self.config.stall_timeout_ms.max(1)),
+                        retry_after_ms: self.config.retry_after_ms,
                     };
                     handles.push(
                         std::thread::Builder::new()
@@ -459,20 +489,55 @@ fn build_metrics_doc(
         map.insert("server".to_string(), counters.to_json(active));
         map.insert("engine".to_string(), batcher.engine().metrics().to_json());
         map.insert("timeseries".to_string(), timeseries.to_json());
+        if let Some(faults) = faults_section(counters, batcher) {
+            map.insert("faults".to_string(), faults);
+        }
     }
     doc
 }
 
+/// The gated `faults` metrics section: plan + injection counters (when
+/// an injector is installed) and recovery counters. Present only when an
+/// injector exists or some recovery actually happened, so the default
+/// healthy-path document is byte-identical to a build without this
+/// subsystem.
+fn faults_section(counters: &Counters, batcher: &Batcher) -> Option<JsonValue> {
+    let worker_restarts = batcher.worker_restarts();
+    let shed = counters.shed_total.load(Ordering::Relaxed);
+    let stalled = counters.stalled_conns_shed.load(Ordering::Relaxed);
+    let injector = batcher.injector();
+    if injector.is_none() && worker_restarts + shed + stalled == 0 {
+        return None;
+    }
+    let recovery = JsonValue::object([
+        (
+            "worker_restarts".to_string(),
+            JsonValue::from(worker_restarts),
+        ),
+        ("shed_total".to_string(), JsonValue::from(shed)),
+        ("stalled_conns_shed".to_string(), JsonValue::from(stalled)),
+    ]);
+    let mut fields = Vec::new();
+    if let Some(inj) = injector {
+        if let JsonValue::Object(map) = inj.to_json() {
+            fields.extend(map);
+        }
+    }
+    fields.push(("recovery".to_string(), recovery));
+    Some(JsonValue::object(fields))
+}
+
 fn reject_connection(mut stream: TcpStream) {
-    let reply = proto::render_error(&ProtoError {
-        id: None,
-        kind: ErrorKind::Overloaded,
-        message: "connection limit reached".to_string(),
-    });
-    let _ = writeln!(stream, "{reply}");
+    let reply = proto::render_error(&ProtoError::new(
+        None,
+        ErrorKind::Overloaded,
+        "connection limit reached",
+    ));
+    let _ = proto::write_frame(&mut stream, &reply);
 }
 
 struct ConnCtx {
+    injector: Option<Arc<Injector>>,
     batcher: Arc<Batcher>,
     counters: Arc<Counters>,
     active: Arc<AtomicUsize>,
@@ -481,6 +546,8 @@ struct ConnCtx {
     slow_us: Option<u64>,
     conn_ord: u32,
     default_deadline: Duration,
+    stall_timeout: Duration,
+    retry_after_ms: u64,
 }
 
 impl ConnCtx {
@@ -489,12 +556,17 @@ impl ConnCtx {
         let mut conn_misses = 0u64;
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(READ_POLL));
+        let _ = stream.set_write_timeout(Some(self.stall_timeout));
         let mut writer = match stream.try_clone() {
             Ok(w) => w,
             Err(_) => return self.finish(conn_hits, conn_misses),
         };
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
+        // When a *partial* line sits in the buffer, the clock starts: a
+        // client that opens a frame and stalls holds a connection slot
+        // hostage, so past the stall timeout it is shed.
+        let mut partial_since: Option<Instant> = None;
         loop {
             if drain_requested() {
                 break;
@@ -502,6 +574,7 @@ impl ConnCtx {
             match reader.read_line(&mut line) {
                 Ok(0) => break,
                 Ok(_) => {
+                    partial_since = None;
                     let keep_going = self.handle_line(
                         line.trim_end_matches(['\r', '\n']),
                         &mut writer,
@@ -518,20 +591,29 @@ impl ConnCtx {
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
                     // Partial line stays buffered in `line`; keep
-                    // polling, but bound the buffer.
+                    // polling, but bound the buffer and the wait.
+                    if line.is_empty() {
+                        partial_since = None;
+                        continue;
+                    }
                     if line.len() > MAX_LINE_BYTES {
                         self.counters
                             .protocol_errors
                             .fetch_add(1, Ordering::Relaxed);
-                        let _ = writeln!(
-                            writer,
-                            "{}",
-                            proto::render_error(&ProtoError {
-                                id: None,
-                                kind: ErrorKind::Parse,
-                                message: "request line exceeds 64 KiB".to_string(),
-                            })
-                        );
+                        let reply = proto::render_error(&ProtoError::new(
+                            None,
+                            ErrorKind::Parse,
+                            "request line exceeds 64 KiB",
+                        ));
+                        let _ = proto::write_frame(&mut writer, &reply);
+                        break;
+                    }
+                    let since = *partial_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= self.stall_timeout {
+                        self.counters
+                            .stalled_conns_shed
+                            .fetch_add(1, Ordering::Relaxed);
+                        note_recovery("stalled-conn-shed", u64::from(self.conn_ord));
                         break;
                     }
                 }
@@ -611,17 +693,60 @@ impl ConnCtx {
                 self.counters.ok.fetch_add(1, Ordering::Relaxed);
                 let reply = proto::render_ok(None, JsonValue::from("draining"));
                 trace.push("reply");
-                let _ = writeln!(writer, "{reply}");
+                let _ = proto::write_frame(writer, &reply);
                 trace.pop(EventKind::ReplyWrite);
                 request_drain();
                 return false;
             }
-            Ok(Request::Predict(req)) => self.predict(&req, &mut trace, conn_hits, conn_misses),
+            Ok(Request::Predict(req)) => {
+                let reply = self.predict(&req, &mut trace, conn_hits, conn_misses);
+                // Reply-path faults apply to predict replies only, so
+                // admin ops (metrics fetches in particular) always come
+                // back clean even mid-chaos.
+                trace.push("reply");
+                let ok = self.write_predict_reply(writer, &reply);
+                trace.pop(EventKind::ReplyWrite);
+                return ok;
+            }
         };
         trace.push("reply");
-        let ok = writeln!(writer, "{reply}").is_ok();
+        let ok = proto::write_frame(writer, &reply).is_ok();
         trace.pop(EventKind::ReplyWrite);
         ok
+    }
+
+    /// Write a predict reply through the chaos choke point: the corrupt,
+    /// drop and torn sites each get one roll per reply, then the frame
+    /// goes out via the partial-write-safe [`proto::write_frame`].
+    fn write_predict_reply(&self, writer: &mut TcpStream, reply: &str) -> bool {
+        let Some(inj) = &self.injector else {
+            return proto::write_frame(writer, reply).is_ok();
+        };
+        // Corrupt: flip the opening brace so the frame stays a single
+        // newline-terminated line but no longer parses as JSON.
+        let corrupted;
+        let mut reply = reply;
+        if inj.roll(FaultSite::CorruptReply).is_some() && !reply.is_empty() {
+            corrupted = format!(";{}", &reply[1..]);
+            reply = &corrupted;
+        }
+        // Drop: deliver half the frame, then hard-close the socket —
+        // the client sees a mid-frame disconnect.
+        if inj.roll(FaultSite::ConnDrop).is_some() {
+            let full = format!("{reply}\n");
+            let half = &full.as_bytes()[..full.len() / 2];
+            let _ = writer.write_all(half);
+            let _ = writer.flush();
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+            return false;
+        }
+        // Torn: route the frame through short writes + injected EINTR;
+        // write_frame's retry loop must still deliver it intact.
+        if let Some(chunk) = inj.roll(FaultSite::TornWrite) {
+            let mut torn = TornWriter::new(&mut *writer, chunk as usize);
+            return proto::write_frame(&mut torn, reply).is_ok();
+        }
+        proto::write_frame(writer, reply).is_ok()
     }
 
     /// Stream `samples` fresh gauge snapshots as NDJSON, one every
@@ -646,7 +771,7 @@ impl ConnCtx {
                 .collect(),
             };
             let line = proto::render_ok(None, sample.to_json());
-            if writeln!(writer, "{line}").is_err() {
+            if proto::write_frame(writer, &line).is_err() {
                 return false;
             }
         }
@@ -660,6 +785,23 @@ impl ConnCtx {
         conn_hits: &mut u64,
         conn_misses: &mut u64,
     ) -> String {
+        // Chaos: a queue-saturation burst sheds the request at admission
+        // exactly as a genuinely full shard queue would — an `overloaded`
+        // reply carrying the structured back-off hint.
+        if let Some(inj) = &self.injector {
+            if inj.roll(FaultSite::QueueSaturate).is_some() {
+                self.counters.shed_total.fetch_add(1, Ordering::Relaxed);
+                note_recovery("load-shed", trace.id());
+                return proto::render_error(
+                    &ProtoError::new(
+                        req.id,
+                        ErrorKind::Overloaded,
+                        "shard queues saturated, retry later",
+                    )
+                    .with_retry_after(self.retry_after_ms),
+                );
+            }
+        }
         let (plan, query) = req.to_plan();
         let (tx, rx) = sync_channel(1);
         let enqueued_us = obs::now_us();
@@ -676,18 +818,23 @@ impl ConnCtx {
                 self.counters
                     .rejected_admission
                     .fetch_add(1, Ordering::Relaxed);
-                return proto::render_error(&ProtoError {
-                    id: req.id,
-                    kind: ErrorKind::Overloaded,
-                    message: "shard queue full, retry later".to_string(),
-                });
+                self.counters.shed_total.fetch_add(1, Ordering::Relaxed);
+                note_recovery("load-shed", trace.id());
+                return proto::render_error(
+                    &ProtoError::new(
+                        req.id,
+                        ErrorKind::Overloaded,
+                        "shard queue full, retry later",
+                    )
+                    .with_retry_after(self.retry_after_ms),
+                );
             }
             Err(AdmissionError::Draining) => {
-                return proto::render_error(&ProtoError {
-                    id: req.id,
-                    kind: ErrorKind::Draining,
-                    message: "server is draining".to_string(),
-                });
+                return proto::render_error(&ProtoError::new(
+                    req.id,
+                    ErrorKind::Draining,
+                    "server is draining",
+                ));
             }
             Ok(()) => {}
         }
@@ -744,21 +891,21 @@ impl ConnCtx {
                 self.counters
                     .deadline_expired
                     .fetch_add(1, Ordering::Relaxed);
-                proto::render_error(&ProtoError {
-                    id: req.id,
-                    kind: ErrorKind::Deadline,
-                    message: format!("deadline of {} ms expired", deadline.as_millis()),
-                })
+                proto::render_error(&ProtoError::new(
+                    req.id,
+                    ErrorKind::Deadline,
+                    format!("deadline of {} ms expired", deadline.as_millis()),
+                ))
             }
             Err(RecvTimeoutError::Disconnected) => {
                 self.counters
                     .internal_errors
                     .fetch_add(1, Ordering::Relaxed);
-                proto::render_error(&ProtoError {
-                    id: req.id,
-                    kind: ErrorKind::Internal,
-                    message: "worker dropped the job".to_string(),
-                })
+                proto::render_error(&ProtoError::new(
+                    req.id,
+                    ErrorKind::Internal,
+                    "worker dropped the job",
+                ))
             }
         }
     }

@@ -79,6 +79,62 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Frames mutated the way the fault injector mangles the wire —
+    /// truncation, splicing two frames together at arbitrary byte
+    /// offsets, and corrupting bytes (including into invalid UTF-8
+    /// sequences, recovered lossily as the server's reader does) — never
+    /// panic the parser and always yield a structured reply.
+    #[test]
+    fn fault_mutated_frames_never_panic(
+        k in 0usize..512,
+        j in 0usize..512,
+        cut in 0usize..256,
+        splice in 0usize..256,
+        flip_at in prop::collection::vec(0usize..256, 0usize..8),
+        flip_to in prop::collection::vec(0u16..256, 0usize..8),
+    ) {
+        let a = rvhpc_serve::loadgen::request_line(k, rvhpc_serve::Mix::Mixed, Some(500));
+        let b = rvhpc_serve::loadgen::request_line(j, rvhpc_serve::Mix::Mixed, None);
+        // Torn write: only a prefix of frame `a` made it out...
+        let mut bytes = a.as_bytes()[..cut.min(a.len())].to_vec();
+        // ...spliced against the tail of the next frame on the stream.
+        bytes.extend_from_slice(&b.as_bytes()[splice.min(b.len())..]);
+        // Corrupted reply bytes, possibly breaking UTF-8 mid-sequence.
+        for (&pos, &val) in flip_at.iter().zip(&flip_to) {
+            if !bytes.is_empty() {
+                let p = pos % bytes.len();
+                bytes[p] = val as u8;
+            }
+        }
+        let line = String::from_utf8_lossy(&bytes);
+        assert_structured_error(&line);
+    }
+}
+
+/// The injector's corrupt-reply mutation replaces the leading `{` with
+/// `;`: still one newline-framed line, but no longer JSON. A peer
+/// feeding such a frame back must get a structured `parse` rejection.
+#[test]
+fn injector_style_corruption_is_rejected_structurally() {
+    for k in 0..64 {
+        let line = rvhpc_serve::loadgen::request_line(k, rvhpc_serve::Mix::Mixed, None);
+        let corrupted = format!(";{}", &line[1..]);
+        let err = parse_request(&corrupted).expect_err("corrupted frame must not parse");
+        let reply = render_error(&err);
+        let doc = json::parse(&reply).expect("rejection is structured");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(JsonValue::as_str),
+            Some("parse")
+        );
+        assert_structured_error(&corrupted);
+    }
+}
+
 #[test]
 fn truncated_valid_requests_never_panic() {
     let full = r#"{"op":"predict","id":7,"bench":"cg","class":"C","threads":64,"machine":{"base":"sg2044","clock_ghz":3.2},"deadline_ms":500}"#;

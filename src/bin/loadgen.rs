@@ -20,7 +20,7 @@ use rvhpc::serve::{loadgen, LoadgenConfig, Mix};
 fn usage_text() -> &'static str {
     "usage: loadgen --addr HOST:PORT [--requests N] [--conns N] [--rate R]\n\
      \x20              [--mix preset|mixed] [--deadline-ms N] [--sample-ms N]\n\
-     \x20              [--out FILE]\n\
+     \x20              [--retry] [--retry-seed N] [--out FILE]\n\
      \x20 --addr:        server address (required)\n\
      \x20 --requests:    total requests to send (default 1000)\n\
      \x20 --conns:       concurrent connections (default 4)\n\
@@ -31,6 +31,10 @@ fn usage_text() -> &'static str {
      \x20 --sample-ms:   sample the server's cache hit rate every N ms during\n\
      \x20                the run (per-interval rates: warmup vs steady state;\n\
      \x20                default 0 = off)\n\
+     \x20 --retry:       route requests through the reconnecting retry client\n\
+     \x20                (transient failures and load-shed replies are retried\n\
+     \x20                with capped backoff instead of counting as drops)\n\
+     \x20 --retry-seed:  seed for the retry client's backoff jitter (default 0)\n\
      \x20 --out:         also write the metrics document to FILE\n\
      \x20 -h, --help:    print this help and exit\n\
      exit codes: 0 all ok, 1 errors/drops observed, 2 usage error,\n\
@@ -66,6 +70,8 @@ fn main() {
             "--rate" => cfg.rate = parse_num("--rate", args.next()),
             "--deadline-ms" => cfg.deadline_ms = Some(parse_num("--deadline-ms", args.next())),
             "--sample-ms" => cfg.sample_ms = parse_num("--sample-ms", args.next()),
+            "--retry" => cfg.retry = true,
+            "--retry-seed" => cfg.retry_seed = parse_num("--retry-seed", args.next()),
             "--mix" => {
                 cfg.mix = match args.next().as_deref() {
                     Some("preset") => Mix::Preset,
@@ -118,6 +124,12 @@ fn main() {
         report.p50_us,
         report.p99_us
     );
+    if cfg.retry {
+        eprintln!(
+            "loadgen: retry client: {} retries, {} reconnects",
+            report.retries, report.reconnects
+        );
+    }
     if !report.cache_hit_rate_samples.is_empty() {
         let s = &report.cache_hit_rate_samples;
         eprintln!(

@@ -10,6 +10,7 @@
 //! serve --slow-us 5000            # dump spans of predicts slower than 5 ms
 //! serve --sample-ms 1000          # background timeseries sampler interval
 //! serve --trace trace.json        # record spans; write Chrome trace on exit
+//! serve --faults 'seed=42,panic=5:40x3'  # deterministic fault injection
 //! ```
 //!
 //! Speaks the newline-delimited JSON protocol of `rvhpc-serve` (see
@@ -27,7 +28,7 @@ use rvhpc::serve::{install_signal_drain, Server, ServerConfig};
 fn usage_text() -> &'static str {
     "usage: serve [--addr HOST:PORT] [--shards N] [--queue N]\n\
      \x20            [--pool-threads N] [--deadline-ms N] [--metrics FILE]\n\
-     \x20            [--slow-us N] [--sample-ms N] [--trace FILE]\n\
+     \x20            [--slow-us N] [--sample-ms N] [--trace FILE] [--faults SPEC]\n\
      \x20 --addr:         bind address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
      \x20 --shards:       batching worker shards (default: up to 4)\n\
      \x20 --queue:        admission queue depth per shard (default 128)\n\
@@ -40,6 +41,10 @@ fn usage_text() -> &'static str {
      \x20 --sample-ms:    timeseries sampler interval (default 0 = sample on\n\
      \x20                 each metrics request)\n\
      \x20 --trace:        enable span recording; write a Chrome trace here on exit\n\
+     \x20 --faults:       deterministic fault-injection plan, e.g.\n\
+     \x20                 'seed=42,panic=5:40x3,torn=3:20,saturate=17:70x3'\n\
+     \x20                 (sites: panic stall torn drop corrupt saturate;\n\
+     \x20                 overrides the RVHPC_FAULTS environment variable)\n\
      \x20 -h, --help:     print this help and exit\n\
      stops on SIGTERM/ctrl-C or an admin {\"op\":\"quit\"} request\n\
      exit codes: 0 success, 2 usage error, 3 bind/write failure"
@@ -63,6 +68,7 @@ fn main() {
     };
     let mut metrics_path: Option<std::path::PathBuf> = None;
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut faults_spec: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -91,6 +97,12 @@ fn main() {
                         .into(),
                 );
             }
+            "--faults" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--faults needs a plan spec"));
+                faults_spec = Some(spec);
+            }
             "-h" | "--help" => {
                 println!("{}", usage_text());
                 return;
@@ -100,6 +112,17 @@ fn main() {
     }
     if config.shards == 0 || config.queue_cap == 0 {
         usage_error("--shards and --queue must be at least 1");
+    }
+    // --faults wins over the RVHPC_FAULTS environment variable.
+    let faults_spec = faults_spec.or_else(|| std::env::var(rvhpc::faults::FAULTS_ENV).ok());
+    if let Some(spec) = faults_spec.filter(|s| !s.trim().is_empty()) {
+        match rvhpc::faults::FaultPlan::parse(&spec) {
+            Ok(plan) => {
+                eprintln!("serve: fault injection active: {spec}");
+                config.faults = Some(plan);
+            }
+            Err(e) => usage_error(&format!("bad fault plan '{spec}': {e}")),
+        }
     }
 
     install_signal_drain();

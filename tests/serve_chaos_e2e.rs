@@ -1,0 +1,244 @@
+//! Chaos end-to-end tests: boot a real server with a deterministic
+//! fault-injection plan, drive it with the reconnecting [`RetryClient`],
+//! and assert the two properties the fault layer promises:
+//!
+//! * **Zero lost acks** — every request is eventually answered `ok`
+//!   despite injected worker panics, shard stalls, torn writes,
+//!   mid-frame connection drops, corrupted reply bytes and
+//!   queue-saturation shedding; recovery counters match the plan
+//!   exactly (each injected panic costs exactly one worker restart,
+//!   each saturation burst exactly one shed).
+//! * **Reproducibility** — two runs with the same seed against fresh
+//!   servers produce byte-identical `faults`, `server.requests` and
+//!   `server.cache` metrics sections.
+//!
+//! The drain flag is process-global, so tests that boot a server
+//! serialize on [`SERVER_LOCK`].
+
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rvhpc::faults::FaultPlan;
+use rvhpc::obs::JsonValue;
+use rvhpc::serve::{
+    loadgen, reset_drain, ClientConfig, ClientStats, RetryClient, Server, ServerConfig,
+};
+
+static SERVER_LOCK: Mutex<()> = Mutex::new(());
+
+/// The fixed chaos plan: every site armed, finite-max sites capped so
+/// the test can assert exact injected counts. Occurrence streams are
+/// per-site, so the schedules below are chosen to never overlap a drop
+/// and a corruption on the same reply (disjoint lattices mod 9).
+const CHAOS_PLAN: &str =
+    "seed=7,panic=2:5x2,stall=3:7x2/20,torn=1:3,drop=5:9x2,corrupt=4:9x2,saturate=6:11x2";
+
+const CHAOS_REQUESTS: usize = 60;
+
+fn boot(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<JsonValue>) {
+    reset_drain();
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn chaos_config(plan: Option<&str>) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 2,
+        queue_cap: 8,
+        pool_threads: 1,
+        faults: plan.map(|p| FaultPlan::parse(p).expect("chaos plan parses")),
+        ..ServerConfig::default()
+    }
+}
+
+/// Drive `requests` sequential predicts through a retry client, then
+/// quit and return (final metrics doc, client stats, ok count).
+fn run_chaos(plan: Option<&str>) -> (JsonValue, ClientStats, usize) {
+    let (addr, handle) = boot(chaos_config(plan));
+    let mut client = RetryClient::new(ClientConfig {
+        addr: addr.to_string(),
+        // Generous ceiling: a request must survive a panic burst, a
+        // drop and a corruption back to back without exhausting.
+        max_attempts: 10,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 10,
+        connect_timeout: Duration::from_secs(5),
+        jitter_seed: 7,
+        ..ClientConfig::default()
+    });
+    let mut ok = 0usize;
+    for k in 0..CHAOS_REQUESTS {
+        let line = loadgen::request_line(k, loadgen::Mix::Mixed, None);
+        match client.call(&line) {
+            Ok(doc) => {
+                assert_eq!(
+                    doc.get("ok"),
+                    Some(&JsonValue::Bool(true)),
+                    "request {k} must be acked ok"
+                );
+                ok += 1;
+            }
+            Err(e) => panic!("request {k} lost under chaos: {e}"),
+        }
+    }
+    let stats = client.stats();
+    // Quit on a clean connection; admin replies are never fault-mutated.
+    let reply = client.call("{\"op\":\"quit\"}").expect("quit is acked");
+    assert!(reply.to_json().contains("draining"));
+    drop(client);
+    let doc = handle.join().expect("server thread");
+    (doc, stats, ok)
+}
+
+fn injected(doc: &JsonValue, site: &str) -> u64 {
+    doc.get("faults")
+        .and_then(|f| f.get("injected"))
+        .and_then(|i| i.get(site))
+        .and_then(|s| s.get("injected"))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("faults.injected.{site} missing")) as u64
+}
+
+fn recovery(doc: &JsonValue, field: &str) -> u64 {
+    doc.get("faults")
+        .and_then(|f| f.get("recovery"))
+        .and_then(|r| r.get(field))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("faults.recovery.{field} missing")) as u64
+}
+
+fn section_json(doc: &JsonValue, path: &[&str]) -> String {
+    let mut cur = doc;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("section {} missing", path.join(".")));
+    }
+    cur.to_json()
+}
+
+/// The tentpole acceptance run: a full chaos plan loses nothing, the
+/// recovery counters match the plan exactly, and a second run with the
+/// same seed reproduces the interesting metrics sections byte for byte.
+#[test]
+fn seeded_chaos_run_loses_nothing_and_reproduces() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    let (doc1, stats1, ok1) = run_chaos(Some(CHAOS_PLAN));
+    assert_eq!(ok1, CHAOS_REQUESTS, "zero lost acks under chaos");
+
+    // Finite-max sites hit their caps exactly; 60 sequential requests
+    // give every occurrence stream room to pass each site's lattice.
+    for site in ["panic", "stall", "drop", "corrupt", "saturate"] {
+        assert_eq!(injected(&doc1, site), 2, "site '{site}' must hit its cap");
+    }
+    assert!(
+        injected(&doc1, "torn") > 0,
+        "uncapped torn-write site must keep firing"
+    );
+
+    // Recovery matched the plan exactly: one restart per injected
+    // panic, one shed per injected saturation.
+    assert_eq!(recovery(&doc1, "worker_restarts"), injected(&doc1, "panic"));
+    assert_eq!(recovery(&doc1, "shed_total"), injected(&doc1, "saturate"));
+
+    // The client saw the faults the server injected: both corrupted
+    // replies, and a reconnect for every dead stream (the initial
+    // connect, two drops, two corruptions).
+    assert_eq!(stats1.corrupt_replies, 2);
+    assert!(stats1.reconnects >= 5, "got {}", stats1.reconnects);
+    assert!(stats1.retries >= 6, "got {}", stats1.retries);
+    assert!(
+        stats1.overloaded_backoffs >= 2,
+        "load-shed replies must carry honoured retry hints"
+    );
+
+    // Same seed, fresh server: identical injected-fault counters and
+    // identical request/cache metrics, byte for byte.
+    let (doc2, stats2, ok2) = run_chaos(Some(CHAOS_PLAN));
+    assert_eq!(ok2, CHAOS_REQUESTS);
+    assert_eq!(stats1, stats2, "client-side fault history must reproduce");
+    for path in [
+        vec!["faults"],
+        vec!["server", "requests"],
+        vec!["server", "cache"],
+    ] {
+        assert_eq!(
+            section_json(&doc1, &path),
+            section_json(&doc2, &path),
+            "section {} must be byte-identical across same-seed runs",
+            path.join(".")
+        );
+    }
+}
+
+/// With faults off the metrics document carries no trace of the fault
+/// layer at all — the gated section stays absent, keeping healthy-path
+/// output byte-compatible with pre-fault consumers.
+#[test]
+fn faults_off_leaves_no_trace_in_metrics() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    let (doc, stats, ok) = run_chaos(None);
+    assert_eq!(ok, CHAOS_REQUESTS);
+    assert!(
+        doc.get("faults").is_none(),
+        "healthy runs must not grow a faults section"
+    );
+    assert_eq!(stats.retries, 0, "healthy runs never retry");
+    assert_eq!(stats.reconnects, 1, "healthy runs hold one connection");
+}
+
+/// An inactive plan (parsed but no rules) must behave exactly like no
+/// plan: the injector is not armed and the metrics stay clean.
+#[test]
+fn empty_plan_is_not_armed() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    let (addr, handle) = boot(chaos_config(Some("seed=9")));
+    let mut client = RetryClient::connect(addr.to_string());
+    let line = loadgen::request_line(0, loadgen::Mix::Preset, None);
+    client.call(&line).expect("predict is acked");
+    client.call("{\"op\":\"quit\"}").expect("quit is acked");
+    drop(client);
+    let doc = handle.join().expect("server thread");
+    assert!(doc.get("faults").is_none());
+}
+
+/// Load-shed replies carry a structured, machine-readable retry hint.
+#[test]
+fn load_shed_reply_carries_retry_after_hint() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    let (addr, handle) = boot(ServerConfig {
+        retry_after_ms: 25,
+        ..chaos_config(Some("seed=1,saturate=1:1x1"))
+    });
+    // A bare (non-retrying) connection sees the raw shed reply.
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let line = loadgen::request_line(0, loadgen::Mix::Preset, None);
+    writeln!(writer, "{line}").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let doc = rvhpc::obs::json::parse(reply.trim_end()).expect("shed reply parses");
+    let error = doc.get("error").expect("shed reply is an error");
+    assert_eq!(
+        error.get("kind").and_then(JsonValue::as_str),
+        Some("overloaded")
+    );
+    assert_eq!(
+        error.get("retry_after_ms").and_then(JsonValue::as_f64),
+        Some(25.0),
+        "shed replies must carry the configured retry hint"
+    );
+    writeln!(writer, "{{\"op\":\"quit\"}}").unwrap();
+    reply.clear();
+    reader.read_line(&mut reply).unwrap();
+    handle.join().expect("server thread");
+}

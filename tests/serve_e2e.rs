@@ -164,6 +164,7 @@ fn loadgen_1k_mixed_workload_drops_nothing() {
         mix: Mix::Mixed,
         deadline_ms: Some(30_000),
         sample_ms: 0,
+        ..LoadgenConfig::default()
     })
     .expect("loadgen run");
 
@@ -211,6 +212,7 @@ fn admission_control_rejects_with_structured_error() {
         mix: Mix::Preset,
         deadline_ms: Some(30_000),
         sample_ms: 0,
+        ..LoadgenConfig::default()
     })
     .expect("loadgen run");
 
