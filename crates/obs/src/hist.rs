@@ -10,6 +10,13 @@
 
 use crate::json::JsonValue;
 
+/// Version tag for the bucket layout below. Quantiles from histograms
+/// with different layouts are not comparable (bucket bounds differ), so
+/// every exported latency section carries this tag and `benchdiff`
+/// refuses to compare sections whose tags disagree. Bump it whenever
+/// `EXACT`, `SUBBUCKETS` or `OCTAVES` change.
+pub const BUCKET_LAYOUT: &str = "log64x32/1";
+
 /// Exact region: values `0..EXACT` each get their own bucket.
 const EXACT: u64 = 64;
 /// Sub-buckets per octave above the exact region.
@@ -150,6 +157,7 @@ impl LatencyHistogram {
     /// standard percentile ladder.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::object([
+            ("bucket_layout".to_string(), JsonValue::from(BUCKET_LAYOUT)),
             ("count".to_string(), JsonValue::from(self.count)),
             ("mean_us".to_string(), JsonValue::from(self.mean_us())),
             ("min_us".to_string(), JsonValue::from(self.min_us())),

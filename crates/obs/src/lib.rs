@@ -26,6 +26,7 @@
 //! # rvhpc_obs::set_enabled(false);
 //! ```
 
+pub mod benchdoc;
 pub mod chrome;
 pub mod diff;
 pub mod event;
@@ -37,8 +38,9 @@ pub mod ring;
 pub mod timeseries;
 pub mod trace;
 
+pub use benchdoc::{SystemInfo, WallStats, BENCH_SCHEMA};
 pub use chrome::{chrome_trace, write_chrome_trace};
-pub use diff::{diff_documents, DiffConfig, DiffReport};
+pub use diff::{diff_any, diff_bench_documents, diff_documents, doc_kind, DiffConfig, DiffReport};
 pub use event::{Event, EventKind};
 pub use hist::LatencyHistogram;
 pub use json::JsonValue;

@@ -23,6 +23,11 @@ use crate::recorder;
 /// Default bound on retained samples (~1 hour at 1 sample/s).
 pub const DEFAULT_CAPACITY: usize = 3600;
 
+/// Version tag for the sample-ring layout (sample shape + eviction
+/// semantics), stamped into every `timeseries` section so consumers can
+/// refuse cross-version comparisons instead of silently mixing layouts.
+pub const RING_LAYOUT: &str = "gauge-ring/1";
+
 /// One gauge snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
@@ -138,6 +143,7 @@ impl Timeseries {
     pub fn to_json(&self) -> JsonValue {
         let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         JsonValue::object([
+            ("layout".to_string(), JsonValue::from(RING_LAYOUT)),
             ("interval_us".to_string(), JsonValue::from(self.interval_us)),
             ("capacity".to_string(), JsonValue::from(self.capacity)),
             ("evicted".to_string(), JsonValue::from(inner.evicted)),

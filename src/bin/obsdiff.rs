@@ -1,62 +1,97 @@
-//! Compare two `rvhpc-metrics/1` documents for regressions.
+//! Compare two versioned rvhpc documents for regressions.
 //!
 //! ```text
-//! obsdiff baseline.json current.json               # default thresholds
+//! obsdiff baseline.json current.json               # auto-detect kind
+//! obsdiff bench results/BENCH_0.json new.json      # require bench docs
+//! obsdiff metrics results/baseline_metrics.json m.json
 //! obsdiff baseline.json current.json --ratio 1.5   # tighter quantile gate
 //! obsdiff baseline.json current.json --floor-us 50 # lower noise floor
 //! obsdiff baseline.json current.json --strict      # shape changes fail too
+//! obsdiff --trajectory results/                    # render BENCH_* history
 //! ```
 //!
-//! Prints a human-readable report (regressions first) and exits nonzero
-//! when the current document regresses: a latency quantile beyond
-//! `baseline * ratio` (and above the noise floor), a counter invariant
-//! violated (drops/errors, non-monotone quantile ladder), or — with
-//! `--strict` — a document shape change. CI runs this against the
-//! committed baseline under `results/` after the serve+loadgen smoke.
+//! Two document kinds are understood, dispatched on the `schema` tag:
+//! `rvhpc-metrics/1` (serve/loadgen metrics) and `rvhpc-bench/1`
+//! (benchmark-trajectory documents from `reproduce bench`). The first
+//! report line always names the detected kind and both file paths. An
+//! optional leading `bench`/`metrics` keyword asserts the kind —
+//! anything else is a mismatch, not a regression.
 //!
-//! Exit codes: `0` no regression, `1` regression found, `2` usage
-//! error, `3` unreadable or unparseable input.
+//! Exit codes: `0` no regression, `1` regression found, `2` documents
+//! unreadable, unparseable, structurally invalid, or not comparable
+//! (different/unknown schema kinds, latency sections with different
+//! layout versions), `3` usage error. CI relies on the 1-vs-2 split to
+//! tell "this build is slower" from "you diffed the wrong files".
 
-use rvhpc::obs::{diff_documents, DiffConfig};
+use rvhpc::bench::record;
+use rvhpc::obs::{benchdoc, diff_any, doc_kind, DiffConfig, JsonValue, BENCH_SCHEMA};
 
 fn usage_text() -> &'static str {
-    "usage: obsdiff BASELINE.json CURRENT.json [--ratio R] [--floor-us N] [--strict]\n\
-     \x20 BASELINE.json: reference rvhpc-metrics/1 document\n\
+    "usage: obsdiff [bench|metrics] BASELINE.json CURRENT.json\n\
+     \x20              [--ratio R] [--floor-us N] [--strict]\n\
+     \x20      obsdiff --trajectory DIR\n\
+     \x20 BASELINE.json: reference document (rvhpc-metrics/1 or rvhpc-bench/1)\n\
      \x20 CURRENT.json:  candidate document to gate\n\
+     \x20 bench|metrics: optional kind assertion; the default is to\n\
+     \x20                auto-detect from the schema tag (both documents\n\
+     \x20                must agree)\n\
      \x20 --ratio:       quantile regression ratio (default 2.0: fail when\n\
      \x20                current > baseline * ratio)\n\
      \x20 --floor-us:    ignore quantile growth below this absolute value\n\
      \x20                (default 200 us — scheduler noise on idle latencies)\n\
-     \x20 --strict:      keys present on one side only are regressions\n\
+     \x20 --strict:      keys/targets present on one side only are regressions\n\
+     \x20 --trajectory:  render the BENCH_<n>.json history under DIR as one\n\
+     \x20                markdown table (median wall time per target) and exit\n\
      \x20 -h, --help:    print this help and exit\n\
-     exit codes: 0 no regression, 1 regression, 2 usage error, 3 read/parse failure"
+     exit codes: 0 no regression, 1 regression, 2 malformed or\n\
+     incomparable documents (bad JSON, unknown/differing schema kinds,\n\
+     layout-version mismatch), 3 usage error"
 }
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("obsdiff: {msg}");
     eprintln!("{}", usage_text());
-    std::process::exit(2);
+    std::process::exit(3);
 }
 
-fn load(path: &str) -> rvhpc::obs::JsonValue {
+fn load(path: &str) -> JsonValue {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("obsdiff: cannot read {path}: {e}");
-            std::process::exit(3);
+            std::process::exit(2);
         }
     };
     match rvhpc::obs::json::parse(text.trim()) {
         Ok(doc) => doc,
         Err(e) => {
             eprintln!("obsdiff: {path} is not valid JSON: {e}");
-            std::process::exit(3);
+            std::process::exit(2);
         }
     }
 }
 
+fn trajectory(dir: &str) -> ! {
+    let entries = record::trajectory_paths(std::path::Path::new(dir));
+    if entries.is_empty() {
+        eprintln!("obsdiff: no BENCH_<n>.json documents under {dir}");
+        std::process::exit(2);
+    }
+    let docs: Vec<(usize, JsonValue)> = entries
+        .iter()
+        .map(|(n, path)| (*n, load(&path.display().to_string())))
+        .collect();
+    println!(
+        "obsdiff: trajectory — {} document(s) under {dir}",
+        docs.len()
+    );
+    print!("{}", record::render_trajectory(&docs));
+    std::process::exit(0);
+}
+
 fn main() {
     let mut cfg = DiffConfig::default();
+    let mut expect_kind: Option<&'static str> = None;
     let mut paths: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,6 +109,18 @@ fn main() {
                     .unwrap_or_else(|| usage_error("--floor-us needs a numeric argument"));
             }
             "--strict" => cfg.strict = true,
+            "--trajectory" => {
+                let dir = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--trajectory needs a directory"));
+                trajectory(&dir);
+            }
+            "bench" if paths.is_empty() && expect_kind.is_none() => {
+                expect_kind = Some(BENCH_SCHEMA);
+            }
+            "metrics" if paths.is_empty() && expect_kind.is_none() => {
+                expect_kind = Some(rvhpc::obs::metrics::METRICS_SCHEMA);
+            }
             "-h" | "--help" => {
                 println!("{}", usage_text());
                 return;
@@ -91,8 +138,35 @@ fn main() {
 
     let baseline = load(baseline_path);
     let current = load(current_path);
-    let report = diff_documents(&baseline, &current, &cfg);
+
+    let kind = doc_kind(&baseline).unwrap_or("<no schema tag>").to_string();
+    println!("obsdiff: {kind} — baseline {baseline_path} vs current {current_path}");
+
+    if let Some(expected) = expect_kind {
+        for (path, doc) in [(baseline_path, &baseline), (current_path, &current)] {
+            let found = doc_kind(doc);
+            if found != Some(expected) {
+                eprintln!(
+                    "obsdiff: {path} is {found:?}, but the command line demands {expected:?}"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if doc_kind(&baseline) == Some(BENCH_SCHEMA) && doc_kind(&current) == Some(BENCH_SCHEMA) {
+        for (path, doc) in [(baseline_path, &baseline), (current_path, &current)] {
+            if let Err(e) = benchdoc::validate(doc) {
+                eprintln!("obsdiff: {path} is not a valid benchmark document: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = diff_any(&baseline, &current, &cfg);
     print!("{}", report.render());
+    if report.has_mismatches() {
+        std::process::exit(2);
+    }
     if report.has_regressions() {
         std::process::exit(1);
     }

@@ -8,6 +8,8 @@
 //!           [BENCH] [CLASS] [THREADS]   # machine-readable metrics export
 //! reproduce --jobs 8               # engine worker count (else RVHPC_JOBS)
 //! reproduce obs-diff BASE.json CUR.json [--ratio R] [--floor-us N] [--strict]
+//! reproduce bench [--filter PAT] [--out FILE] [--quick]   # curated suite
+//! reproduce bench --render DOC.json                       # BENCHMARKS.md
 //! ```
 //!
 //! Every model number flows through the prediction engine: the full
@@ -21,8 +23,15 @@
 //! per-phase times, global stall attribution, the exact per-core
 //! counter partition, and the engine's cache/executor counters.
 //!
-//! Exit codes: `0` success, `2` usage error, `3` output file could not
-//! be written.
+//! `bench` runs the curated benchmark suite (host kernels, engine
+//! batches, serve loopback) and appends the next `BENCH_<n>.json` to the
+//! committed trajectory under `results/`; see README "Benchmark
+//! trajectory". `bench --render` regenerates `BENCHMARKS.md` from a
+//! committed document, byte-identically.
+//!
+//! Exit codes: `0` success, `1` obs-diff regression, `2` usage error,
+//! `3` output write failure, unreadable/invalid input, or incomparable
+//! obs-diff documents.
 
 use rvhpc::eval::engine::{set_default_jobs, Engine, Query};
 use rvhpc::eval::{experiment, metrics, report, runner};
@@ -86,6 +95,8 @@ fn usage_text() -> &'static str {
      \x20      reproduce [--jobs N] --metrics <FILE> [BENCH] [CLASS] [THREADS]\n\
      \x20      reproduce obs-diff BASE.json CUR.json [--ratio R] [--floor-us N]\n\
      \x20                [--strict]\n\
+     \x20      reproduce bench [--filter PAT] [--out FILE] [--quick]\n\
+     \x20      reproduce bench --render DOC.json\n\
      \x20 EXPERIMENT: table1..table8, fig1..fig6, stalls, extensions\n\
      \x20             (no argument: full report + results/ artifacts)\n\
      \x20 --jobs N:   prediction-engine worker count (default: RVHPC_JOBS,\n\
@@ -94,13 +105,19 @@ fn usage_text() -> &'static str {
      \x20 --metrics:  write the rvhpc-metrics/1 JSON document for one\n\
      \x20             predicted SG2044 run (default: cg C 64), including\n\
      \x20             the engine cache/executor counters\n\
-     \x20 obs-diff:   compare two rvhpc-metrics/1 documents; exit 1 on a\n\
-     \x20             latency-quantile regression (> baseline * ratio) or a\n\
-     \x20             counter-invariant violation (same gate as the obsdiff\n\
-     \x20             binary; CI runs it against results/baseline_metrics.json)\n\
+     \x20 obs-diff:   compare two rvhpc documents (metrics or bench, by\n\
+     \x20             schema tag); exit 1 on a latency-quantile regression\n\
+     \x20             (> baseline * ratio) or a counter-invariant violation\n\
+     \x20             (same gate as the obsdiff binary; CI runs it against\n\
+     \x20             the committed baselines under results/)\n\
+     \x20 bench:      run the curated benchmark suite and write the next\n\
+     \x20             results/BENCH_<n>.json (rvhpc-bench/1); --quick cuts\n\
+     \x20             iteration counts (or set RVHPC_BENCH_QUICK), --filter\n\
+     \x20             runs matching targets only, --out overrides the path,\n\
+     \x20             --render prints BENCHMARKS.md for an existing document\n\
      \x20 -h, --help: print this help and exit\n\
      exit codes: 0 success, 1 obs-diff regression, 2 usage error,\n\
-     \x20            3 output write failure"
+     \x20            3 write failure, bad input, or incomparable documents"
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -195,9 +212,110 @@ fn obs_diff(rest: &[String]) -> ! {
             std::process::exit(3);
         })
     };
-    let report = rvhpc::obs::diff_documents(&load(baseline_path), &load(current_path), &cfg);
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let kind = rvhpc::obs::doc_kind(&baseline).unwrap_or("<no schema tag>");
+    println!("obs-diff: {kind} — baseline {baseline_path} vs current {current_path}");
+    let report = rvhpc::obs::diff_any(&baseline, &current, &cfg);
     print!("{}", report.render());
+    if report.has_mismatches() {
+        std::process::exit(3);
+    }
     std::process::exit(if report.has_regressions() { 1 } else { 0 });
+}
+
+/// The `bench` subcommand: run the curated suite and append the next
+/// document to the benchmark trajectory, or re-render `BENCHMARKS.md`
+/// from a committed document. Never returns.
+fn bench(rest: &[String]) -> ! {
+    use rvhpc::bench::{harness, quick_mode, record};
+
+    let mut cfg = harness::HarnessConfig {
+        quick: quick_mode(),
+        ..harness::HarnessConfig::default()
+    };
+    let mut out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--filter" => {
+                cfg.filter = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--filter needs a pattern"))
+                        .to_string(),
+                );
+            }
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--out needs a file path"))
+                        .to_string(),
+                );
+            }
+            "--render" => {
+                let path = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--render needs a document path"));
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("reproduce: cannot read {path}: {e}");
+                    std::process::exit(3);
+                });
+                let doc = rvhpc::obs::json::parse(text.trim()).unwrap_or_else(|e| {
+                    eprintln!("reproduce: {path} is not valid JSON: {e}");
+                    std::process::exit(3);
+                });
+                if let Err(e) = rvhpc::obs::benchdoc::validate(&doc) {
+                    eprintln!("reproduce: {path} is not a valid benchmark document: {e}");
+                    std::process::exit(3);
+                }
+                print!("{}", record::render_markdown(&doc));
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown bench argument '{other}'")),
+        }
+    }
+
+    let results = harness::run(&cfg);
+    if results.is_empty() {
+        usage_error(&format!(
+            "--filter {:?} matched no targets (suite: {})",
+            cfg.filter.as_deref().unwrap_or(""),
+            harness::TARGET_NAMES.join(", ")
+        ));
+    }
+    let results_dir = std::path::Path::new("results");
+    let (path, index) = match out {
+        Some(p) => {
+            let path = std::path::PathBuf::from(p);
+            let index = record::index_of(&path).unwrap_or(0);
+            (path, index)
+        }
+        None => {
+            let index = record::next_index(results_dir);
+            (record::bench_path(results_dir, index), index)
+        }
+    };
+    let doc = record::build_document(&results, index, cfg.quick);
+    if let Err(e) = rvhpc::obs::benchdoc::validate(&doc) {
+        eprintln!("reproduce: generated document failed validation: {e}");
+        std::process::exit(3);
+    }
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&path, doc.to_json()) {
+        eprintln!("reproduce: could not write {}: {e}", path.display());
+        std::process::exit(3);
+    }
+    println!(
+        "bench: {} document {index} ({} target(s)) -> {}\n",
+        if cfg.quick { "quick" } else { "full" },
+        results.len(),
+        path.display()
+    );
+    print!("{}", record::render_table(&doc));
+    std::process::exit(0);
 }
 
 fn main() {
@@ -235,6 +353,7 @@ fn main() {
             return;
         }
         Some("obs-diff") => obs_diff(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         Some(slug) if slug.starts_with('-') => {
             usage_error(&format!("unknown option '{slug}'"));
         }

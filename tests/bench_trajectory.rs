@@ -1,0 +1,126 @@
+//! End-to-end checks of the benchmark trajectory: harness run →
+//! versioned document → regression gate → committed artifacts.
+//!
+//! The committed files are part of the contract: `results/BENCH_0.json`
+//! must validate as `rvhpc-bench/1`, and `BENCHMARKS.md` must be
+//! byte-identical to rendering that document (so the table can never
+//! drift from the numbers it claims to show).
+
+use rvhpc::bench::{harness, record};
+use rvhpc::obs::{benchdoc, diff_any, json, DiffConfig, JsonValue};
+
+fn repo_file(rel: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read committed {}: {e}", path.display()))
+}
+
+/// One quick filtered harness run, producing a valid document whose
+/// self-diff is clean and whose doctored variant regresses.
+#[test]
+fn quick_run_produces_valid_gateable_document() {
+    let cfg = harness::HarnessConfig {
+        quick: true,
+        filter: Some("host_cg_spmv".to_string()),
+        jobs: 1,
+    };
+    let results = harness::run(&cfg);
+    assert_eq!(results.len(), 1, "filter selects exactly one target");
+    let doc = record::build_document(&results, 0, true);
+    assert_eq!(benchdoc::validate(&doc), Ok(()));
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some(benchdoc::BENCH_SCHEMA)
+    );
+
+    // Self-diff (through a serialize/parse round-trip) is clean.
+    let reparsed = json::parse(&doc.to_json()).expect("round-trip");
+    let report = diff_any(&doc, &reparsed, &DiffConfig::default());
+    assert!(!report.has_regressions(), "{}", report.render());
+    assert!(!report.has_mismatches(), "{}", report.render());
+
+    // A 10x-slower doctored copy regresses, naming the target.
+    let mut doctored = doc.clone();
+    if let JsonValue::Object(map) = &mut doctored {
+        if let Some(JsonValue::Object(targets)) = map.get_mut("targets") {
+            if let Some(JsonValue::Object(target)) = targets.get_mut("host_cg_spmv") {
+                if let Some(JsonValue::Object(wall)) = target.get_mut("wall") {
+                    for key in ["min_us", "p50_us", "p99_us", "max_us", "mean_us"] {
+                        if let Some(JsonValue::Number(v)) = wall.get_mut(key) {
+                            *v *= 10.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let report = diff_any(&doc, &doctored, &DiffConfig::default());
+    assert!(report.has_regressions(), "{}", report.render());
+    assert!(
+        report
+            .regressions()
+            .any(|f| f.path.starts_with("targets.host_cg_spmv.wall")),
+        "{}",
+        report.render()
+    );
+}
+
+/// The committed baseline document is structurally valid and self-diffs
+/// clean under the CI thresholds.
+#[test]
+fn committed_baseline_validates() {
+    let doc = json::parse(repo_file("results/BENCH_0.json").trim()).expect("BENCH_0 parses");
+    assert_eq!(benchdoc::validate(&doc), Ok(()));
+    assert_eq!(doc.get("mode").and_then(JsonValue::as_str), Some("full"));
+    let report = diff_any(
+        &doc,
+        &doc.clone(),
+        &DiffConfig {
+            max_quantile_ratio: 3.0,
+            ..DiffConfig::default()
+        },
+    );
+    assert!(!report.has_regressions(), "{}", report.render());
+
+    // Every curated target is present: the committed baseline must gate
+    // the full suite, not a filtered subset.
+    for name in harness::TARGET_NAMES {
+        assert!(
+            doc.get("targets").and_then(|t| t.get(name)).is_some(),
+            "baseline is missing target {name}"
+        );
+    }
+}
+
+/// `BENCHMARKS.md` is exactly the rendering of the committed baseline.
+#[test]
+fn committed_benchmarks_md_matches_baseline_rendering() {
+    let doc = json::parse(repo_file("results/BENCH_0.json").trim()).expect("BENCH_0 parses");
+    let rendered = record::render_markdown(&doc);
+    let committed = repo_file("BENCHMARKS.md");
+    assert_eq!(
+        rendered, committed,
+        "BENCHMARKS.md is stale — regenerate with \
+         `reproduce bench --render results/BENCH_0.json > BENCHMARKS.md`"
+    );
+}
+
+/// The trajectory renderer covers every committed document.
+#[test]
+fn trajectory_renders_committed_history() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    let docs: Vec<(usize, JsonValue)> = record::trajectory_paths(&dir)
+        .into_iter()
+        .map(|(n, path)| {
+            let text = std::fs::read_to_string(&path).expect("read trajectory doc");
+            (n, json::parse(text.trim()).expect("trajectory doc parses"))
+        })
+        .collect();
+    assert!(!docs.is_empty(), "at least BENCH_0.json is committed");
+    assert_eq!(docs[0].0, 0, "trajectory starts at index 0");
+    let table = record::render_trajectory(&docs);
+    assert!(table.contains("BENCH_0 p50 (µs)"), "{table}");
+    for name in harness::TARGET_NAMES {
+        assert!(table.contains(name), "trajectory table misses {name}");
+    }
+}
