@@ -1,4 +1,5 @@
-//! Sharded, thread-safe memo cache with hit/miss accounting.
+//! Sharded, thread-safe memo cache with hit/miss accounting — the hot
+//! tier of the engine's two-tier store.
 //!
 //! The engine keeps two of these: `(bench, class)` → [`WorkloadProfile`]
 //! and [`CacheKey`](crate::engine::CacheKey) → `Prediction`. Values are
@@ -6,16 +7,38 @@
 //! payload; counters are plain relaxed atomics read by the `engine`
 //! metrics section.
 //!
+//! Counter semantics, pinned by regression tests: a counter moves only
+//! when a *serving* probe runs — [`get_or_insert_with`], the executor's
+//! batch pre-pass via [`count_hit`]/[`count_miss`], never more than once
+//! per served request. [`peek`] is a warmth probe (the serve layer asks
+//! "would this be cheap?" before batching) and deliberately counts
+//! nothing, so warmth probes cannot skew the hit rate reported in
+//! `rvhpc-metrics/1` documents.
+//!
+//! The cache may be bounded with [`set_capacity`]: each shard keeps its
+//! keys in insertion order and evicts the oldest once past its share of
+//! the cap. Shard selection uses a fixed-key hasher, so the same key
+//! stream produces the same shard fills, the same eviction order, and —
+//! through the [`evict hook`](ShardedCache::set_evict_hook) — the same
+//! spill sequence into the disk tier, run after run. The hook is always
+//! invoked *outside* the shard lock (spills do disk I/O).
+//!
 //! Lookups never hold a lock across the compute closure: on a miss the
 //! value is produced outside the shard lock and inserted afterwards. Two
 //! racing threads may both compute the same key — the first insert wins
 //! and both observe the same stored value on the next probe — but the
 //! executor deduplicates plans before dispatch, so in practice every key
 //! is computed exactly once.
+//!
+//! [`get_or_insert_with`]: ShardedCache::get_or_insert_with
+//! [`count_hit`]: ShardedCache::count_hit
+//! [`count_miss`]: ShardedCache::count_miss
+//! [`peek`]: ShardedCache::peek
+//! [`set_capacity`]: ShardedCache::set_capacity
 
-use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -23,53 +46,178 @@ use parking_lot::Mutex;
 /// Number of independent shards; a power of two so the selector is a mask.
 const SHARDS: usize = 16;
 
-/// A sharded `HashMap<K, Arc<V>>` memo table.
+/// Hook invoked (outside any shard lock) for each entry evicted by the
+/// capacity bound — the engine wires this to the disk-tier spill.
+pub type EvictHook<K, V> = Arc<dyn Fn(&K, &Arc<V>) + Send + Sync>;
+
+struct Shard<K, V> {
+    map: HashMap<K, Arc<V>>,
+    /// Keys in insertion order, driving deterministic FIFO eviction.
+    order: VecDeque<K>,
+}
+
+impl<K, V> Shard<K, V> {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+}
+
+/// A sharded `HashMap<K, Arc<V>>` memo table with an optional capacity.
 pub struct ShardedCache<K, V> {
-    shards: Vec<Mutex<HashMap<K, Arc<V>>>>,
-    hasher: RandomState,
+    shards: Vec<Mutex<Shard<K, V>>>,
+    /// Fixed-key SipHash: shard choice (hence eviction order) is a pure
+    /// function of the key stream, not of per-process random state.
+    hasher: BuildHasherDefault<DefaultHasher>,
+    /// Total entry bound across shards; 0 = unbounded.
+    capacity: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    evict_hook: Mutex<Option<EvictHook<K, V>>>,
 }
 
 impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hasher: RandomState::new(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            hasher: BuildHasherDefault::default(),
+            capacity: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evict_hook: Mutex::new(None),
         }
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<V>>> {
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
         let h = self.hasher.hash_one(key);
         &self.shards[(h as usize) & (SHARDS - 1)]
     }
 
-    /// Look the key up without computing or counting.
+    /// Each shard's share of the capacity (at least one entry), or
+    /// `None` when unbounded.
+    fn per_shard_cap(&self) -> Option<usize> {
+        match self.capacity.load(Ordering::Relaxed) {
+            0 => None,
+            cap => Some(cap.div_ceil(SHARDS).max(1)),
+        }
+    }
+
+    /// Pop oldest entries until the shard fits its share of the cap.
+    /// Returns the evicted pairs; the caller runs the hook unlocked.
+    fn evict_overflow(&self, shard: &mut Shard<K, V>) -> Vec<(K, Arc<V>)> {
+        let Some(per) = self.per_shard_cap() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        while shard.map.len() > per {
+            let Some(k) = shard.order.pop_front() else {
+                break;
+            };
+            if let Some(v) = shard.map.remove(&k) {
+                out.push((k, v));
+            }
+        }
+        out
+    }
+
+    fn run_evict_hook(&self, evicted: Vec<(K, Arc<V>)>) {
+        if evicted.is_empty() {
+            return;
+        }
+        self.evictions
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        let hook = self.evict_hook.lock().clone();
+        if let Some(hook) = hook {
+            for (k, v) in &evicted {
+                hook(k, v);
+            }
+        }
+    }
+
+    /// Bound the cache to `capacity` total entries (0 = unbounded),
+    /// sweeping overfull shards immediately.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        for shard in &self.shards {
+            let evicted = self.evict_overflow(&mut shard.lock());
+            self.run_evict_hook(evicted);
+        }
+    }
+
+    /// The configured capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Install the eviction hook. Runs outside any shard lock, once per
+    /// evicted entry, in eviction order.
+    pub fn set_evict_hook(&self, hook: EvictHook<K, V>) {
+        *self.evict_hook.lock() = Some(hook);
+    }
+
+    /// Look the key up without computing or counting. A warmth probe:
+    /// serve-side `is_cached` checks go through here and must not skew
+    /// the serving hit rate (see the module docs).
     pub fn peek(&self, key: &K) -> Option<Arc<V>> {
-        self.shard(key).lock().get(key).cloned()
+        self.shard(key).lock().map.get(key).cloned()
     }
 
     /// Fetch the value for `key`, computing it with `f` on a miss. The
     /// closure runs outside the shard lock.
     pub fn get_or_insert_with(&self, key: &K, f: impl FnOnce() -> V) -> Arc<V> {
-        if let Some(v) = self.shard(key).lock().get(key) {
+        if let Some(v) = self.shard(key).lock().map.get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(v);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let computed = Arc::new(f());
-        let mut shard = self.shard(key).lock();
-        Arc::clone(shard.entry(key.clone()).or_insert(computed))
+        let (value, evicted) = {
+            let mut shard = self.shard(key).lock();
+            let value = if let Some(existing) = shard.map.get(key) {
+                Arc::clone(existing)
+            } else {
+                shard.map.insert(key.clone(), Arc::clone(&computed));
+                shard.order.push_back(key.clone());
+                computed
+            };
+            (value, self.evict_overflow(&mut shard))
+        };
+        self.run_evict_hook(evicted);
+        value
     }
 
     /// Insert a precomputed value (used by the batch executor after a
-    /// parallel fill). Counts as neither hit nor miss — the executor
-    /// already counted the probe that scheduled the computation.
+    /// parallel fill, and by the disk tier promoting a record into
+    /// memory). Counts as neither hit nor miss — the executor already
+    /// counted the probe that scheduled the computation.
     pub fn insert(&self, key: K, value: Arc<V>) {
-        self.shard(&key).lock().entry(key).or_insert(value);
+        let evicted = {
+            let mut shard = self.shard(&key).lock();
+            if !shard.map.contains_key(&key) {
+                shard.map.insert(key.clone(), value);
+                shard.order.push_back(key);
+            }
+            self.evict_overflow(&mut shard)
+        };
+        self.run_evict_hook(evicted);
+    }
+
+    /// Visit every entry, shard by shard in insertion order (used by the
+    /// snapshot-on-drain path). Holds one shard lock at a time.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &Arc<V>)) {
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for key in &shard.order {
+                if let Some(v) = shard.map.get(key) {
+                    f(key, v);
+                }
+            }
+        }
     }
 
     /// Cache hits so far.
@@ -80,6 +228,11 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Count a probe that found the key present, performed by the
@@ -95,7 +248,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
 
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True when nothing is cached.
@@ -126,6 +279,28 @@ mod tests {
         assert_eq!(c.len(), 3);
     }
 
+    /// The counter contract: warmth probes are free. Any number of
+    /// `peek`s moves nothing; each serving probe moves exactly one
+    /// counter exactly once.
+    #[test]
+    fn peeks_never_skew_the_serving_counters() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new();
+        c.get_or_insert_with(&1, || 10);
+        for _ in 0..100 {
+            c.peek(&1);
+            c.peek(&2);
+        }
+        assert_eq!((c.hits(), c.misses()), (0, 1));
+        c.get_or_insert_with(&1, || 10);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        c.insert(2, Arc::new(20));
+        assert_eq!(
+            (c.hits(), c.misses()),
+            (1, 1),
+            "executor inserts are pre-counted probes"
+        );
+    }
+
     #[test]
     fn racing_inserts_converge_on_one_value() {
         let c: Arc<ShardedCache<u32, u64>> = Arc::new(ShardedCache::new());
@@ -153,5 +328,61 @@ mod tests {
         }
         assert_eq!(c.len(), 64);
         assert_eq!(c.hits() + c.misses(), 8 * 64);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo_through_the_hook() {
+        let c: Arc<ShardedCache<u32, u32>> = Arc::new(ShardedCache::new());
+        let spilled: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&spilled);
+        c.set_evict_hook(Arc::new(move |k, _v| sink.lock().push(*k)));
+        c.set_capacity(SHARDS); // one entry per shard
+        for k in 0..64u32 {
+            c.insert(k, Arc::new(k));
+        }
+        assert!(c.len() <= SHARDS);
+        assert_eq!(
+            c.evictions() as usize,
+            spilled.lock().len(),
+            "every eviction passes through the hook"
+        );
+        assert_eq!(c.evictions() as usize, 64 - c.len());
+        // Within each shard the oldest key left first: every spilled key
+        // is older (smaller, for this insertion order) than the survivor
+        // in its shard.
+        for &k in spilled.lock().iter() {
+            assert!(c.peek(&k).is_none(), "evicted key {k} still present");
+        }
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_across_instances() {
+        let run = || {
+            let c: ShardedCache<u32, u32> = ShardedCache::new();
+            let spilled: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&spilled);
+            c.set_evict_hook(Arc::new(move |k, _v| sink.lock().push(*k)));
+            c.set_capacity(8);
+            for k in 0..200u32 {
+                c.insert(k, Arc::new(k));
+            }
+            let spills = spilled.lock().clone();
+            let mut survivors = Vec::new();
+            c.for_each(|k, _| survivors.push(*k));
+            (spills, survivors)
+        };
+        assert_eq!(run(), run(), "fixed-key hashing makes eviction replayable");
+    }
+
+    #[test]
+    fn shrinking_capacity_sweeps_immediately() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new();
+        for k in 0..64u32 {
+            c.insert(k, Arc::new(k));
+        }
+        assert_eq!(c.len(), 64);
+        c.set_capacity(SHARDS);
+        assert!(c.len() <= SHARDS);
+        assert_eq!(c.evictions() as usize, 64 - c.len());
     }
 }

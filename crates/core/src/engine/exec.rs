@@ -15,6 +15,7 @@
 //! available parallelism.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -26,6 +27,7 @@ use rvhpc_parallel::Pool;
 
 use crate::engine::cache::ShardedCache;
 use crate::engine::plan::{CacheKey, Plan, Query};
+use crate::engine::store::DiskStore;
 use crate::model::{predict, Prediction};
 
 /// Environment variable naming the default worker count for plan
@@ -150,10 +152,21 @@ struct ExecCounters {
 }
 
 /// The cached, parallel prediction engine.
+///
+/// With a [`DiskStore`] attached ([`Engine::attach_store`]) the
+/// prediction cache becomes the hot tier of a two-tier store: probes
+/// fall through memory → disk → compute, computed values are written
+/// through to disk, and capacity evictions spill there. The hit/miss
+/// counters keep their meaning — a *hit* is any request served without
+/// recomputing (from either tier), a *miss* is a compute — so
+/// `prediction_misses == 0 && executed == 0` is the zero-recompute
+/// assertion warm-restart CI relies on.
 pub struct Engine {
     profiles: ShardedCache<(BenchmarkId, Class), WorkloadProfile>,
     predictions: ShardedCache<CacheKey, Prediction>,
     exec: Mutex<ExecCounters>,
+    /// The cold tier, if attached. Probed on hot-tier misses only.
+    store: Mutex<Option<Arc<DiskStore>>>,
 }
 
 static GLOBAL: OnceLock<Engine> = OnceLock::new();
@@ -170,6 +183,111 @@ impl Engine {
                 executed: 0,
                 capacity: 0,
             }),
+            store: Mutex::new(None),
+        }
+    }
+
+    /// Attach (open or create) the disk tier under `dir`, restoring any
+    /// records a previous process persisted there, and wire the hot
+    /// tier's eviction spill into it. Returns the store handle so the
+    /// caller can install chaos hooks or read recovery counters.
+    pub fn attach_store(&self, dir: &Path) -> std::io::Result<Arc<DiskStore>> {
+        let store = Arc::new(DiskStore::open(dir)?);
+        let spill = Arc::clone(&store);
+        self.predictions
+            .set_evict_hook(Arc::new(move |key: &CacheKey, v: &Arc<Prediction>| {
+                // Write-through already persisted computed entries; this
+                // catches promoted/snapshot-restored ones. Append errors
+                // are counted by the store and must not kill serving.
+                let _ = spill.append(key.fingerprint(), v);
+            }));
+        *self.store.lock() = Some(Arc::clone(&store));
+        Ok(store)
+    }
+
+    /// The attached disk tier, if any.
+    pub fn store(&self) -> Option<Arc<DiskStore>> {
+        self.store.lock().clone()
+    }
+
+    /// Bound the hot prediction tier to `capacity` entries (0 =
+    /// unbounded); overflow evicts oldest-first into the disk tier.
+    pub fn set_hot_capacity(&self, capacity: usize) {
+        self.predictions.set_capacity(capacity);
+    }
+
+    /// Entries currently in the hot prediction tier.
+    pub fn hot_entries(&self) -> usize {
+        self.predictions.len()
+    }
+
+    /// Persist every hot-tier entry not already on disk and flush the
+    /// segment — the snapshot-on-drain path. Returns how many records
+    /// the snapshot added. A no-op (`Ok(0)`) without an attached store.
+    pub fn snapshot_store(&self) -> std::io::Result<u64> {
+        let Some(store) = self.store() else {
+            return Ok(0);
+        };
+        let mut added = 0u64;
+        let mut first_err: Option<std::io::Error> = None;
+        self.predictions.for_each(|key, v| {
+            if first_err.is_some() {
+                return;
+            }
+            match store.append(key.fingerprint(), v) {
+                Ok(true) => added += 1,
+                Ok(false) => {}
+                Err(e) => first_err = Some(e),
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        store.sync()?;
+        Ok(added)
+    }
+
+    /// The gated `store` metrics section: hot-tier occupancy plus the
+    /// disk tier's counters. `None` when no store is attached, so
+    /// store-less metrics documents stay byte-identical.
+    pub fn store_section(&self) -> Option<JsonValue> {
+        let store = self.store()?;
+        Some(JsonValue::object([
+            (
+                "hot".to_string(),
+                JsonValue::object([
+                    (
+                        "entries".to_string(),
+                        JsonValue::from(self.predictions.len() as u64),
+                    ),
+                    (
+                        "capacity".to_string(),
+                        JsonValue::from(self.predictions.capacity() as u64),
+                    ),
+                    (
+                        "evictions".to_string(),
+                        JsonValue::from(self.predictions.evictions()),
+                    ),
+                ]),
+            ),
+            ("disk".to_string(), store.metrics().to_json()),
+        ]))
+    }
+
+    /// Disk-tier probe on a hot miss: fetch, then promote into the hot
+    /// tier so repeats are pure memory hits. Counts a disk hit/miss on
+    /// the store's own counters; the caller counts the serving probe.
+    fn probe_store(&self, key: &CacheKey) -> Option<Arc<Prediction>> {
+        let store = self.store()?;
+        let pred = Arc::new(store.get(key.fingerprint())?);
+        self.predictions.insert(*key, Arc::clone(&pred));
+        Some(pred)
+    }
+
+    /// Persist a freshly computed prediction (write-through).
+    fn write_through(&self, key: &CacheKey, pred: &Arc<Prediction>) {
+        if let Some(store) = self.store() {
+            let _ = store.append(key.fingerprint(), pred);
         }
     }
 
@@ -210,21 +328,34 @@ impl Engine {
             self.predictions.count_hit();
             return v;
         }
+        if let Some(v) = self.probe_store(&key) {
+            self.predictions.count_hit();
+            return v;
+        }
         self.predictions.count_miss();
         let machine = plan.machine_of(q);
         let profile = self.profile(q.bench, q.class);
         let scenario = q.scenario(&machine);
         let pred = Arc::new(predict(&profile, &scenario));
         self.predictions.insert(key, Arc::clone(&pred));
+        self.write_through(&key, &pred);
         pred
     }
 
-    /// Whether `q` (keyed in `plan`'s context) is already in the
-    /// prediction cache. Does not count a probe — used by `rvhpc-serve`
-    /// to tag replies as warm/cold without disturbing the hit/miss
-    /// accounting.
+    /// Whether `q` (keyed in `plan`'s context) is already stored in
+    /// either tier. A warmth probe: it never counts — used by
+    /// `rvhpc-serve` to tag replies as warm/cold without disturbing the
+    /// hit/miss accounting (the serving probe that follows counts
+    /// exactly once).
     pub fn is_cached(&self, plan: &Plan, q: &Query) -> bool {
-        self.predictions.peek(&plan.key_of(q)).is_some()
+        let key = plan.key_of(q);
+        if self.predictions.peek(&key).is_some() {
+            return true;
+        }
+        match self.store() {
+            Some(store) => store.contains(key.fingerprint()),
+            None => false,
+        }
     }
 
     /// Evaluate a plan with the default worker count; results in plan
@@ -306,21 +437,24 @@ impl Engine {
         let mut results: Vec<Option<Arc<Prediction>>> = Vec::with_capacity(uniques.len());
         let mut misses: Vec<usize> = Vec::new();
         for (i, (key, _)) in uniques.iter().enumerate() {
-            match self.predictions.peek(key) {
-                Some(v) => {
-                    self.predictions.count_hit();
-                    results.push(Some(v));
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.mark(EventKind::CacheProbe, "cache-hit");
-                    }
+            if let Some(v) = self.predictions.peek(key) {
+                self.predictions.count_hit();
+                results.push(Some(v));
+                if let Some(t) = trace.as_deref_mut() {
+                    t.mark(EventKind::CacheProbe, "cache-hit");
                 }
-                None => {
-                    self.predictions.count_miss();
-                    results.push(None);
-                    misses.push(i);
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.mark(EventKind::CacheProbe, "cache-miss");
-                    }
+            } else if let Some(v) = self.probe_store(key) {
+                self.predictions.count_hit();
+                results.push(Some(v));
+                if let Some(t) = trace.as_deref_mut() {
+                    t.mark(EventKind::CacheProbe, "store-hit");
+                }
+            } else {
+                self.predictions.count_miss();
+                results.push(None);
+                misses.push(i);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.mark(EventKind::CacheProbe, "cache-miss");
                 }
             }
         }
@@ -334,6 +468,7 @@ impl Engine {
             let scenario = q.scenario(&machine);
             let pred = Arc::new(predict(&profile, &scenario));
             self.predictions.insert(*key, Arc::clone(&pred));
+            self.write_through(key, &pred);
             pred
         };
 
@@ -605,6 +740,132 @@ mod tests {
             .iter()
             .any(|e| e.kind == EventKind::CacheProbe && e.name == "cache-miss"));
         assert!(mine.iter().any(|e| e.kind == EventKind::DedupMerge));
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rvhpc-engine-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_tier_serves_a_fresh_engine_without_recompute() {
+        let dir = tmpdir("warm");
+        let plan = small_plan();
+
+        // First life: compute everything, written through to disk.
+        let cold = Engine::new();
+        cold.attach_store(&dir).expect("attach");
+        let a = cold.execute_with_jobs(&plan, 4);
+        assert_eq!(cold.store().unwrap().metrics().appends, plan.len() as u64);
+
+        // Second life (fresh process simulated by a fresh engine):
+        // everything restores from disk — zero recompute, bit-exact.
+        let warm = Engine::new();
+        warm.attach_store(&dir).expect("reattach");
+        let b = warm.execute_with_jobs(&plan, 4);
+        let m = warm.metrics();
+        assert_eq!(m.prediction_misses, 0, "warm restart must not recompute");
+        assert_eq!(m.executed, 0);
+        assert_eq!(m.prediction_hits, plan.len() as u64);
+        let disk = warm.store().unwrap().metrics();
+        assert!(disk.hits > 0, "hits must come from the disk tier");
+        assert_eq!(disk.restored, plan.len() as u64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seconds.to_bits(), y.seconds.to_bits());
+            assert_eq!(x.mops.to_bits(), y.mops.to_bits());
+        }
+
+        // The disk record is promoted on first touch: probing the same
+        // plan again is all memory hits, no further disk reads.
+        let disk_hits_before = warm.store().unwrap().metrics().hits;
+        warm.execute_with_jobs(&plan, 4);
+        assert_eq!(warm.store().unwrap().metrics().hits, disk_hits_before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bounded_hot_tier_spills_to_disk_and_reloads() {
+        let dir = tmpdir("spill");
+        let engine = Engine::new();
+        engine.attach_store(&dir).expect("attach");
+        engine.set_hot_capacity(4);
+        // More unique queries than the bound: the hot tier must evict.
+        let mut plan = Plan::new();
+        for &b in &[BenchmarkId::Ep, BenchmarkId::Cg, BenchmarkId::Mg] {
+            for t in [1u32, 2, 4, 8, 16, 24, 32, 48, 64, 96] {
+                plan.push(Query::paper(MachineId::Sg2044, b, Class::B, t));
+            }
+        }
+        engine.execute_with_jobs(&plan, 2);
+        assert!(engine.hot_entries() < plan.len());
+        let store = engine.store().unwrap();
+        assert_eq!(store.len(), plan.len(), "write-through covers every key");
+        // Warm replay: evicted keys come back from disk, nothing is
+        // recomputed.
+        let before = engine.metrics();
+        engine.execute_with_jobs(&plan, 2);
+        let after = engine.metrics();
+        assert_eq!(after.prediction_misses, before.prediction_misses);
+        assert_eq!(after.executed, before.executed);
+        assert!(store.metrics().hits > 0, "evicted keys reload from disk");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The counter-semantics regression pinned by the persistence work:
+    /// warmth probes (`is_cached`) count nothing in either tier, and
+    /// every served request moves exactly one counter exactly once —
+    /// interleaving any number of probes cannot skew the reported rate.
+    #[test]
+    fn warmth_probes_keep_one_count_per_served_request() {
+        let dir = tmpdir("probes");
+        let engine = Engine::new();
+        engine.attach_store(&dir).expect("attach");
+        let q = Query::paper(MachineId::Sg2044, BenchmarkId::Is, Class::B, 8);
+        let plan = Plan::single(q);
+        for _ in 0..50 {
+            engine.is_cached(&plan, &q);
+        }
+        engine.resolve_one(&q);
+        let m = engine.metrics();
+        assert_eq!((m.prediction_hits, m.prediction_misses), (0, 1));
+        for _ in 0..50 {
+            assert!(engine.is_cached(&plan, &q));
+        }
+        engine.resolve_one(&q);
+        let m = engine.metrics();
+        assert_eq!((m.prediction_hits, m.prediction_misses), (1, 1));
+        let disk = engine.store().unwrap().metrics();
+        assert_eq!(
+            (disk.hits, disk.misses),
+            (0, 1),
+            "warmth probes must not touch disk counters either \
+             (the one disk miss is the cold serving probe)"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_persists_hot_entries_for_the_next_life() {
+        let dir = tmpdir("snapshot");
+        let plan = small_plan();
+        {
+            // No store during compute — entries exist only in memory —
+            // then attach and snapshot, as drain does for a server whose
+            // engine warmed up before the store was attached.
+            let engine = Engine::new();
+            engine.execute_with_jobs(&plan, 2);
+            engine.attach_store(&dir).expect("attach");
+            let added = engine.snapshot_store().expect("snapshot");
+            assert_eq!(added, plan.len() as u64);
+            assert_eq!(engine.snapshot_store().expect("idempotent"), 0);
+        }
+        let next = Engine::new();
+        next.attach_store(&dir).expect("reattach");
+        next.execute_with_jobs(&plan, 2);
+        let m = next.metrics();
+        assert_eq!((m.prediction_misses, m.executed), (0, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

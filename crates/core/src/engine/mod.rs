@@ -8,7 +8,12 @@
 //! * [`plan`] — declarative [`Query`] points with stable content-addressed
 //!   cache keys, batched into [`Plan`]s (with a side table for custom,
 //!   non-preset machines).
-//! * [`cache`] — sharded, thread-safe memo tables with hit/miss counters.
+//! * [`cache`] — sharded, thread-safe memo tables with hit/miss counters,
+//!   an optional capacity bound and deterministic FIFO eviction (the hot
+//!   tier of the two-tier store).
+//! * [`store`] — the cold tier: a content-addressed, append-only on-disk
+//!   segment of crc32-checked prediction records with torn-tail recovery,
+//!   so a restarted process comes up warm.
 //! * [`exec`] — the [`Engine`]: two memo caches (workload profiles and
 //!   predictions) and a batch executor that deduplicates a plan and
 //!   evaluates the misses in parallel on [`rvhpc_parallel::Pool`] —
@@ -23,7 +28,9 @@
 pub mod cache;
 pub mod exec;
 pub mod plan;
+pub mod store;
 
 pub use cache::ShardedCache;
 pub use exec::{jobs_from_env, set_default_jobs, Engine, EngineMetrics, Resolved, JOBS_ENV};
 pub use plan::{machine_fingerprint, CacheKey, MachineSel, Plan, Query, SpecKind};
+pub use store::{DiskStore, StoreMetrics};

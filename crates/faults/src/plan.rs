@@ -19,7 +19,8 @@
 //!   timing.
 //! * `/PARAM` — site magnitude: stall duration in milliseconds for
 //!   `stall` (default 20), maximum bytes per short write for `torn`
-//!   (default 3). Other sites ignore it.
+//!   (default 3), record bytes landed before the simulated crash for
+//!   `store` (default 6). Other sites ignore it.
 //!
 //! Sites:
 //!
@@ -31,6 +32,7 @@
 //! | `drop`     | [`FaultSite::ConnDrop`]     | predict reply write (half frame, then hard close) |
 //! | `corrupt`  | [`FaultSite::CorruptReply`] | predict reply write (byte flipped)  |
 //! | `saturate` | [`FaultSite::QueueSaturate`]| admission (forced load-shed)        |
+//! | `store`    | [`FaultSite::StoreTorn`]    | disk-store segment append (torn mid-record) |
 
 use crate::rng::mix;
 use rvhpc_obs::JsonValue;
@@ -51,10 +53,12 @@ pub enum FaultSite {
     CorruptReply = 4,
     /// Admission pretends the shard queues are saturated (load-shed).
     QueueSaturate = 5,
+    /// A disk-store segment append is torn mid-record (crash mid-write).
+    StoreTorn = 6,
 }
 
 /// Number of distinct sites (array-table size).
-pub const SITE_COUNT: usize = 6;
+pub const SITE_COUNT: usize = 7;
 
 impl FaultSite {
     /// Every site, table order.
@@ -65,6 +69,7 @@ impl FaultSite {
         FaultSite::ConnDrop,
         FaultSite::CorruptReply,
         FaultSite::QueueSaturate,
+        FaultSite::StoreTorn,
     ];
 
     /// Spec key and stable JSON/event label.
@@ -76,6 +81,7 @@ impl FaultSite {
             FaultSite::ConnDrop => "drop",
             FaultSite::CorruptReply => "corrupt",
             FaultSite::QueueSaturate => "saturate",
+            FaultSite::StoreTorn => "store",
         }
     }
 
@@ -84,6 +90,7 @@ impl FaultSite {
         match self {
             FaultSite::ShardStall => 20, // milliseconds
             FaultSite::TornWrite => 3,   // max bytes per short write
+            FaultSite::StoreTorn => 6,   // max record bytes that land before the "crash"
             _ => 0,
         }
     }

@@ -52,6 +52,15 @@ pub struct DiffConfig {
     pub floor_us: f64,
     /// When set, keys present on one side only are regressions.
     pub strict: bool,
+    /// Per-class latency SLOs, `(class label, p99 budget in µs)`. Each
+    /// entry requires the *current* document to carry a
+    /// `classes.<class>.latency` section (anywhere in the tree — the
+    /// serve `qos` section and the loadgen report both qualify) whose
+    /// `p99_us` is at or under the budget. A missing class is a
+    /// [`Severity::Mismatch`] (the gated run produced no such traffic);
+    /// a busted budget is a [`Severity::Regression`]. Absolute checks
+    /// on the current document, independent of the baseline.
+    pub class_slos: Vec<(String, f64)>,
 }
 
 impl Default for DiffConfig {
@@ -60,6 +69,7 @@ impl Default for DiffConfig {
             max_quantile_ratio: 2.0,
             floor_us: 200.0,
             strict: false,
+            class_slos: Vec::new(),
         }
     }
 }
@@ -293,7 +303,56 @@ pub fn diff_documents(baseline: &JsonValue, current: &JsonValue, cfg: &DiffConfi
     }
     walk(baseline, current, "", cfg, &mut report);
     invariants(current, "", &mut report);
+    class_slo_checks(current, cfg, &mut report);
     report
+}
+
+/// Find the first `classes.<class>.latency.p99_us` anywhere in `doc`
+/// (depth-first, document order); returns its dotted path and value.
+fn find_class_p99(doc: &JsonValue, path: &str, class: &str) -> Option<(String, f64)> {
+    let JsonValue::Object(map) = doc else {
+        return None;
+    };
+    if let Some(p99) = map
+        .get("classes")
+        .and_then(|c| c.get(class))
+        .and_then(|c| c.get("latency"))
+        .and_then(|l| l.get("p99_us"))
+        .and_then(JsonValue::as_f64)
+    {
+        let p = join(path, "classes");
+        return Some((format!("{p}.{class}.latency.p99_us"), p99));
+    }
+    map.iter()
+        .find_map(|(key, v)| find_class_p99(v, &join(path, key), class))
+}
+
+/// Enforce [`DiffConfig::class_slos`] against the current document.
+fn class_slo_checks(current: &JsonValue, cfg: &DiffConfig, report: &mut DiffReport) {
+    for (class, budget_us) in &cfg.class_slos {
+        match find_class_p99(current, "", class) {
+            None => report.push(
+                &format!("classes.{class}"),
+                Severity::Mismatch,
+                format!(
+                    "class SLO configured but the current document has no \
+                     classes.{class}.latency section"
+                ),
+            ),
+            Some((path, p99)) => {
+                let (severity, verdict) = if p99 > *budget_us {
+                    (Severity::Regression, "violated")
+                } else {
+                    (Severity::Info, "met")
+                };
+                report.push(
+                    &path,
+                    severity,
+                    format!("class SLO {verdict}: p99 {p99} us vs budget {budget_us} us"),
+                );
+            }
+        }
+    }
 }
 
 fn walk(base: &JsonValue, cur: &JsonValue, path: &str, cfg: &DiffConfig, report: &mut DiffReport) {
@@ -492,6 +551,72 @@ mod tests {
         assert!(!report.has_regressions(), "{}", report.render());
     }
 
+    /// A loadgen-shaped document with a per-class breakdown.
+    fn classed_doc(interactive_p99: u64, bulk_p99: u64) -> JsonValue {
+        let class = |p99: u64| {
+            format!(
+                r#"{{"sent":100,"ok":100,"shed":0,"errors":0,"dropped":0,
+                    "latency":{{"count":100,"mean_us":{mean},"min_us":10,
+                                "max_us":{max},"p50_us":{mean},"p99_us":{p99}}}}}"#,
+                mean = p99 / 2,
+                max = p99 * 2,
+            )
+        };
+        parse(&format!(
+            r#"{{"schema":"rvhpc-metrics/1","generator":"rvhpc-loadgen",
+                "loadgen":{{"ok":200,"errors":0,"dropped":0,
+                "classes":{{"interactive":{i},"bulk":{b}}},
+                "latency":{{"count":200,"mean_us":500,"min_us":10,"max_us":9000,
+                            "p50_us":400,"p99_us":4000}}}}}}"#,
+            i = class(interactive_p99),
+            b = class(bulk_p99),
+        ))
+        .expect("classed doc parses")
+    }
+
+    #[test]
+    fn class_slos_gate_the_current_document() {
+        let slo = |class: &str, budget: f64| DiffConfig {
+            class_slos: vec![(class.to_string(), budget)],
+            ..DiffConfig::default()
+        };
+        let base = classed_doc(2000, 50_000);
+        let cur = classed_doc(2000, 50_000);
+
+        // Interactive under budget: clean, and the finding names the path.
+        let report = diff_documents(&base, &cur, &slo("interactive", 5000.0));
+        assert!(!report.has_regressions(), "{}", report.render());
+        assert!(
+            report
+                .render()
+                .contains("classes.interactive.latency.p99_us"),
+            "{}",
+            report.render()
+        );
+
+        // Bulk over budget: regression naming the busted class.
+        let report = diff_documents(&base, &cur, &slo("bulk", 5000.0));
+        assert!(report.has_regressions());
+        assert!(
+            report
+                .render()
+                .contains("REGRESSION loadgen.classes.bulk.latency.p99_us"),
+            "{}",
+            report.render()
+        );
+
+        // A configured class absent from the document: mismatch, not a
+        // silent pass.
+        let report = diff_documents(&base, &cur, &slo("batch", 5000.0));
+        assert!(report.has_mismatches(), "{}", report.render());
+        assert!(!report.has_regressions(), "{}", report.render());
+
+        // SLOs are absolute checks on the current doc: a class-less
+        // baseline gates the same way.
+        let report = diff_documents(&doc(4000, 0), &cur, &slo("interactive", 5000.0));
+        assert!(!report.has_regressions(), "{}", report.render());
+    }
+
     #[test]
     fn counter_invariants_catch_drops_and_broken_ladders() {
         let base = doc(4000, 0);
@@ -557,7 +682,7 @@ mod tests {
         let cfg = |floor_us: f64| DiffConfig {
             max_quantile_ratio: 2.0,
             floor_us,
-            strict: false,
+            ..DiffConfig::default()
         };
         // Exactly at the ratio (p50 and p99 both exactly 2x), zero
         // floor: not a regression — the ratio rule is strictly-greater.

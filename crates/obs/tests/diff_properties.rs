@@ -65,6 +65,7 @@ proptest! {
             max_quantile_ratio: ratio_milli as f64 / 1000.0,
             floor_us: floor as f64,
             strict: strict_bit == 1,
+            class_slos: Vec::new(),
         };
         let report = diff_any(&doc, &doc.clone(), &cfg);
         prop_assert!(!report.has_regressions(), "{}", report.render());

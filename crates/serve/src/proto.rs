@@ -94,6 +94,50 @@ impl ProtoError {
     }
 }
 
+/// QoS class of a predict request, carried on the wire as the optional
+/// `priority` field. Classes order admission under saturation: the
+/// lowest class is shed first (with a `retry_after_ms` hint), so
+/// interactive traffic keeps its latency SLO while bulk backfill waits.
+/// Requests without the field behave exactly as before the field
+/// existed — they are admitted like [`Priority::Interactive`] and leave
+/// no per-class trace in the metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive foreground traffic: never pre-checked, only a
+    /// genuinely full queue rejects it.
+    Interactive,
+    /// Throughput traffic: shed when a shard queue is nearly full.
+    Batch,
+    /// Backfill: shed as soon as a shard queue is half full.
+    Bulk,
+}
+
+impl Priority {
+    /// Every class, highest first (table and metrics order).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Batch, Priority::Bulk];
+
+    /// Stable wire/metrics label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::Bulk => "bulk",
+        }
+    }
+
+    /// Dense index for per-class counter arrays.
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    /// Parse a wire label (case-insensitive).
+    pub fn from_label(s: &str) -> Option<Priority> {
+        Priority::ALL
+            .into_iter()
+            .find(|p| p.label().eq_ignore_ascii_case(s))
+    }
+}
+
 /// Which machine a prediction request targets.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MachineSpec {
@@ -122,6 +166,11 @@ pub struct PredictRequest {
     /// Per-request deadline in milliseconds (server default applies when
     /// absent).
     pub deadline_ms: Option<u64>,
+    /// QoS class from the optional `priority` field. `None` (class-less)
+    /// requests are admitted like [`Priority::Interactive`] but recorded
+    /// in no per-class counter, keeping their replies and metrics
+    /// byte-identical to the pre-QoS wire format.
+    pub priority: Option<Priority>,
 }
 
 impl PredictRequest {
@@ -355,7 +404,7 @@ fn parse_machine(doc: &JsonValue, id: Option<u64>) -> Result<MachineSpec, ProtoE
     }
 }
 
-const PREDICT_KEYS: [&str; 8] = [
+const PREDICT_KEYS: [&str; 9] = [
     "op",
     "id",
     "bench",
@@ -364,6 +413,7 @@ const PREDICT_KEYS: [&str; 8] = [
     "machine",
     "spec",
     "deadline_ms",
+    "priority",
 ];
 
 fn parse_predict(doc: &JsonValue, id: Option<u64>) -> Result<Request, ProtoError> {
@@ -407,6 +457,19 @@ fn parse_predict(doc: &JsonValue, id: Option<u64>) -> Result<Request, ProtoError
         }
     };
     let deadline_ms = get_uint(doc, id, "deadline_ms", 1, 600_000)?;
+    let priority = match get_str(doc, id, "priority")? {
+        None => None,
+        Some(s) => Some(Priority::from_label(s).ok_or_else(|| {
+            ProtoError::new(
+                id,
+                ErrorKind::Invalid,
+                format!(
+                    "unknown priority '{s}' (expected one of: {})",
+                    Priority::ALL.map(|p| p.label()).join(", ")
+                ),
+            )
+        })?),
+    };
     Ok(Request::Predict(Box::new(PredictRequest {
         id,
         bench,
@@ -415,6 +478,7 @@ fn parse_predict(doc: &JsonValue, id: Option<u64>) -> Result<Request, ProtoError
         machine,
         paper_spec,
         deadline_ms,
+        priority,
     })))
 }
 
@@ -587,6 +651,7 @@ mod tests {
         assert_eq!(p.machine, MachineSpec::Preset(MachineId::Sg2044));
         assert!(p.paper_spec);
         assert_eq!(p.deadline_ms, None);
+        assert_eq!(p.priority, None, "class-less requests stay class-less");
     }
 
     #[test]
@@ -602,6 +667,40 @@ mod tests {
         assert_eq!(p.machine, MachineSpec::Preset(MachineId::Sg2042));
         assert!(!p.paper_spec);
         assert_eq!(p.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn priority_classes_parse_and_reject_unknown_labels() {
+        for (label, want) in [
+            ("interactive", Priority::Interactive),
+            ("batch", Priority::Batch),
+            ("bulk", Priority::Bulk),
+            ("BULK", Priority::Bulk),
+        ] {
+            let p = predict(&format!(r#"{{"bench":"cg","priority":"{label}"}}"#));
+            assert_eq!(p.priority, Some(want), "{label}");
+        }
+        let e = parse_request(r#"{"id":7,"bench":"cg","priority":"urgent"}"#).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Invalid);
+        assert_eq!(e.id, Some(7));
+        assert!(
+            e.message.contains("interactive") && e.message.contains("bulk"),
+            "error names the valid classes: {}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn priority_labels_and_indices_are_stable() {
+        assert_eq!(
+            Priority::ALL.map(|p| p.label()),
+            ["interactive", "batch", "bulk"]
+        );
+        for (i, p) in Priority::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Priority::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Priority::from_label("urgent"), None);
     }
 
     #[test]

@@ -45,7 +45,7 @@ use rvhpc_obs::{
 };
 
 use crate::batch::{AdmissionError, Batcher, Job};
-use crate::proto::{self, ErrorKind, PredictRequest, ProtoError, Request};
+use crate::proto::{self, ErrorKind, PredictRequest, Priority, ProtoError, Request};
 
 /// Hard cap on one request line; longer input is a protocol error.
 const MAX_LINE_BYTES: usize = 64 * 1024;
@@ -142,6 +142,13 @@ pub struct ServerConfig {
     pub stall_timeout_ms: u64,
     /// Back-off hint carried in load-shed (`overloaded`) replies.
     pub retry_after_ms: u64,
+    /// Directory of the persistent prediction store (`--store` /
+    /// `RVHPC_STORE`). `None` — the default — serves purely from
+    /// memory, exactly as before the store existed.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Capacity bound on the engine's hot prediction cache; overflow
+    /// evicts FIFO into the disk store (when attached). 0 = unbounded.
+    pub hot_cache_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -162,6 +169,8 @@ impl Default for ServerConfig {
             faults: None,
             stall_timeout_ms: 30_000,
             retry_after_ms: 100,
+            store_dir: None,
+            hot_cache_cap: 0,
         }
     }
 }
@@ -192,6 +201,14 @@ struct Counters {
     shed_total: AtomicU64,
     /// Connections shed for stalling mid-line past the stall timeout.
     stalled_conns_shed: AtomicU64,
+    /// Per-class QoS accounting, indexed by [`Priority::index`]. Only
+    /// requests carrying an explicit `priority` field are recorded, so
+    /// class-less traffic leaves these (and the gated `qos` section)
+    /// untouched.
+    class_requests: [AtomicU64; 3],
+    class_ok: [AtomicU64; 3],
+    class_shed: [AtomicU64; 3],
+    class_latency: [Mutex<LatencyHistogram>; 3],
 }
 
 fn rate(hits: u64, misses: u64) -> f64 {
@@ -300,6 +317,15 @@ fn sample_gauges(counters: &Counters, active: usize, batcher: &Batcher) -> Vec<(
     for (i, d) in depths.iter().enumerate() {
         gauges.push((format!("queue_depth_shard{i}"), *d as f64));
     }
+    // Tier-occupancy gauges: hot-cache size always, disk-store size when
+    // a store is attached. All counter-derived — identical request
+    // sequences produce identical values (eviction is deterministic).
+    let engine = batcher.engine();
+    gauges.push(("cache_entries".to_string(), engine.hot_entries() as f64));
+    if let Some(store) = engine.store() {
+        gauges.push(("store_entries".to_string(), store.len() as f64));
+        gauges.push(("store_bytes".to_string(), store.bytes() as f64));
+    }
     let service = counters.service.lock();
     gauges.push(("service_p50_us".to_string(), service.quantile(0.5) as f64));
     gauges.push(("service_p99_us".to_string(), service.quantile(0.99) as f64));
@@ -340,6 +366,19 @@ impl Server {
             .as_ref()
             .filter(|p| p.is_active())
             .map(|p| Arc::new(Injector::new(p.clone())));
+        // Two-tier store wiring: bound the hot tier first (so eviction
+        // is live before any traffic), then attach the disk tier —
+        // restoring its index warms `is_cached` immediately. With an
+        // injector present the store's appends run through the
+        // chaos shred hook (torn mid-record writes).
+        engine.set_hot_capacity(config.hot_cache_cap);
+        if let Some(dir) = &config.store_dir {
+            let store = engine.attach_store(dir)?;
+            if let Some(inj) = &injector {
+                let inj = Arc::clone(inj);
+                store.set_shred_hook(Box::new(move || inj.roll(FaultSite::StoreTorn)));
+            }
+        }
         let batcher = Arc::new(Batcher::with_injector(
             engine,
             config.shards,
@@ -463,6 +502,12 @@ impl Server {
             let _ = h.join();
         }
         self.batcher.drain();
+        // Snapshot the hot tier into the disk store (when attached) so
+        // the next process starts warm even for entries computed before
+        // the store was wired or never evicted. Append-once: entries
+        // already on disk cost nothing. Failures are reflected in the
+        // store's write_errors counter rather than failing the drain.
+        let _ = self.batcher.engine().snapshot_store();
         Ok(build_metrics_doc(
             &self.counters,
             self.active_conns.load(Ordering::Relaxed),
@@ -489,11 +534,65 @@ fn build_metrics_doc(
         map.insert("server".to_string(), counters.to_json(active));
         map.insert("engine".to_string(), batcher.engine().metrics().to_json());
         map.insert("timeseries".to_string(), timeseries.to_json());
+        // Gated sections: absent on a store-less / class-less server,
+        // keeping the healthy-path document byte-identical to before
+        // these subsystems existed.
+        if let Some(store) = batcher.engine().store_section() {
+            map.insert("store".to_string(), store);
+        }
+        if let Some(qos) = qos_section(counters) {
+            map.insert("qos".to_string(), qos);
+        }
         if let Some(faults) = faults_section(counters, batcher) {
             map.insert("faults".to_string(), faults);
         }
     }
     doc
+}
+
+/// The gated `qos` metrics section: per-class request/ok/shed counters
+/// and latency histograms, classes in priority order, only classes that
+/// actually saw explicit-priority traffic. `None` when no request ever
+/// carried a `priority` field.
+fn qos_section(counters: &Counters) -> Option<JsonValue> {
+    let total: u64 = counters
+        .class_requests
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .sum();
+    if total == 0 {
+        return None;
+    }
+    let mut classes = Vec::new();
+    for p in Priority::ALL {
+        let i = p.index();
+        let requests = counters.class_requests[i].load(Ordering::Relaxed);
+        if requests == 0 {
+            continue;
+        }
+        classes.push((
+            p.label().to_string(),
+            JsonValue::object([
+                ("requests".to_string(), JsonValue::from(requests)),
+                (
+                    "ok".to_string(),
+                    JsonValue::from(counters.class_ok[i].load(Ordering::Relaxed)),
+                ),
+                (
+                    "shed".to_string(),
+                    JsonValue::from(counters.class_shed[i].load(Ordering::Relaxed)),
+                ),
+                (
+                    "latency".to_string(),
+                    counters.class_latency[i].lock().to_json(),
+                ),
+            ]),
+        ));
+    }
+    Some(JsonValue::object([(
+        "classes".to_string(),
+        JsonValue::object(classes),
+    )]))
 }
 
 /// The gated `faults` metrics section: plan + injection counters (when
@@ -785,12 +884,22 @@ impl ConnCtx {
         conn_hits: &mut u64,
         conn_misses: &mut u64,
     ) -> String {
+        // Per-class QoS accounting covers only requests that named a
+        // class; class-less requests are admitted as interactive but
+        // recorded nowhere class-specific, so their replies and metrics
+        // stay byte-identical to the pre-QoS protocol.
+        if let Some(p) = req.priority {
+            self.counters.class_requests[p.index()].fetch_add(1, Ordering::Relaxed);
+        }
         // Chaos: a queue-saturation burst sheds the request at admission
         // exactly as a genuinely full shard queue would — an `overloaded`
         // reply carrying the structured back-off hint.
         if let Some(inj) = &self.injector {
             if inj.roll(FaultSite::QueueSaturate).is_some() {
                 self.counters.shed_total.fetch_add(1, Ordering::Relaxed);
+                if let Some(p) = req.priority {
+                    self.counters.class_shed[p.index()].fetch_add(1, Ordering::Relaxed);
+                }
                 note_recovery("load-shed", trace.id());
                 return proto::render_error(
                     &ProtoError::new(
@@ -811,6 +920,7 @@ impl ConnCtx {
             enqueued_at: Instant::now(),
             trace_id: trace.id(),
             enqueued_us,
+            class: req.priority.unwrap_or(Priority::Interactive),
             reply: tx,
         };
         match self.batcher.submit(job) {
@@ -819,6 +929,9 @@ impl ConnCtx {
                     .rejected_admission
                     .fetch_add(1, Ordering::Relaxed);
                 self.counters.shed_total.fetch_add(1, Ordering::Relaxed);
+                if let Some(p) = req.priority {
+                    self.counters.class_shed[p.index()].fetch_add(1, Ordering::Relaxed);
+                }
                 note_recovery("load-shed", trace.id());
                 return proto::render_error(
                     &ProtoError::new(
@@ -845,6 +958,12 @@ impl ConnCtx {
         match rx.recv_timeout(deadline) {
             Ok(res) => {
                 self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                if let Some(p) = req.priority {
+                    self.counters.class_ok[p.index()].fetch_add(1, Ordering::Relaxed);
+                    self.counters.class_latency[p.index()]
+                        .lock()
+                        .record(res.service_us);
+                }
                 if res.cached {
                     self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                     *conn_hits += 1;

@@ -96,8 +96,8 @@ proptest! {
         flip_at in prop::collection::vec(0usize..256, 0usize..8),
         flip_to in prop::collection::vec(0u16..256, 0usize..8),
     ) {
-        let a = rvhpc_serve::loadgen::request_line(k, rvhpc_serve::Mix::Mixed, Some(500));
-        let b = rvhpc_serve::loadgen::request_line(j, rvhpc_serve::Mix::Mixed, None);
+        let a = rvhpc_serve::loadgen::request_line(k, rvhpc_serve::Mix::Mixed, Some(500), None);
+        let b = rvhpc_serve::loadgen::request_line(j, rvhpc_serve::Mix::Mixed, None, None);
         // Torn write: only a prefix of frame `a` made it out...
         let mut bytes = a.as_bytes()[..cut.min(a.len())].to_vec();
         // ...spliced against the tail of the next frame on the stream.
@@ -120,7 +120,7 @@ proptest! {
 #[test]
 fn injector_style_corruption_is_rejected_structurally() {
     for k in 0..64 {
-        let line = rvhpc_serve::loadgen::request_line(k, rvhpc_serve::Mix::Mixed, None);
+        let line = rvhpc_serve::loadgen::request_line(k, rvhpc_serve::Mix::Mixed, None, None);
         let corrupted = format!(";{}", &line[1..]);
         let err = parse_request(&corrupted).expect_err("corrupted frame must not parse");
         let reply = render_error(&err);

@@ -15,12 +15,12 @@
 //! Exit codes: `0` all requests answered `ok`, `1` some requests failed
 //! or were dropped, `2` usage error, `3` connect/write failure.
 
-use rvhpc::serve::{loadgen, LoadgenConfig, Mix};
+use rvhpc::serve::{loadgen, ClassMix, LoadgenConfig, Mix};
 
 fn usage_text() -> &'static str {
     "usage: loadgen --addr HOST:PORT [--requests N] [--conns N] [--rate R]\n\
      \x20              [--mix preset|mixed] [--deadline-ms N] [--sample-ms N]\n\
-     \x20              [--retry] [--retry-seed N] [--out FILE]\n\
+     \x20              [--retry] [--retry-seed N] [--class-mix SPEC] [--out FILE]\n\
      \x20 --addr:        server address (required)\n\
      \x20 --requests:    total requests to send (default 1000)\n\
      \x20 --conns:       concurrent connections (default 4)\n\
@@ -35,6 +35,9 @@ fn usage_text() -> &'static str {
      \x20                (transient failures and load-shed replies are retried\n\
      \x20                with capped backoff instead of counting as drops)\n\
      \x20 --retry-seed:  seed for the retry client's backoff jitter (default 0)\n\
+     \x20 --class-mix:   weighted QoS class schedule, e.g. 'interactive:8,batch:2';\n\
+     \x20                requests carry the scheduled priority field and the\n\
+     \x20                report gains a per-class breakdown (default: class-less)\n\
      \x20 --out:         also write the metrics document to FILE\n\
      \x20 -h, --help:    print this help and exit\n\
      exit codes: 0 all ok, 1 errors/drops observed, 2 usage error,\n\
@@ -72,6 +75,15 @@ fn main() {
             "--sample-ms" => cfg.sample_ms = parse_num("--sample-ms", args.next()),
             "--retry" => cfg.retry = true,
             "--retry-seed" => cfg.retry_seed = parse_num("--retry-seed", args.next()),
+            "--class-mix" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--class-mix needs a spec"));
+                match ClassMix::parse(&spec) {
+                    Ok(mix) => cfg.class_mix = Some(mix),
+                    Err(e) => usage_error(&format!("bad class mix '{spec}': {e}")),
+                }
+            }
             "--mix" => {
                 cfg.mix = match args.next().as_deref() {
                     Some("preset") => Mix::Preset,
@@ -128,6 +140,13 @@ fn main() {
         eprintln!(
             "loadgen: retry client: {} retries, {} reconnects",
             report.retries, report.reconnects
+        );
+    }
+    for c in &report.classes {
+        eprintln!(
+            "loadgen: class {}: {} sent, {} ok, {} shed, {} errors, {} dropped; \
+             p50 {} us, p99 {} us",
+            c.label, c.sent, c.ok, c.shed, c.errors, c.dropped, c.p50_us, c.p99_us
         );
     }
     if !report.cache_hit_rate_samples.is_empty() {

@@ -7,6 +7,7 @@
 //! obsdiff baseline.json current.json --ratio 1.5   # tighter quantile gate
 //! obsdiff baseline.json current.json --floor-us 50 # lower noise floor
 //! obsdiff baseline.json current.json --strict      # shape changes fail too
+//! obsdiff base.json cur.json --class-slo interactive:2000000  # QoS p99 gate
 //! obsdiff --trajectory results/                    # render BENCH_* history
 //! ```
 //!
@@ -29,6 +30,7 @@ use rvhpc::obs::{benchdoc, diff_any, doc_kind, DiffConfig, JsonValue, BENCH_SCHE
 fn usage_text() -> &'static str {
     "usage: obsdiff [bench|metrics] BASELINE.json CURRENT.json\n\
      \x20              [--ratio R] [--floor-us N] [--strict]\n\
+     \x20              [--class-slo CLASS:P99_US]...\n\
      \x20      obsdiff --trajectory DIR\n\
      \x20 BASELINE.json: reference document (rvhpc-metrics/1 or rvhpc-bench/1)\n\
      \x20 CURRENT.json:  candidate document to gate\n\
@@ -40,6 +42,10 @@ fn usage_text() -> &'static str {
      \x20 --floor-us:    ignore quantile growth below this absolute value\n\
      \x20                (default 200 us — scheduler noise on idle latencies)\n\
      \x20 --strict:      keys/targets present on one side only are regressions\n\
+     \x20 --class-slo:   absolute per-class p99 budget in us (repeatable), e.g.\n\
+     \x20                'interactive:2000000': the CURRENT document must carry\n\
+     \x20                a classes.CLASS.latency section with p99_us at or under\n\
+     \x20                the budget (missing class = exit 2, busted = exit 1)\n\
      \x20 --trajectory:  render the BENCH_<n>.json history under DIR as one\n\
      \x20                markdown table (median wall time per target) and exit\n\
      \x20 -h, --help:    print this help and exit\n\
@@ -109,6 +115,22 @@ fn main() {
                     .unwrap_or_else(|| usage_error("--floor-us needs a numeric argument"));
             }
             "--strict" => cfg.strict = true,
+            "--class-slo" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--class-slo needs CLASS:P99_US"));
+                let parsed = spec.split_once(':').and_then(|(class, budget)| {
+                    let budget: f64 = budget.trim().parse().ok()?;
+                    (!class.trim().is_empty() && budget >= 0.0)
+                        .then(|| (class.trim().to_string(), budget))
+                });
+                match parsed {
+                    Some(slo) => cfg.class_slos.push(slo),
+                    None => usage_error(&format!(
+                        "bad class SLO '{spec}' (expected CLASS:P99_US, e.g. interactive:2000000)"
+                    )),
+                }
+            }
             "--trajectory" => {
                 let dir = args
                     .next()

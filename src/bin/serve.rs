@@ -11,6 +11,8 @@
 //! serve --sample-ms 1000          # background timeseries sampler interval
 //! serve --trace trace.json        # record spans; write Chrome trace on exit
 //! serve --faults 'seed=42,panic=5:40x3'  # deterministic fault injection
+//! serve --store ./store            # persistent prediction store (warm restarts)
+//! serve --cache-cap 4096           # bound the hot cache; overflow spills to disk
 //! ```
 //!
 //! Speaks the newline-delimited JSON protocol of `rvhpc-serve` (see
@@ -29,6 +31,7 @@ fn usage_text() -> &'static str {
     "usage: serve [--addr HOST:PORT] [--shards N] [--queue N]\n\
      \x20            [--pool-threads N] [--deadline-ms N] [--metrics FILE]\n\
      \x20            [--slow-us N] [--sample-ms N] [--trace FILE] [--faults SPEC]\n\
+     \x20            [--store DIR] [--cache-cap N]\n\
      \x20 --addr:         bind address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
      \x20 --shards:       batching worker shards (default: up to 4)\n\
      \x20 --queue:        admission queue depth per shard (default 128)\n\
@@ -43,8 +46,15 @@ fn usage_text() -> &'static str {
      \x20 --trace:        enable span recording; write a Chrome trace here on exit\n\
      \x20 --faults:       deterministic fault-injection plan, e.g.\n\
      \x20                 'seed=42,panic=5:40x3,torn=3:20,saturate=17:70x3'\n\
-     \x20                 (sites: panic stall torn drop corrupt saturate;\n\
+     \x20                 (sites: panic stall torn drop corrupt saturate store;\n\
      \x20                 overrides the RVHPC_FAULTS environment variable)\n\
+     \x20 --store:        persistent prediction-store directory: predictions are\n\
+     \x20                 written through to disk and restored on the next start,\n\
+     \x20                 so a restarted server replays its history without\n\
+     \x20                 recomputing (overrides the RVHPC_STORE env variable)\n\
+     \x20 --cache-cap:    bound the in-memory hot cache to N predictions;\n\
+     \x20                 overflow evicts FIFO into the store when one is\n\
+     \x20                 attached (default 0 = unbounded)\n\
      \x20 -h, --help:     print this help and exit\n\
      stops on SIGTERM/ctrl-C or an admin {\"op\":\"quit\"} request\n\
      exit codes: 0 success, 2 usage error, 3 bind/write failure"
@@ -103,6 +113,14 @@ fn main() {
                     .unwrap_or_else(|| usage_error("--faults needs a plan spec"));
                 faults_spec = Some(spec);
             }
+            "--store" => {
+                config.store_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--store needs a directory path"))
+                        .into(),
+                );
+            }
+            "--cache-cap" => config.hot_cache_cap = parse_num("--cache-cap", args.next()),
             "-h" | "--help" => {
                 println!("{}", usage_text());
                 return;
@@ -112,6 +130,14 @@ fn main() {
     }
     if config.shards == 0 || config.queue_cap == 0 {
         usage_error("--shards and --queue must be at least 1");
+    }
+    // --store wins over the RVHPC_STORE environment variable.
+    if config.store_dir.is_none() {
+        if let Ok(dir) = std::env::var("RVHPC_STORE") {
+            if !dir.trim().is_empty() {
+                config.store_dir = Some(dir.into());
+            }
+        }
     }
     // --faults wins over the RVHPC_FAULTS environment variable.
     let faults_spec = faults_spec.or_else(|| std::env::var(rvhpc::faults::FAULTS_ENV).ok());
@@ -123,6 +149,10 @@ fn main() {
             }
             Err(e) => usage_error(&format!("bad fault plan '{spec}': {e}")),
         }
+    }
+
+    if let Some(dir) = &config.store_dir {
+        eprintln!("serve: persistent store at {}", dir.display());
     }
 
     install_signal_drain();

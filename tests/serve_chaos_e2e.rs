@@ -72,7 +72,7 @@ fn run_chaos(plan: Option<&str>) -> (JsonValue, ClientStats, usize) {
     });
     let mut ok = 0usize;
     for k in 0..CHAOS_REQUESTS {
-        let line = loadgen::request_line(k, loadgen::Mix::Mixed, None);
+        let line = loadgen::request_line(k, loadgen::Mix::Mixed, None, None);
         match client.call(&line) {
             Ok(doc) => {
                 assert_eq!(
@@ -198,7 +198,7 @@ fn empty_plan_is_not_armed() {
     let _guard = SERVER_LOCK.lock().unwrap();
     let (addr, handle) = boot(chaos_config(Some("seed=9")));
     let mut client = RetryClient::connect(addr.to_string());
-    let line = loadgen::request_line(0, loadgen::Mix::Preset, None);
+    let line = loadgen::request_line(0, loadgen::Mix::Preset, None, None);
     client.call(&line).expect("predict is acked");
     client.call("{\"op\":\"quit\"}").expect("quit is acked");
     drop(client);
@@ -222,7 +222,7 @@ fn load_shed_reply_carries_retry_after_hint() {
         .unwrap();
     let mut writer = stream.try_clone().unwrap();
     let mut reader = BufReader::new(stream);
-    let line = loadgen::request_line(0, loadgen::Mix::Preset, None);
+    let line = loadgen::request_line(0, loadgen::Mix::Preset, None, None);
     writeln!(writer, "{line}").unwrap();
     let mut reply = String::new();
     reader.read_line(&mut reply).unwrap();
