@@ -32,12 +32,16 @@
 //! * [`tlb`] — a page-translation model demonstrating the IS scatter's
 //!   TLB-thrash signature (standalone; its average effect is inside the
 //!   calibrated constants).
+//! * [`replay`] — the trace-consuming front door for the instruction-level
+//!   backend (`rvhpc-isa`): routes decoded-instruction trace events into
+//!   the per-thread cache/TLB models plus a deterministic branch predictor.
 
 pub mod cache;
 pub mod counters;
 pub mod dram;
 pub mod hierarchy;
 pub mod pipeline;
+pub mod replay;
 pub mod simulate;
 pub mod stall;
 pub mod stream_gen;
@@ -49,6 +53,7 @@ pub use counters::{CoreCounters, HierarchyCounters, PhaseCounters, QueueOccupanc
 pub use dram::{DramModel, SaturationLaw};
 pub use hierarchy::{Hierarchy, MissBreakdown};
 pub use pipeline::PipelineModel;
+pub use replay::{BranchPredictor, ReplayStats, TraceConsumer, TraceEvent};
 pub use simulate::TraceHierarchy;
 pub use stall::StallAccount;
 pub use tlb::Tlb;

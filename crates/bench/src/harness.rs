@@ -15,6 +15,9 @@
 //!   engine (the serve worker hot path).
 //! * **serve** — request p50/p99 against an in-process loopback server
 //!   over real TCP, one sample per request.
+//! * **isa** — the instruction-level backend: RV64 decode throughput and
+//!   per-kernel interpret throughput (both in Minstr/s), the costs that
+//!   bound `Backend::Isa` characterization latency.
 //!
 //! Parallel targets additionally run a short *attribution pass* with
 //! the obs recorder enabled (timing passes always run untraced) and
@@ -28,6 +31,8 @@
 use std::time::Instant;
 
 use rvhpc_core::engine::{Engine, Plan, Query};
+use rvhpc_isa::kernels::MAX_STEPS;
+use rvhpc_isa::{build, decode_program, run as isa_run, ExtSet, KernelId, NullTracer};
 use rvhpc_machines::MachineId;
 use rvhpc_npb::common::class::{cg_params, is_params};
 use rvhpc_npb::mg::ResidualBench;
@@ -430,8 +435,90 @@ fn serve_predict_loopback(cfg: &HarnessConfig) -> TargetResult {
     }
 }
 
+fn isa_decode(cfg: &HarnessConfig) -> TargetResult {
+    // Concatenate all four kernels' code and replicate it to ~64 KiB so
+    // one decode pass is comfortably above timer resolution; the mix
+    // (compressed + full-width + vector) matches what characterization
+    // actually decodes.
+    let ext = ExtSet::full();
+    let unit: Vec<u8> = KernelId::ALL
+        .iter()
+        .flat_map(|&k| build(k, &ext, 128).code)
+        .collect();
+    let mut bytes = Vec::new();
+    while bytes.len() < 64 * 1024 {
+        bytes.extend_from_slice(&unit);
+    }
+    let instrs = decode_program(&bytes, 0x1000, &ext).instrs.len();
+    const INNER: usize = 8;
+    let it = iters(cfg, 60, 15);
+    let samples_us = time_iters(&it, || {
+        for _ in 0..INNER {
+            let prog = decode_program(&bytes, 0x1000, &ext);
+            std::hint::black_box(prog.instrs.len());
+        }
+    });
+    TargetResult {
+        name: "isa_decode",
+        group: "isa",
+        parallel: false,
+        samples_us,
+        work: Some(Work {
+            unit: "Minstr/s",
+            per_iter: (INNER * instrs) as f64,
+            scale: 1e6,
+        }),
+        stalls: None,
+    }
+}
+
+/// Interpret one kernel end to end (fresh CPU state per iteration, no
+/// tracer) and report retired guest instructions per second.
+fn isa_interp(cfg: &HarnessConfig, kernel: KernelId, name: &'static str) -> TargetResult {
+    let ext = ExtSet::full();
+    let built = build(kernel, &ext, 128);
+    let prog = built.decode(&ext);
+    let mut instret = 0u64;
+    let it = iters(cfg, 20, 5);
+    let samples_us = time_iters(&it, || {
+        let mut cpu = built.cpu.clone();
+        let stats = isa_run(&mut cpu, &prog, &mut NullTracer, MAX_STEPS)
+            .expect("bench kernel must not trap");
+        instret = stats.instret;
+        std::hint::black_box(cpu.pc);
+    });
+    TargetResult {
+        name,
+        group: "isa",
+        parallel: false,
+        samples_us,
+        work: Some(Work {
+            unit: "Minstr/s",
+            per_iter: instret as f64,
+            scale: 1e6,
+        }),
+        stalls: None,
+    }
+}
+
+fn isa_interp_triad(cfg: &HarnessConfig) -> TargetResult {
+    isa_interp(cfg, KernelId::Triad, "isa_interp_triad")
+}
+
+fn isa_interp_spmv(cfg: &HarnessConfig) -> TargetResult {
+    isa_interp(cfg, KernelId::Spmv, "isa_interp_spmv")
+}
+
+fn isa_interp_mg(cfg: &HarnessConfig) -> TargetResult {
+    isa_interp(cfg, KernelId::MgResid, "isa_interp_mg")
+}
+
+fn isa_interp_ep(cfg: &HarnessConfig) -> TargetResult {
+    isa_interp(cfg, KernelId::EpAccum, "isa_interp_ep")
+}
+
 /// Every target in suite order.
-pub const TARGET_NAMES: [&str; 7] = [
+pub const TARGET_NAMES: [&str; 12] = [
     "host_stream_triad",
     "host_cg_spmv",
     "host_mg_resid",
@@ -439,6 +526,11 @@ pub const TARGET_NAMES: [&str; 7] = [
     "engine_batch_cold",
     "engine_batch_warm",
     "serve_predict_loopback",
+    "isa_decode",
+    "isa_interp_triad",
+    "isa_interp_spmv",
+    "isa_interp_mg",
+    "isa_interp_ep",
 ];
 
 /// A named target-runner entry in the suite table.
@@ -447,7 +539,7 @@ type Runner = (&'static str, fn(&HarnessConfig) -> TargetResult);
 /// Run the curated suite (or the `filter`ed subset) and return per-target
 /// results in suite order.
 pub fn run(cfg: &HarnessConfig) -> Vec<TargetResult> {
-    let runners: [Runner; 7] = [
+    let runners: [Runner; 12] = [
         ("host_stream_triad", host_stream_triad),
         ("host_cg_spmv", host_cg_spmv),
         ("host_mg_resid", host_mg_resid),
@@ -455,6 +547,11 @@ pub fn run(cfg: &HarnessConfig) -> Vec<TargetResult> {
         ("engine_batch_cold", engine_batch_cold),
         ("engine_batch_warm", engine_batch_warm),
         ("serve_predict_loopback", serve_predict_loopback),
+        ("isa_decode", isa_decode),
+        ("isa_interp_triad", isa_interp_triad),
+        ("isa_interp_spmv", isa_interp_spmv),
+        ("isa_interp_mg", isa_interp_mg),
+        ("isa_interp_ep", isa_interp_ep),
     ];
     let was_enabled = obs::enabled();
     obs::set_enabled(false); // timing passes must run untraced

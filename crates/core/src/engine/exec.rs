@@ -26,9 +26,19 @@ use rvhpc_obs::{EventKind, JsonValue, TraceCtx};
 use rvhpc_parallel::Pool;
 
 use crate::engine::cache::ShardedCache;
-use crate::engine::plan::{CacheKey, Plan, Query};
+use crate::engine::plan::{Backend, CacheKey, Plan, Query};
 use crate::engine::store::DiskStore;
-use crate::model::{predict, Prediction};
+use crate::model::{predict, Prediction, Scenario};
+
+/// Evaluate one query's prediction with its selected backend. Both the
+/// single-query path and the batch executor funnel through here, so
+/// `Backend::Isa` queries are trace-driven everywhere predictions are made.
+fn compute_prediction(q: &Query, profile: &WorkloadProfile, scenario: &Scenario) -> Prediction {
+    match q.backend {
+        Backend::Profile => predict(profile, scenario),
+        Backend::Isa(ext) => crate::isa_backend::predict_isa(profile, scenario, ext),
+    }
+}
 
 /// Environment variable naming the default worker count for plan
 /// execution (overridden by `--jobs` / [`set_default_jobs`]).
@@ -336,7 +346,7 @@ impl Engine {
         let machine = plan.machine_of(q);
         let profile = self.profile(q.bench, q.class);
         let scenario = q.scenario(&machine);
-        let pred = Arc::new(predict(&profile, &scenario));
+        let pred = Arc::new(compute_prediction(q, &profile, &scenario));
         self.predictions.insert(key, Arc::clone(&pred));
         self.write_through(&key, &pred);
         pred
@@ -466,7 +476,7 @@ impl Engine {
             let machine = plan.machine_of(q);
             let profile = self.profile(q.bench, q.class);
             let scenario = q.scenario(&machine);
-            let pred = Arc::new(predict(&profile, &scenario));
+            let pred = Arc::new(compute_prediction(q, &profile, &scenario));
             self.predictions.insert(*key, Arc::clone(&pred));
             self.write_through(key, &pred);
             pred

@@ -32,5 +32,5 @@ pub mod store;
 
 pub use cache::ShardedCache;
 pub use exec::{jobs_from_env, set_default_jobs, Engine, EngineMetrics, Resolved, JOBS_ENV};
-pub use plan::{machine_fingerprint, CacheKey, MachineSel, Plan, Query, SpecKind};
+pub use plan::{machine_fingerprint, Backend, CacheKey, MachineSel, Plan, Query, SpecKind};
 pub use store::{DiskStore, StoreMetrics};

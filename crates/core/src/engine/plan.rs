@@ -44,6 +44,21 @@ pub enum SpecKind {
     },
 }
 
+/// Which prediction backend evaluates a query. `Profile` drives the
+/// analytic model from characterized workload profiles (the original
+/// pipeline); `Isa` characterizes an NPB-shaped kernel at instruction
+/// granularity through the `rvhpc-isa` decode → CFG → interpret → trace
+/// pipeline and feeds the measured instruction/branch mix into the same
+/// timing model. The two memoize and serve independently: `Backend` is
+/// part of [`Query`] and [`CacheKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Profile-driven analytic prediction (default).
+    Profile,
+    /// Trace-driven prediction with the given extension ablation.
+    Isa(rvhpc_isa::IsaExt),
+}
+
 /// One point of the evaluation grid. `Copy`, order-free, and hashable —
 /// the unit the cache and executor work in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,6 +68,7 @@ pub struct Query {
     pub class: Class,
     pub threads: u32,
     pub spec: SpecKind,
+    pub backend: Backend,
 }
 
 impl Query {
@@ -64,6 +80,7 @@ impl Query {
             class,
             threads,
             spec: SpecKind::Headline,
+            backend: Backend::Profile,
         }
     }
 
@@ -75,7 +92,13 @@ impl Query {
             class,
             threads,
             spec: SpecKind::PaperHeadline,
+            backend: Backend::Profile,
         }
+    }
+
+    /// Same query evaluated by a different backend.
+    pub fn with_backend(self, backend: Backend) -> Self {
+        Self { backend, ..self }
     }
 
     /// Resolve this query's spec to a concrete [`Scenario`] on `machine`.
@@ -109,6 +132,7 @@ pub struct CacheKey {
     class: Class,
     threads: u32,
     spec: SpecKind,
+    backend: Backend,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -232,6 +256,7 @@ impl Plan {
             class: q.class,
             threads: q.threads,
             spec: q.spec,
+            backend: q.backend,
         }
     }
 }
@@ -259,6 +284,7 @@ mod tests {
             class: Class::B,
             threads: 4,
             spec: SpecKind::Headline,
+            backend: Backend::Profile,
         });
 
         let mut b = Plan::new();
@@ -271,6 +297,7 @@ mod tests {
             class: Class::B,
             threads: 4,
             spec: SpecKind::Headline,
+            backend: Backend::Profile,
         });
 
         a.merge(b);
@@ -301,6 +328,25 @@ mod tests {
             machine_fingerprint(&presets::sg2044()),
             machine_fingerprint(&presets::sg2044())
         );
+    }
+
+    #[test]
+    fn backend_is_part_of_the_cache_key() {
+        let p = Plan::new();
+        let q = Query::paper(MachineId::Sg2044, BenchmarkId::Cg, Class::C, 64);
+        let q_isa = q.with_backend(Backend::Isa(rvhpc_isa::IsaExt::full()));
+        assert_ne!(
+            p.key_of(&q),
+            p.key_of(&q_isa),
+            "backends memoize independently"
+        );
+        assert_ne!(p.key_of(&q).fingerprint(), p.key_of(&q_isa).fingerprint());
+        // Distinct ablation settings are distinct keys too.
+        let q_nozbb = q.with_backend(Backend::Isa(rvhpc_isa::IsaExt {
+            zbb: false,
+            ..rvhpc_isa::IsaExt::full()
+        }));
+        assert_ne!(p.key_of(&q_isa), p.key_of(&q_nozbb));
     }
 
     #[test]

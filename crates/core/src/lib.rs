@@ -18,6 +18,10 @@
 //!   query plans, content-addressed memo caches for workload profiles and
 //!   predictions, and a batch executor running on `rvhpc-parallel`
 //!   (`RVHPC_JOBS` / `reproduce --jobs N`).
+//! * [`isa_backend`] — the trace-driven prediction backend
+//!   (`Backend::Isa`): NPB-shaped kernels characterized at instruction
+//!   granularity through `rvhpc-isa` and scaled to class size through the
+//!   same timing model.
 //! * [`experiment`] — one generator per paper table/figure, expressed as
 //!   declarative plans resolved through the engine.
 //! * [`report`] — markdown / CSV / ASCII-plot rendering.
@@ -29,6 +33,7 @@
 pub mod calibrate;
 pub mod engine;
 pub mod experiment;
+pub mod isa_backend;
 pub mod metrics;
 pub mod model;
 pub mod paper;

@@ -162,6 +162,18 @@ pub fn prediction_document(
 /// executor counters attached as the `engine` section — hit/miss for
 /// both memo caches plus batch executor occupancy, matching the section
 /// exported by `rvhpc-obs` runtime metrics.
+/// Attach a named extra section to a metrics document. Used for gated
+/// sections that only appear under specific run modes — e.g. the `isa`
+/// section ([`crate::isa_backend::isa_section`]) is attached only when
+/// the trace-driven backend is selected, so profile-backend documents
+/// stay byte-compatible with earlier `rvhpc-metrics/1` consumers.
+pub fn with_section(mut doc: JsonValue, name: &str, section: JsonValue) -> JsonValue {
+    if let JsonValue::Object(map) = &mut doc {
+        map.insert(name.to_string(), section);
+    }
+    doc
+}
+
 pub fn prediction_document_with_engine(
     profile: &WorkloadProfile,
     scenario: &Scenario<'_>,

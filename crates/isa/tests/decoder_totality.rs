@@ -1,0 +1,156 @@
+//! Decoder totality: arbitrary words never panic (decoding to `Illegal` is
+//! fine), and golden encode → decode round-trips cover one instruction per
+//! implemented format (R, R4, I, S, B, U, J, compressed, vector).
+
+use proptest::prelude::*;
+use rvhpc_isa::decode::{decode, decode_compressed, decode_program};
+use rvhpc_isa::encode::{
+    enc_b, enc_c_addi, enc_c_bnez, enc_c_mv, enc_i, enc_j, enc_r, enc_r4, enc_s, enc_u, Asm,
+};
+use rvhpc_isa::ir::{ExtSet, Op};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn arbitrary_words_never_panic(w in 0u32..u32::MAX) {
+        let _ = decode(w, &ExtSet::full());
+        let _ = decode(w, &ExtSet::rv64imac());
+        prop_assert!(true);
+    }
+
+    #[test]
+    fn arbitrary_halfwords_never_panic(h in 0u32..(u16::MAX as u32)) {
+        let h = h as u16;
+        let _ = decode_compressed(h, &ExtSet::full());
+        let _ = decode_compressed(h, &ExtSet::rv64imac());
+        prop_assert!(true);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_byte_streams_never_panic(bytes in prop::collection::vec(0u32..256, 0..64)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let prog = decode_program(&bytes, 0x1000, &ExtSet::full());
+        // Every decoded pc advances by its instruction size.
+        let mut expect_pc = 0x1000u64;
+        for (pc, i) in &prog.instrs {
+            prop_assert_eq!(*pc, expect_pc);
+            expect_pc += i.size as u64;
+        }
+    }
+}
+
+#[test]
+fn boundary_words_never_panic() {
+    // The range strategy above excludes its upper endpoint; pin the
+    // boundaries (and a few all-ones/all-zeros patterns) explicitly.
+    for w in [0u32, 1, 0x7fff_ffff, 0x8000_0000, u32::MAX - 1, u32::MAX] {
+        let _ = decode(w, &ExtSet::full());
+    }
+    for h in [0u16, 1, 0x7fff, 0x8000, u16::MAX - 1, u16::MAX] {
+        let _ = decode_compressed(h, &ExtSet::full());
+    }
+}
+
+fn full() -> ExtSet {
+    ExtSet::full()
+}
+
+#[test]
+fn golden_r_format_add() {
+    let i = decode(enc_r(0x33, 0, 0, 3, 4, 5), &full());
+    assert_eq!((i.op, i.rd, i.rs1, i.rs2, i.size), (Op::Add, 3, 4, 5, 4));
+}
+
+#[test]
+fn golden_r4_format_fmadd_d() {
+    let i = decode(enc_r4(0x43, 0b111, 0b01, 1, 2, 3, 4), &full());
+    assert_eq!((i.op, i.rd, i.rs1, i.rs2, i.rs3), (Op::FmaddD, 1, 2, 3, 4));
+}
+
+#[test]
+fn golden_i_format_addi_and_ld() {
+    let i = decode(enc_i(0x13, 0, 7, 8, -3), &full());
+    assert_eq!((i.op, i.rd, i.rs1, i.imm), (Op::Addi, 7, 8, -3));
+    let l = decode(enc_i(0x03, 3, 9, 10, 2040), &full());
+    assert_eq!((l.op, l.rd, l.rs1, l.imm), (Op::Ld, 9, 10, 2040));
+}
+
+#[test]
+fn golden_s_format_sd() {
+    let i = decode(enc_s(0x23, 3, 11, 12, -16), &full());
+    assert_eq!((i.op, i.rs1, i.rs2, i.imm), (Op::Sd, 11, 12, -16));
+}
+
+#[test]
+fn golden_b_format_bne() {
+    let i = decode(enc_b(0x63, 1, 5, 6, -64), &full());
+    assert_eq!((i.op, i.rs1, i.rs2, i.imm), (Op::Bne, 5, 6, -64));
+    let fwd = decode(enc_b(0x63, 1, 5, 6, 4094), &full());
+    assert_eq!(fwd.imm, 4094);
+}
+
+#[test]
+fn golden_u_format_lui() {
+    let i = decode(enc_u(0x37, 13, 0x12345 << 12), &full());
+    assert_eq!((i.op, i.rd, i.imm), (Op::Lui, 13, 0x12345 << 12));
+}
+
+#[test]
+fn golden_j_format_jal() {
+    let i = decode(enc_j(0x6f, 1, -2048), &full());
+    assert_eq!((i.op, i.rd, i.imm), (Op::Jal, 1, -2048));
+}
+
+#[test]
+fn golden_compressed_c_addi_c_mv_c_bnez() {
+    let a = decode_compressed(enc_c_addi(5, -7), &full());
+    assert_eq!((a.op, a.rd, a.rs1, a.imm, a.size), (Op::Addi, 5, 5, -7, 2));
+    let m = decode_compressed(enc_c_mv(30, 28), &full());
+    assert_eq!((m.op, m.rd, m.rs1, m.rs2, m.size), (Op::Add, 30, 0, 28, 2));
+    let b = decode_compressed(enc_c_bnez(9, -24), &full());
+    assert_eq!((b.op, b.rs1, b.rs2, b.imm, b.size), (Op::Bne, 9, 0, -24, 2));
+}
+
+#[test]
+fn golden_vector_subset() {
+    // Encode via the assembler (single source of truth) and decode.
+    let mut asm = Asm::new();
+    asm.vsetvli_e64m1(6, 5);
+    asm.vle64(1, 11);
+    asm.vse64(2, 12);
+    asm.vluxei64(3, 13, 4);
+    asm.vfmacc_vf(1, 0, 2);
+    asm.vfadd_vv(3, 1, 2);
+    let prog = decode_program(&asm.finish(), 0, &full());
+    let ops: Vec<Op> = prog.instrs.iter().map(|(_, i)| i.op).collect();
+    assert_eq!(
+        ops,
+        vec![
+            Op::Vsetvli,
+            Op::Vle64,
+            Op::Vse64,
+            Op::Vluxei64,
+            Op::VfmaccVf,
+            Op::VfaddVv
+        ]
+    );
+    let (_, vset) = prog.instrs[0];
+    assert_eq!((vset.rd, vset.rs1), (6, 5));
+    let (_, gather) = prog.instrs[3];
+    assert_eq!((gather.rd, gather.rs1, gather.rs2), (3, 13, 4));
+}
+
+#[test]
+fn extension_gating_decodes_to_illegal() {
+    let mut asm = Asm::new();
+    asm.sh3add(3, 4, 5);
+    let bytes = asm.finish();
+    let w = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    assert_eq!(decode(w, &full()).op, Op::Sh3add);
+    assert_eq!(decode(w, &ExtSet::rv64imac()).op, Op::Illegal);
+}

@@ -192,6 +192,9 @@ impl PredictRequest {
             } else {
                 SpecKind::Headline
             },
+            // The wire protocol predates the ISA backend; served
+            // predictions stay profile-driven.
+            backend: rvhpc_core::engine::Backend::Profile,
         };
         plan.push(q);
         (plan, q)

@@ -48,6 +48,7 @@ fn query(sel: MachineSel, bench: BenchmarkId) -> Query {
         class: Class::C,
         threads: 64,
         spec: SpecKind::PaperHeadline,
+        backend: rvhpc::eval::engine::Backend::Profile,
     }
 }
 

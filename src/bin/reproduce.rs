@@ -10,6 +10,7 @@
 //! reproduce obs-diff BASE.json CUR.json [--ratio R] [--floor-us N] [--strict]
 //! reproduce bench [--filter PAT] [--out FILE] [--quick]   # curated suite
 //! reproduce bench --render DOC.json                       # BENCHMARKS.md
+//! reproduce isa [--report] [--ablate] [--compare] [--no-zba] [--no-zbb]
 //! ```
 //!
 //! Every model number flows through the prediction engine: the full
@@ -28,6 +29,12 @@
 //! committed trajectory under `results/`; see README "Benchmark
 //! trajectory". `bench --render` regenerates `BENCHMARKS.md` from a
 //! committed document, byte-identically.
+//!
+//! `isa` exercises the instruction-level backend: each kernel is
+//! assembled for the selected extension set, decoded, interpreted with
+//! trace replay into the archsim models, and reported rvr-style
+//! (instret, IPC, ops/instr, branch-miss %). Output is deterministic —
+//! byte-identical across runs and `--jobs` values.
 //!
 //! Exit codes: `0` success, `1` obs-diff regression, `2` usage error,
 //! `3` output write failure, unreadable/invalid input, or incomparable
@@ -97,6 +104,9 @@ fn usage_text() -> &'static str {
      \x20                [--strict]\n\
      \x20      reproduce bench [--filter PAT] [--out FILE] [--quick]\n\
      \x20      reproduce bench --render DOC.json\n\
+     \x20      reproduce isa [--report] [--ablate] [--compare [--tolerance R]]\n\
+     \x20                [--kernel K] [--class C] [--threads N]\n\
+     \x20                [--no-zba] [--no-zbb] [--no-rvv] [--metrics FILE]\n\
      \x20 EXPERIMENT: table1..table8, fig1..fig6, stalls, extensions\n\
      \x20             (no argument: full report + results/ artifacts)\n\
      \x20 --jobs N:   prediction-engine worker count (default: RVHPC_JOBS,\n\
@@ -115,6 +125,14 @@ fn usage_text() -> &'static str {
      \x20             iteration counts (or set RVHPC_BENCH_QUICK), --filter\n\
      \x20             runs matching targets only, --out overrides the path,\n\
      \x20             --render prints BENCHMARKS.md for an existing document\n\
+     \x20 isa:        run the instruction-level backend's kernels (triad,\n\
+     \x20             spmv, mg, ep) through decode -> CFG -> interpret ->\n\
+     \x20             trace replay and print the rvr-style per-kernel table\n\
+     \x20             (instret, IPC, ops/instr, branch-miss %); --ablate\n\
+     \x20             sweeps single-extension drops, --compare checks the\n\
+     \x20             trace-driven prediction against the profile backend\n\
+     \x20             (exit 1 beyond --tolerance, default 4.0), --metrics\n\
+     \x20             writes rvhpc-metrics/1 with the gated isa section\n\
      \x20 -h, --help: print this help and exit\n\
      exit codes: 0 success, 1 obs-diff regression, 2 usage error,\n\
      \x20            3 write failure, bad input, or incomparable documents"
@@ -222,6 +240,165 @@ fn obs_diff(rest: &[String]) -> ! {
         std::process::exit(3);
     }
     std::process::exit(if report.has_regressions() { 1 } else { 0 });
+}
+
+/// The `isa` subcommand: run the instruction-level backend's kernels
+/// (decode → CFG → interpret → trace replay) and render the rvr-style
+/// per-kernel table; optionally sweep extension ablations, compare
+/// against the profile backend, or export gated metrics. Never returns.
+fn isa_cmd(rest: &[String]) -> ! {
+    use rvhpc::eval::isa_backend;
+    use rvhpc::eval::{predict, Scenario};
+    use rvhpc::isa::{IsaExt, KernelId};
+
+    let mut ext = IsaExt::full();
+    let mut kernels: Vec<KernelId> = KernelId::ALL.to_vec();
+    let mut class = Class::C;
+    let mut threads: u32 = 64;
+    let mut compare = false;
+    let mut tolerance = 4.0f64;
+    let mut ablate = false;
+    let mut metrics_out: Option<String> = None;
+
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--report" => {} // reporting is the default; accepted for clarity
+            "--no-zba" => ext.zba = false,
+            "--no-zbb" => ext.zbb = false,
+            "--no-rvv" => ext.rvv = false,
+            "--ablate" => ablate = true,
+            "--compare" => compare = true,
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t: &f64| t >= 1.0)
+                    .unwrap_or_else(|| usage_error("--tolerance needs a ratio >= 1"));
+            }
+            "--kernel" => {
+                let name = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--kernel needs a name"));
+                let k = KernelId::parse(name)
+                    .unwrap_or_else(|| usage_error(&format!("unknown kernel '{name}'")));
+                kernels = vec![k];
+            }
+            "--class" => {
+                let s = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--class needs a letter"));
+                class = Class::ALL
+                    .into_iter()
+                    .find(|c| c.name().eq_ignore_ascii_case(s))
+                    .unwrap_or_else(|| usage_error(&format!("unknown class '{s}'")));
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage_error("--threads needs a positive count"));
+            }
+            "--metrics" => {
+                metrics_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--metrics needs a file path"))
+                        .to_string(),
+                );
+            }
+            other => usage_error(&format!("unknown isa argument '{other}'")),
+        }
+    }
+
+    let m = presets::sg2044();
+    let threads = threads.min(m.cores);
+    let scenario = Scenario::headline(&m, threads);
+    let runs: Vec<isa_backend::IsaRun> = kernels
+        .iter()
+        .map(|&k| isa_backend::run_kernel(k, class, &scenario, ext))
+        .collect();
+    print!("{}", isa_backend::isa_report(&runs, &scenario, ext));
+
+    if ablate {
+        // Per-extension ablation: measured instret under each single-
+        // extension drop, relative to the *selected* base extension set.
+        println!("\nAblation (instret, Δ% vs {}):\n", ext.label());
+        println!("| kernel | base | -zba | Δ% | -zbb | Δ% | -rvv | Δ% |");
+        println!("|---|---:|---:|---:|---:|---:|---:|---:|");
+        for &k in &kernels {
+            let base = isa_backend::run_kernel(k, class, &scenario, ext).character;
+            let drop = |e: IsaExt| isa_backend::run_kernel(k, class, &scenario, e).character;
+            let no_zba = drop(IsaExt { zba: false, ..ext });
+            let no_zbb = drop(IsaExt { zbb: false, ..ext });
+            let no_rvv = drop(IsaExt { rvv: false, ..ext });
+            let delta = |i: u64| 100.0 * (i as f64 - base.instret as f64) / base.instret as f64;
+            println!(
+                "| {} | {} | {} | {:+.1} | {} | {:+.1} | {} | {:+.1} |",
+                k.name(),
+                base.instret,
+                no_zba.instret,
+                delta(no_zba.instret),
+                no_zbb.instret,
+                delta(no_zbb.instret),
+                no_rvv.instret,
+                delta(no_rvv.instret),
+            );
+        }
+    }
+
+    if let Some(path) = metrics_out {
+        // The gated `isa` section rides on a standard rvhpc-metrics/1
+        // document built from the first kernel's synthesized run; plain
+        // `--metrics` documents never carry it.
+        let run = &runs[0];
+        let doc = metrics::prediction_document(&run.profile, &scenario, &run.prediction);
+        let doc =
+            metrics::with_section(doc, "isa", isa_backend::isa_section(&runs, &scenario, ext));
+        if let Err(e) = std::fs::write(&path, doc.to_json()) {
+            eprintln!("reproduce: could not write {path}: {e}");
+            std::process::exit(3);
+        }
+        eprintln!("wrote isa metrics for {} kernel(s) to {path}", runs.len());
+    }
+
+    if compare {
+        println!(
+            "\nBackend agreement (class {}, {} threads):\n",
+            class.name(),
+            scenario.threads
+        );
+        println!("| kernel | profile s | isa s | ratio | tolerance | verdict |");
+        println!("|---|---:|---:|---:|---:|---|");
+        let mut worst = 1.0f64;
+        for r in &runs {
+            let template = match r.kernel {
+                KernelId::Triad => isa_backend::triad_profile(class),
+                _ => rvhpc::npb::profile(isa_backend::bench_for(r.kernel), class),
+            };
+            let analytic = predict(&template, &scenario);
+            let ratio = (r.prediction.seconds / analytic.seconds)
+                .max(analytic.seconds / r.prediction.seconds);
+            worst = worst.max(ratio);
+            println!(
+                "| {} | {:.4} | {:.4} | {:.2} | {:.2} | {} |",
+                r.kernel.name(),
+                analytic.seconds,
+                r.prediction.seconds,
+                ratio,
+                tolerance,
+                if ratio <= tolerance { "ok" } else { "FAIL" },
+            );
+        }
+        if worst > tolerance {
+            eprintln!(
+                "reproduce: isa backend diverges from profile backend \
+                 (worst ratio {worst:.2} > tolerance {tolerance:.2})"
+            );
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
 }
 
 /// The `bench` subcommand: run the curated suite and append the next
@@ -354,6 +531,7 @@ fn main() {
         }
         Some("obs-diff") => obs_diff(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("isa") => isa_cmd(&args[1..]),
         Some(slug) if slug.starts_with('-') => {
             usage_error(&format!("unknown option '{slug}'"));
         }

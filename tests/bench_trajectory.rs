@@ -1,10 +1,11 @@
 //! End-to-end checks of the benchmark trajectory: harness run →
 //! versioned document → regression gate → committed artifacts.
 //!
-//! The committed files are part of the contract: `results/BENCH_0.json`
-//! must validate as `rvhpc-bench/1`, and `BENCHMARKS.md` must be
-//! byte-identical to rendering that document (so the table can never
-//! drift from the numbers it claims to show).
+//! The committed files are part of the contract: every
+//! `results/BENCH_<n>.json` must validate as `rvhpc-bench/1`, the newest
+//! document must cover the full curated suite, and `BENCHMARKS.md` must
+//! be byte-identical to rendering that newest document (so the table can
+//! never drift from the numbers it claims to show).
 
 use rvhpc::bench::{harness, record};
 use rvhpc::obs::{benchdoc, diff_any, json, DiffConfig, JsonValue};
@@ -13,6 +14,21 @@ fn repo_file(rel: &str) -> String {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
     std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read committed {}: {e}", path.display()))
+}
+
+/// The newest committed trajectory document (highest index) — the
+/// baseline CI gates against and the one `BENCHMARKS.md` renders.
+fn newest_committed() -> (usize, JsonValue) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    let (n, path) = record::trajectory_paths(&dir)
+        .into_iter()
+        .next_back()
+        .expect("at least one BENCH_<n>.json is committed");
+    let text = std::fs::read_to_string(&path).expect("read newest trajectory doc");
+    (
+        n,
+        json::parse(text.trim()).expect("newest trajectory doc parses"),
+    )
 }
 
 /// One quick filtered harness run, producing a valid document whose
@@ -65,13 +81,25 @@ fn quick_run_produces_valid_gateable_document() {
     );
 }
 
-/// The committed baseline document is structurally valid and self-diffs
-/// clean under the CI thresholds.
+/// Every committed trajectory document is structurally valid; the newest
+/// one additionally self-diffs clean under the CI thresholds and covers
+/// the full curated suite (earlier documents froze earlier, smaller
+/// suites — targets are only ever added).
 #[test]
 fn committed_baseline_validates() {
-    let doc = json::parse(repo_file("results/BENCH_0.json").trim()).expect("BENCH_0 parses");
-    assert_eq!(benchdoc::validate(&doc), Ok(()));
-    assert_eq!(doc.get("mode").and_then(JsonValue::as_str), Some("full"));
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    for (n, path) in record::trajectory_paths(&dir) {
+        let text = std::fs::read_to_string(&path).expect("read trajectory doc");
+        let doc = json::parse(text.trim()).expect("trajectory doc parses");
+        assert_eq!(benchdoc::validate(&doc), Ok(()), "BENCH_{n} invalid");
+        assert_eq!(
+            doc.get("mode").and_then(JsonValue::as_str),
+            Some("full"),
+            "BENCH_{n} is not a full-mode baseline"
+        );
+    }
+
+    let (n, doc) = newest_committed();
     let report = diff_any(
         &doc,
         &doc.clone(),
@@ -82,26 +110,28 @@ fn committed_baseline_validates() {
     );
     assert!(!report.has_regressions(), "{}", report.render());
 
-    // Every curated target is present: the committed baseline must gate
-    // the full suite, not a filtered subset.
+    // Every curated target is present in the newest document: the
+    // baseline CI gates against must cover the full suite, not a
+    // filtered subset.
     for name in harness::TARGET_NAMES {
         assert!(
             doc.get("targets").and_then(|t| t.get(name)).is_some(),
-            "baseline is missing target {name}"
+            "BENCH_{n} is missing target {name}"
         );
     }
 }
 
-/// `BENCHMARKS.md` is exactly the rendering of the committed baseline.
+/// `BENCHMARKS.md` is exactly the rendering of the newest committed
+/// document.
 #[test]
 fn committed_benchmarks_md_matches_baseline_rendering() {
-    let doc = json::parse(repo_file("results/BENCH_0.json").trim()).expect("BENCH_0 parses");
+    let (n, doc) = newest_committed();
     let rendered = record::render_markdown(&doc);
     let committed = repo_file("BENCHMARKS.md");
     assert_eq!(
         rendered, committed,
         "BENCHMARKS.md is stale — regenerate with \
-         `reproduce bench --render results/BENCH_0.json > BENCHMARKS.md`"
+         `reproduce bench --render results/BENCH_{n}.json > BENCHMARKS.md`"
     );
 }
 

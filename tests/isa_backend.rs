@@ -1,0 +1,161 @@
+//! End-to-end checks of the instruction-level prediction backend:
+//! engine dispatch on `Backend::Isa`, byte-identical output at any
+//! worker count, agreement with the profile backend, and the gated
+//! `isa` metrics section.
+
+use rvhpc::eval::engine::{Backend, Engine, Plan, Query};
+use rvhpc::eval::{isa_backend, metrics, predict, Scenario};
+use rvhpc::isa::{IsaExt, KernelId};
+use rvhpc::machines::{presets, MachineId};
+use rvhpc::npb::{BenchmarkId, Class};
+use rvhpc::obs::{json, JsonValue};
+
+/// A small mixed plan: every mapped benchmark under both backends plus
+/// one ablated variant.
+fn mixed_plan() -> Plan {
+    let mut plan = Plan::new();
+    for bench in [BenchmarkId::Cg, BenchmarkId::Mg, BenchmarkId::Ep] {
+        let q = Query::paper(MachineId::Sg2044, bench, Class::B, 32);
+        plan.push(q);
+        plan.push(q.with_backend(Backend::Isa(IsaExt::full())));
+        plan.push(q.with_backend(Backend::Isa(IsaExt {
+            zba: false,
+            ..IsaExt::full()
+        })));
+    }
+    plan
+}
+
+/// The executor must produce byte-identical predictions for the ISA
+/// backend at any worker count — the determinism contract `reproduce
+/// --jobs N` documents, extended to trace-driven queries.
+#[test]
+fn isa_predictions_are_identical_across_worker_counts() {
+    let plan = mixed_plan();
+    let serialize = |jobs: usize| -> Vec<String> {
+        Engine::new()
+            .execute_with_jobs(&plan, jobs)
+            .iter()
+            .map(|p| format!("{:?}", (p.seconds, p.mops, &p.per_phase)))
+            .collect()
+    };
+    assert_eq!(serialize(1), serialize(8));
+}
+
+/// Profile and ISA backends memoize independently: same grid point,
+/// different backend, different prediction object — and the ablated
+/// extension set is a third, distinct entry.
+#[test]
+fn backends_cache_separately_and_ablation_changes_predictions() {
+    let engine = Engine::new();
+    let q = Query::paper(MachineId::Sg2044, BenchmarkId::Cg, Class::B, 32);
+    let profile_pred = engine.predict_one(q);
+    let isa_pred = engine.predict_one(q.with_backend(Backend::Isa(IsaExt::full())));
+    let no_zba = engine.predict_one(q.with_backend(Backend::Isa(IsaExt {
+        zba: false,
+        ..IsaExt::full()
+    })));
+    assert_ne!(profile_pred.seconds, isa_pred.seconds);
+    assert_ne!(isa_pred.seconds, no_zba.seconds);
+    assert!(
+        no_zba.seconds > isa_pred.seconds,
+        "dropping zba must cost instructions on CG's spmv: {} vs {}",
+        isa_pred.seconds,
+        no_zba.seconds
+    );
+    // All three are cache hits the second time.
+    let misses_before = engine.metrics().prediction_misses;
+    engine.predict_one(q);
+    engine.predict_one(q.with_backend(Backend::Isa(IsaExt::full())));
+    assert_eq!(engine.metrics().prediction_misses, misses_before);
+}
+
+/// The two backends must agree within the committed CI tolerance on
+/// every mapped kernel (the `isa-smoke` contract, asserted widest here).
+#[test]
+fn backends_agree_within_committed_tolerance() {
+    const TOLERANCE: f64 = 4.0;
+    let m = presets::sg2044();
+    let s = Scenario::headline(&m, 64);
+    for kernel in KernelId::ALL {
+        let template = match kernel {
+            KernelId::Triad => isa_backend::triad_profile(Class::C),
+            _ => rvhpc::npb::profile(isa_backend::bench_for(kernel), Class::C),
+        };
+        let analytic = predict(&template, &s).seconds;
+        let traced = isa_backend::run_kernel(kernel, Class::C, &s, IsaExt::full())
+            .prediction
+            .seconds;
+        let ratio = (traced / analytic).max(analytic / traced);
+        assert!(
+            ratio <= TOLERANCE,
+            "{}: traced {traced} vs analytic {analytic} (ratio {ratio:.2} > {TOLERANCE})",
+            kernel.name()
+        );
+    }
+}
+
+/// The `isa` metrics section appears only when attached — profile-backend
+/// documents never carry it — and round-trips through JSON with the
+/// rvr-style counters present.
+#[test]
+fn isa_metrics_section_is_gated() {
+    let m = presets::sg2044();
+    let s = Scenario::headline(&m, 8);
+    let profile = rvhpc::npb::profile(BenchmarkId::Cg, Class::B);
+    let pred = predict(&profile, &s);
+
+    let plain = metrics::prediction_document(&profile, &s, &pred);
+    let plain_parsed = json::parse(&plain.to_json()).expect("valid JSON");
+    assert!(
+        plain_parsed.get("isa").is_none(),
+        "profile-backend document must not carry the isa section"
+    );
+
+    let ext = IsaExt::full();
+    let run = isa_backend::run_kernel(KernelId::Spmv, Class::B, &s, ext);
+    let runs = vec![run.clone()];
+    let doc = metrics::with_section(
+        metrics::prediction_document(&run.profile, &s, &run.prediction),
+        "isa",
+        isa_backend::isa_section(&runs, &s, ext),
+    );
+    let parsed = json::parse(&doc.to_json()).expect("valid JSON");
+    let section = parsed.get("isa").expect("isa section present");
+    assert_eq!(
+        section.get("backend").and_then(JsonValue::as_str),
+        Some("isa")
+    );
+    let kernels = section
+        .get("kernels")
+        .and_then(JsonValue::as_array)
+        .expect("kernels array");
+    assert_eq!(kernels.len(), 1);
+    for field in ["instret", "ipc", "branch_miss_pct", "ops_per_instr"] {
+        assert!(
+            kernels[0].get(field).and_then(JsonValue::as_f64).is_some(),
+            "isa.kernels[0].{field} missing"
+        );
+    }
+}
+
+/// The rendered per-kernel report is deterministic and carries the
+/// rvr-style columns the acceptance criteria name.
+#[test]
+fn isa_report_is_deterministic_with_expected_columns() {
+    let m = presets::sg2044();
+    let s = Scenario::headline(&m, 64);
+    let ext = IsaExt::full();
+    let render = || {
+        let runs: Vec<_> = KernelId::ALL
+            .iter()
+            .map(|&k| isa_backend::run_kernel(k, Class::C, &s, ext))
+            .collect();
+        isa_backend::isa_report(&runs, &s, ext)
+    };
+    let a = render();
+    assert_eq!(a, render());
+    for col in ["instret", "IPC", "br-miss%", "ops/instr"] {
+        assert!(a.contains(col), "report missing column {col}:\n{a}");
+    }
+}
