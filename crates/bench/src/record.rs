@@ -113,6 +113,31 @@ pub fn trajectory_paths(dir: &Path) -> Vec<(usize, PathBuf)> {
     found
 }
 
+/// Trajectory index of a `SATURATION_<n>.json` path, if it is one.
+pub fn saturation_index_of(path: &Path) -> Option<usize> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("SATURATION_")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+/// Every `SATURATION_<n>.json` under `dir`, sorted by index.
+pub fn saturation_paths(dir: &Path) -> Vec<(usize, PathBuf)> {
+    let mut found: Vec<(usize, PathBuf)> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                saturation_index_of(&path).map(|n| (n, path))
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    found.sort_by_key(|(n, _)| *n);
+    found
+}
+
 fn fmt_us(v: f64) -> String {
     format!("{v:.0}")
 }
@@ -206,6 +231,15 @@ fn render_stalls(name: &str, target: &JsonValue) -> Option<String> {
 /// Render the full `BENCHMARKS.md` from one benchmark document. Pure:
 /// the same document always produces byte-identical markdown.
 pub fn render_markdown(doc: &JsonValue) -> String {
+    render_markdown_with(doc, None)
+}
+
+/// As [`render_markdown`], optionally appending a "Saturation" section
+/// rendered from an `rvhpc-saturation/1` sweep document (`loadgen
+/// --sweep`). Still a pure function of its inputs: the committed
+/// `BENCHMARKS.md` regenerates byte-identical from the committed
+/// `BENCH_<n>.json` + `SATURATION_<n>.json` pair.
+pub fn render_markdown_with(doc: &JsonValue, saturation: Option<&JsonValue>) -> String {
     let mut out = String::new();
     let index = doc.get("index").and_then(JsonValue::as_f64).unwrap_or(0.0);
     let mode = doc.get("mode").and_then(JsonValue::as_str).unwrap_or("?");
@@ -264,6 +298,64 @@ pub fn render_markdown(doc: &JsonValue) -> String {
     }
     if !any {
         out.push_str("No parallel targets in this document.\n");
+    }
+
+    if let Some(sat) = saturation {
+        out.push('\n');
+        out.push_str(&render_saturation(sat));
+    }
+    out
+}
+
+/// The "Saturation" section: one row per sweep step, knee marked. A
+/// pure function of the `rvhpc-saturation/1` document.
+pub fn render_saturation(doc: &JsonValue) -> String {
+    let mut out = String::new();
+    out.push_str("## Saturation\n\n");
+    let sweep = doc.get("sweep");
+    let field = |key: &str| -> f64 {
+        sweep
+            .and_then(|s| s.get(key))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0)
+    };
+    out.push_str(&format!(
+        "Concurrency sweep (`loadgen --sweep {:.0}:{:.0}:{:.0}`, {:.0} requests per\n\
+         step): the knee of the (connections, p99) curve — detected by maximum\n\
+         distance from the chord — marks where added concurrency stops buying\n\
+         throughput and starts buying latency.\n\n",
+        field("lo"),
+        field("hi"),
+        field("step"),
+        field("requests_per_step"),
+    ));
+    let knee_conns = doc
+        .get("knee")
+        .and_then(|k| k.get("conns"))
+        .and_then(JsonValue::as_f64);
+    out.push_str(
+        "| Conns | Throughput (req/s) | p50 (µs) | p99 (µs) | Hit rate | Errors | Dropped |\n\
+         |---|---:|---:|---:|---:|---:|---:|\n",
+    );
+    if let Some(JsonValue::Array(steps)) = doc.get("steps") {
+        for step in steps {
+            let get = |key: &str| step.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+            let conns = get("conns");
+            let marker = if Some(conns) == knee_conns {
+                " ← knee"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "| {conns:.0}{marker} | {} | {} | {} | {:.1}% | {:.0} | {:.0} |\n",
+                fmt_throughput(get("throughput_rps")),
+                fmt_us(get("p50_us")),
+                fmt_us(get("p99_us")),
+                get("cache_hit_rate") * 100.0,
+                get("errors"),
+                get("dropped"),
+            ));
+        }
     }
     out
 }

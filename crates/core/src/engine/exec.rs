@@ -428,6 +428,7 @@ impl Engine {
         if let Some(t) = trace.as_deref_mut() {
             t.push("dedup");
         }
+        let prof_dedup = rvhpc_obs::prof::scope("engine.dedup");
         let mut index_of: HashMap<CacheKey, usize> = HashMap::new();
         let mut uniques: Vec<(CacheKey, Query)> = Vec::new();
         let mut slot_of: Vec<usize> = Vec::with_capacity(plan.len());
@@ -442,8 +443,10 @@ impl Engine {
         if let Some(t) = trace.as_deref_mut() {
             t.pop(EventKind::DedupMerge);
         }
+        drop(prof_dedup);
 
         // Probe the cache once per unique query.
+        let prof_probe = rvhpc_obs::prof::scope("engine.probe");
         let mut results: Vec<Option<Arc<Prediction>>> = Vec::with_capacity(uniques.len());
         let mut misses: Vec<usize> = Vec::new();
         for (i, (key, _)) in uniques.iter().enumerate() {
@@ -453,12 +456,14 @@ impl Engine {
                 if let Some(t) = trace.as_deref_mut() {
                     t.mark(EventKind::CacheProbe, "cache-hit");
                 }
+                rvhpc_obs::prof::mark("cache-hit");
             } else if let Some(v) = self.probe_store(key) {
                 self.predictions.count_hit();
                 results.push(Some(v));
                 if let Some(t) = trace.as_deref_mut() {
                     t.mark(EventKind::CacheProbe, "store-hit");
                 }
+                rvhpc_obs::prof::mark("store-hit");
             } else {
                 self.predictions.count_miss();
                 results.push(None);
@@ -466,8 +471,10 @@ impl Engine {
                 if let Some(t) = trace.as_deref_mut() {
                     t.mark(EventKind::CacheProbe, "cache-miss");
                 }
+                rvhpc_obs::prof::mark("cache-miss");
             }
         }
+        drop(prof_probe);
 
         // Compute the misses — in parallel on our own runtime when both
         // the work and the worker count allow it.
@@ -486,6 +493,7 @@ impl Engine {
         if let Some(t) = trace.as_deref_mut() {
             t.push("execute");
         }
+        let prof_exec = rvhpc_obs::prof::scope("engine.execute");
         // A caller-provided persistent pool always runs the misses — even
         // one — so a single cold request still executes on (and is traced
         // through) a real pool worker; the ephemeral path keeps its serial
@@ -523,6 +531,7 @@ impl Engine {
                 );
             }
         }
+        drop(prof_exec);
         if let Some(t) = trace {
             t.pop(EventKind::EngineExec);
         }

@@ -171,6 +171,7 @@ pub fn run(
     tracer: &mut dyn Tracer,
     max_steps: u64,
 ) -> Result<ExecStats, Trap> {
+    let _prof = rvhpc_obs::prof::scope("isa.interp");
     // pc → instr index at half-word granularity.
     let end_pc = prog
         .instrs

@@ -107,7 +107,7 @@ pub struct DiffReport {
 }
 
 impl DiffReport {
-    fn push(&mut self, path: &str, severity: Severity, message: String) {
+    pub(crate) fn push(&mut self, path: &str, severity: Severity, message: String) {
         self.findings.push(Finding {
             path: path.to_string(),
             message,
@@ -211,6 +211,9 @@ pub fn diff_any(baseline: &JsonValue, current: &JsonValue, cfg: &DiffConfig) -> 
     match bk {
         Some(crate::metrics::METRICS_SCHEMA) => diff_documents(baseline, current, cfg),
         Some(crate::benchdoc::BENCH_SCHEMA) => diff_bench_documents(baseline, current, cfg),
+        Some(crate::saturation::SATURATION_SCHEMA) => {
+            crate::saturation::diff_saturation_documents(baseline, current, cfg)
+        }
         other => {
             let mut report = DiffReport::default();
             report.push(
@@ -355,7 +358,13 @@ fn class_slo_checks(current: &JsonValue, cfg: &DiffConfig, report: &mut DiffRepo
     }
 }
 
-fn walk(base: &JsonValue, cur: &JsonValue, path: &str, cfg: &DiffConfig, report: &mut DiffReport) {
+pub(crate) fn walk(
+    base: &JsonValue,
+    cur: &JsonValue,
+    path: &str,
+    cfg: &DiffConfig,
+    report: &mut DiffReport,
+) {
     match (base, cur) {
         (JsonValue::Object(b), JsonValue::Object(c)) => {
             // Layout guard: a latency or timeseries section whose layout
@@ -447,7 +456,7 @@ fn walk(base: &JsonValue, cur: &JsonValue, path: &str, cfg: &DiffConfig, report:
 }
 
 /// Self-consistency checks on the current document.
-fn invariants(doc: &JsonValue, path: &str, report: &mut DiffReport) {
+pub(crate) fn invariants(doc: &JsonValue, path: &str, report: &mut DiffReport) {
     let JsonValue::Object(map) = doc else { return };
 
     // Zero-tolerance counters: transport drops and unanswered errors.

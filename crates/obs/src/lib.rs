@@ -33,8 +33,11 @@ pub mod event;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod recorder;
 pub mod ring;
+pub mod saturation;
+pub mod slo;
 pub mod timeseries;
 pub mod trace;
 
@@ -45,9 +48,12 @@ pub use event::{Event, EventKind};
 pub use hist::LatencyHistogram;
 pub use json::JsonValue;
 pub use metrics::{summarize, Summary};
+pub use prof::{profiling, set_profiling, Profile};
 pub use recorder::{
     disabled_handle, drain_all, enabled, handle, init_from_env, now_us, pin_epoch, record,
     set_enabled, RecorderHandle, SpanStart, TraceData, TRACE_ENV,
 };
+pub use saturation::{knee_index, SweepStep, SATURATION_SCHEMA};
+pub use slo::{evaluate, parse_rules, HealthReport, RuleSet, HEALTH_SCHEMA, SLO_SCHEMA};
 pub use timeseries::{Sample, Timeseries};
 pub use trace::{RetainedSpan, TraceCtx};

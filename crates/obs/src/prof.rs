@@ -1,0 +1,423 @@
+//! Deterministic continuous profiler: collapsed span stacks counted on
+//! an event-count schedule.
+//!
+//! Wall-clock sampling profilers are cheap but nondeterministic — two
+//! identical runs interrupt different instructions, so their profiles
+//! never compare byte-for-byte and cannot be committed or diffed. This
+//! profiler instead samples on *span closes*: instrumented code pushes a
+//! frame on entry ([`enter`]/[`scope`]) and pops it on exit, and every
+//! `interval`-th close on a thread attributes one sample to the full
+//! frame stack at that moment. Frame closes are program events, not
+//! timer ticks, so a deterministic program produces a byte-identical
+//! profile on every same-seed run — the property the CI determinism
+//! gates and committed artifacts rely on.
+//!
+//! Aggregation is the flamegraph "collapsed stack" form: a
+//! `BTreeMap<String, u64>` from `frame;frame;frame` keys to sample
+//! counts, merged across threads with no thread id in the key (so the
+//! merge of N worker threads is itself deterministic). [`Profile`]
+//! renders either the classic `.folded` text (one `stack count` line per
+//! entry) or a JSON section for `rvhpc-metrics/1` documents.
+//!
+//! Overhead accounting is explicit: a profile carries the number of
+//! frame events observed, samples taken, stacks truncated at
+//! [`MAX_DEPTH`], and threads that contributed, so a reader can tell how
+//! much the profile itself filtered.
+//!
+//! Like the event recorder, the profiler is zero-cost when disabled:
+//! every entry point is gated on one relaxed atomic load, and
+//! thread-local state is only allocated on a thread's first profiled
+//! frame.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::JsonValue;
+
+/// Layout tag stamped into the JSON `profile` section.
+pub const PROFILE_LAYOUT: &str = "folded/1";
+
+/// Environment variable overriding the sampling interval (span closes
+/// per sample). Unset or invalid means 1: every close is a sample and
+/// counts are exact.
+pub const PROF_ENV: &str = "RVHPC_PROF_INTERVAL";
+
+/// Deepest stack a sample key records; deeper frames are dropped from
+/// the key and counted in [`Profile::truncated`].
+pub const MAX_DEPTH: usize = 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Vec<Arc<ThreadProf>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<ThreadProf>>> = const { RefCell::new(None) };
+}
+
+/// Span closes per sample (≥ 1), read once from [`PROF_ENV`].
+fn interval() -> u64 {
+    static INTERVAL: OnceLock<u64> = OnceLock::new();
+    *INTERVAL.get_or_init(|| {
+        std::env::var(PROF_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// Is the profiler recording frames?
+pub fn profiling() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the profiler on or off. Frames entered while disabled are never
+/// recorded; state accumulated so far is kept until [`take`]/[`reset`].
+pub fn set_profiling(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+struct ThreadState {
+    stack: Vec<&'static str>,
+    counts: BTreeMap<String, u64>,
+    events: u64,
+    samples: u64,
+    truncated: u64,
+}
+
+struct ThreadProf {
+    inner: Mutex<ThreadState>,
+}
+
+fn with_local<R>(f: impl FnOnce(&mut ThreadState) -> R) -> R {
+    LOCAL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let prof = slot.get_or_insert_with(|| {
+            let prof = Arc::new(ThreadProf {
+                inner: Mutex::new(ThreadState {
+                    stack: Vec::with_capacity(MAX_DEPTH),
+                    counts: BTreeMap::new(),
+                    events: 0,
+                    samples: 0,
+                    truncated: 0,
+                }),
+            });
+            REGISTRY
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(Arc::clone(&prof));
+            prof
+        });
+        let mut state = prof.inner.lock().unwrap_or_else(|p| p.into_inner());
+        f(&mut state)
+    })
+}
+
+/// Push a frame on the current thread's profile stack. No-op while the
+/// profiler is disabled. Pair with [`leave`], or use [`scope`].
+#[inline]
+pub fn enter(name: &'static str) {
+    if !profiling() {
+        return;
+    }
+    with_local(|st| st.stack.push(name));
+}
+
+/// Pop the current frame, counting one frame event; every `interval`-th
+/// event on a thread attributes one sample to the full stack (leaving
+/// frame as leaf). No-op on a thread that never entered a frame, so a
+/// disable between enter and leave cannot underflow.
+#[inline]
+pub fn leave() {
+    LOCAL.with(|cell| {
+        let slot = cell.borrow();
+        let Some(prof) = slot.as_ref() else {
+            return;
+        };
+        let mut st = prof.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if st.stack.is_empty() {
+            return;
+        }
+        st.events += 1;
+        if st.events.is_multiple_of(interval()) {
+            st.samples += 1;
+            let depth = st.stack.len();
+            let key = st.stack[..depth.min(MAX_DEPTH)].join(";");
+            if depth > MAX_DEPTH {
+                st.truncated += 1;
+            }
+            *st.counts.entry(key).or_insert(0) += 1;
+        }
+        st.stack.pop();
+    });
+}
+
+/// A frame entered for one lexical scope: [`enter`] now, [`leave`] on
+/// drop. The guard leaves exactly when it pushed, so enabling or
+/// disabling mid-scope cannot unbalance the stack.
+pub struct ProfSpan {
+    pushed: bool,
+}
+
+impl Drop for ProfSpan {
+    fn drop(&mut self) {
+        if self.pushed {
+            leave();
+        }
+    }
+}
+
+/// Enter `name` for the lifetime of the returned guard.
+#[inline]
+pub fn scope(name: &'static str) -> ProfSpan {
+    let pushed = profiling();
+    if pushed {
+        with_local(|st| st.stack.push(name));
+    }
+    ProfSpan { pushed }
+}
+
+/// Record a zero-width leaf frame: one enter+leave, one frame event.
+/// Used for point actions (fault recoveries, shed decisions) that should
+/// show up as leaves under the enclosing stack.
+#[inline]
+pub fn mark(name: &'static str) {
+    if !profiling() {
+        return;
+    }
+    with_local(|st| st.stack.push(name));
+    leave();
+}
+
+/// A merged collapsed-stack profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Span closes per sample the run used.
+    pub interval: u64,
+    /// `frame;frame;...` → sample count, across all threads.
+    pub stacks: BTreeMap<String, u64>,
+    /// Frame close events observed (sampled or not).
+    pub events: u64,
+    /// Samples attributed (`events / interval` per thread).
+    pub samples: u64,
+    /// Samples whose stack was deeper than [`MAX_DEPTH`] and lost
+    /// frames in the key.
+    pub truncated: u64,
+    /// Threads that recorded at least one frame event.
+    pub threads: u64,
+}
+
+impl Profile {
+    /// True when no samples were taken (the gated `profile` metrics
+    /// section is omitted for empty profiles).
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// Fold another profile into this one (per-worker merge on drain).
+    pub fn merge(&mut self, other: &Profile) {
+        if self.interval == 0 {
+            self.interval = other.interval;
+        }
+        for (key, n) in &other.stacks {
+            *self.stacks.entry(key.clone()).or_insert(0) += n;
+        }
+        self.events += other.events;
+        self.samples += other.samples;
+        self.truncated += other.truncated;
+        self.threads += other.threads;
+    }
+
+    /// Classic flamegraph-folded text: one `stack count` line per entry,
+    /// in the map's (deterministic, lexicographic) order.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in &self.stacks {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The gated `profile` section of an `rvhpc-metrics/1` document.
+    pub fn to_json(&self) -> JsonValue {
+        let stacks: Vec<(String, JsonValue)> = self
+            .stacks
+            .iter()
+            .map(|(k, &v)| (k.clone(), JsonValue::from(v)))
+            .collect();
+        JsonValue::object([
+            ("layout".to_string(), JsonValue::from(PROFILE_LAYOUT)),
+            ("interval".to_string(), JsonValue::from(self.interval)),
+            ("events".to_string(), JsonValue::from(self.events)),
+            ("samples".to_string(), JsonValue::from(self.samples)),
+            ("truncated".to_string(), JsonValue::from(self.truncated)),
+            ("threads".to_string(), JsonValue::from(self.threads)),
+            ("stacks".to_string(), JsonValue::object(stacks)),
+        ])
+    }
+}
+
+fn collect(reset: bool) -> Profile {
+    let registry: Vec<Arc<ThreadProf>> = REGISTRY
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+        .map(Arc::clone)
+        .collect();
+    let mut merged = Profile {
+        interval: interval(),
+        ..Profile::default()
+    };
+    for prof in registry {
+        let mut st = prof.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if st.events > 0 {
+            merged.threads += 1;
+        }
+        merged.events += st.events;
+        merged.samples += st.samples;
+        merged.truncated += st.truncated;
+        for (key, n) in &st.counts {
+            *merged.stacks.entry(key.clone()).or_insert(0) += n;
+        }
+        if reset {
+            st.counts.clear();
+            st.events = 0;
+            st.samples = 0;
+            st.truncated = 0;
+        }
+    }
+    merged
+}
+
+/// Merge every thread's counts into one [`Profile`] without clearing
+/// anything — the live-inspection path (`{"op":"profile"}`).
+pub fn snapshot() -> Profile {
+    collect(false)
+}
+
+/// Merge and clear: returns the profile accumulated since the last
+/// [`take`]/[`reset`] and starts the next window. Open frames on live
+/// threads are kept so in-flight scopes keep nesting correctly.
+pub fn take() -> Profile {
+    collect(true)
+}
+
+/// Discard all accumulated counts (test isolation).
+pub fn reset() {
+    let _ = collect(true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The profiler is global state shared by every test in this binary;
+    // run the stateful tests under one lock to keep them isolated.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exercise() -> (String, String) {
+        reset();
+        set_profiling(true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        let _outer = scope("serve.predict");
+                        {
+                            let _inner = scope("engine.execute");
+                            mark("cache-miss");
+                        }
+                    }
+                });
+            }
+        });
+        set_profiling(false);
+        let p = take();
+        (p.to_folded(), p.to_json().to_json())
+    }
+
+    #[test]
+    fn same_run_twice_is_byte_identical() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let (folded_a, json_a) = exercise();
+        let (folded_b, json_b) = exercise();
+        assert_eq!(folded_a, folded_b);
+        assert_eq!(json_a, json_b);
+        assert!(folded_a.contains("serve.predict;engine.execute;cache-miss 32\n"));
+        assert!(folded_a.contains("serve.predict;engine.execute 32\n"));
+        assert!(folded_a.contains("serve.predict 32\n"));
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        set_profiling(false);
+        {
+            let _s = scope("ghost");
+            mark("ghost-leaf");
+        }
+        let p = snapshot();
+        assert!(p.is_empty(), "{:?}", p.stacks);
+    }
+
+    #[test]
+    fn deep_stacks_truncate_and_account() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        set_profiling(true);
+        for _ in 0..MAX_DEPTH + 4 {
+            enter("deep");
+        }
+        // Close the innermost frame: its stack exceeds MAX_DEPTH.
+        leave();
+        for _ in 0..MAX_DEPTH + 3 {
+            leave();
+        }
+        set_profiling(false);
+        let p = take();
+        assert_eq!(p.truncated, 4, "{:?}", p.stacks);
+        let deepest = p.stacks.keys().next_back().expect("non-empty");
+        assert_eq!(deepest.split(';').count(), MAX_DEPTH);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_overhead() {
+        let mut a = Profile {
+            interval: 1,
+            stacks: BTreeMap::from([("x".to_string(), 2)]),
+            events: 2,
+            samples: 2,
+            truncated: 0,
+            threads: 1,
+        };
+        let b = Profile {
+            interval: 1,
+            stacks: BTreeMap::from([("x".to_string(), 3), ("x;y".to_string(), 1)]),
+            events: 4,
+            samples: 4,
+            truncated: 1,
+            threads: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.stacks.get("x"), Some(&5));
+        assert_eq!(a.stacks.get("x;y"), Some(&1));
+        assert_eq!((a.events, a.samples, a.truncated, a.threads), (6, 6, 1, 3));
+        assert_eq!(a.to_folded(), "x 5\nx;y 1\n");
+    }
+
+    #[test]
+    fn unbalanced_leave_is_harmless() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        set_profiling(true);
+        leave();
+        leave();
+        set_profiling(false);
+        assert!(take().is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for `LatencyHistogram`: the documented ~3% quantile
+//! error bound (one part in 32, the sub-bucket resolution) must hold
+//! for arbitrary value distributions, and merging histograms must be
+//! exactly equivalent to recording every sample into one histogram —
+//! quantiles may never degrade through a merge tree.
+
+use proptest::prelude::*;
+use rvhpc_obs::LatencyHistogram;
+
+/// Nearest-rank quantile over the exact sample vector — the ground
+/// truth the histogram approximates.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// The histogram's documented error bound: exact below 64 µs, at most
+/// one sub-bucket (1/32 of the octave) plus rounding above. 1.04 is the
+/// same slack the unit tests assert against.
+fn within_bound(approx: u64, exact: u64) -> bool {
+    if exact < 64 {
+        approx == exact
+    } else {
+        approx >= exact && (approx as f64) <= (exact as f64) * 1.04
+    }
+}
+
+/// Spread raw u64s over the full dynamic range the histogram covers:
+/// exact region, mid octaves and huge values, driven by the low bits.
+fn shape(raw: u64) -> u64 {
+    match raw % 4 {
+        0 => raw % 64,           // exact buckets
+        1 => 64 + raw % 10_000,  // low octaves
+        2 => raw % 100_000_000,  // mid octaves
+        _ => raw % (1u64 << 40), // deep octaves
+    }
+}
+
+const QS: [f64; 5] = [0.5, 0.9, 0.95, 0.99, 0.999];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_stay_within_the_documented_bound(
+        raw in prop::collection::vec(0u64..u64::MAX, 1..400),
+    ) {
+        let samples: Vec<u64> = raw.iter().map(|&r| shape(r)).collect();
+        let mut hist = LatencyHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(hist.min_us(), sorted[0]);
+        prop_assert_eq!(hist.max_us(), *sorted.last().expect("non-empty"));
+        for q in QS {
+            let (approx, exact) = (hist.quantile(q), exact_quantile(&sorted, q));
+            prop_assert!(
+                within_bound(approx, exact),
+                "q={q}: histogram {approx} vs exact {exact} over {} samples",
+                samples.len()
+            );
+        }
+    }
+
+    #[test]
+    fn merging_equals_recording_into_one_histogram(
+        raw in prop::collection::vec(0u64..u64::MAX, 2..300),
+        cut_seed in 0usize..usize::MAX,
+    ) {
+        let samples: Vec<u64> = raw.iter().map(|&r| shape(r)).collect();
+        // Split at an arbitrary point (possibly making one side empty —
+        // merging an empty histogram must be a no-op).
+        let cut = cut_seed % (samples.len() + 1);
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for &s in &samples[..cut] {
+            left.record(s);
+        }
+        for &s in &samples[cut..] {
+            right.record(s);
+        }
+        let mut whole = LatencyHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert_eq!(left.min_us(), whole.min_us());
+        prop_assert_eq!(left.max_us(), whole.max_us());
+        prop_assert_eq!(left.mean_us(), whole.mean_us());
+        for q in QS {
+            prop_assert_eq!(
+                left.quantile(q),
+                whole.quantile(q),
+                "q={q} diverged after merge at cut {cut}/{}",
+                samples.len()
+            );
+        }
+        // And the merged histogram still honors the error bound.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in QS {
+            let (approx, exact) = (left.quantile(q), exact_quantile(&sorted, q));
+            prop_assert!(
+                within_bound(approx, exact),
+                "q={q}: merged {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn arbitrary_merge_trees_are_order_insensitive(
+        raw in prop::collection::vec(0u64..u64::MAX, 4..200),
+        parts in 2usize..6,
+    ) {
+        let samples: Vec<u64> = raw.iter().map(|&r| shape(r)).collect();
+        // Shard samples round-robin into `parts` histograms, then fold
+        // them left-to-right and right-to-left: identical results.
+        let mut shards: Vec<LatencyHistogram> =
+            (0..parts).map(|_| LatencyHistogram::new()).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            shards[i % parts].record(s);
+        }
+        let mut fwd = LatencyHistogram::new();
+        for shard in &shards {
+            fwd.merge(shard);
+        }
+        let mut rev = LatencyHistogram::new();
+        for shard in shards.iter().rev() {
+            rev.merge(shard);
+        }
+        prop_assert_eq!(fwd.count(), rev.count());
+        for q in QS {
+            prop_assert_eq!(fwd.quantile(q), rev.quantile(q), "q={q}");
+        }
+        prop_assert_eq!(fwd.to_json().to_json(), rev.to_json().to_json());
+    }
+}

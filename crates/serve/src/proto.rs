@@ -226,6 +226,12 @@ pub enum Request {
         /// Milliseconds between samples (0 = back-to-back).
         interval_ms: u64,
     },
+    /// Evaluate the server's SLO rules against its live metrics and
+    /// return the versioned health verdict.
+    Health,
+    /// Return the profiler's collapsed-stack snapshot (empty when the
+    /// server was started without `--profile`).
+    Profile,
     /// Liveness check.
     Ping,
     /// Begin graceful drain and shut the server down.
@@ -517,6 +523,14 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 interval_ms: get_uint(&doc, id, "interval_ms", 0, 60_000)?.unwrap_or(100),
             })
         }
+        Some((Some("health"), _)) => {
+            reject_unknown_keys(&doc, id, &["op", "id"], "request")?;
+            Ok(Request::Health)
+        }
+        Some((Some("profile"), _)) => {
+            reject_unknown_keys(&doc, id, &["op", "id"], "request")?;
+            Ok(Request::Profile)
+        }
         Some((Some("ping"), _)) => {
             reject_unknown_keys(&doc, id, &["op", "id"], "request")?;
             Ok(Request::Ping)
@@ -780,6 +794,16 @@ mod tests {
         assert!(parse_request(r#"{"op":"ping","bench":"cg"}"#).is_err());
         assert_eq!(parse_request(r#"{"op":"slow"}"#).unwrap(), Request::Slow);
         assert!(parse_request(r#"{"op":"slow","samples":3}"#).is_err());
+        assert_eq!(
+            parse_request(r#"{"op":"health","id":2}"#).unwrap(),
+            Request::Health
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"profile"}"#).unwrap(),
+            Request::Profile
+        );
+        assert!(parse_request(r#"{"op":"health","bench":"cg"}"#).is_err());
+        assert!(parse_request(r#"{"op":"profile","samples":1}"#).is_err());
     }
 
     #[test]

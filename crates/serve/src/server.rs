@@ -149,6 +149,9 @@ pub struct ServerConfig {
     /// Capacity bound on the engine's hot prediction cache; overflow
     /// evicts FIFO into the disk store (when attached). 0 = unbounded.
     pub hot_cache_cap: usize,
+    /// SLO rules (`--slo FILE`) backing the admin `health` op. `None`
+    /// — the default — makes `health` an invalid-op error.
+    pub slo_rules: Option<obs::RuleSet>,
 }
 
 impl Default for ServerConfig {
@@ -171,6 +174,7 @@ impl Default for ServerConfig {
             retry_after_ms: 100,
             store_dir: None,
             hot_cache_cap: 0,
+            slo_rules: None,
         }
     }
 }
@@ -344,6 +348,7 @@ pub struct Server {
     active_conns: Arc<AtomicUsize>,
     timeseries: Arc<Timeseries>,
     slow_log: Arc<Mutex<VecDeque<JsonValue>>>,
+    slo_rules: Option<Arc<obs::RuleSet>>,
 }
 
 impl Server {
@@ -390,6 +395,7 @@ impl Server {
             obs::timeseries::DEFAULT_CAPACITY,
             config.sample_interval_ms * 1_000,
         ));
+        let slo_rules = config.slo_rules.clone().map(Arc::new);
         Ok(Server {
             listener,
             local_addr,
@@ -399,6 +405,7 @@ impl Server {
             active_conns: Arc::new(AtomicUsize::new(0)),
             timeseries,
             slow_log: Arc::new(Mutex::new(VecDeque::new())),
+            slo_rules,
         })
     }
 
@@ -473,6 +480,7 @@ impl Server {
                         timeseries: Arc::clone(&self.timeseries),
                         slow_log: Arc::clone(&self.slow_log),
                         slow_us: self.config.slow_us,
+                        slo_rules: self.slo_rules.clone(),
                         conn_ord: conn_ord as u32,
                         default_deadline: Duration::from_millis(self.config.default_deadline_ms),
                         stall_timeout: Duration::from_millis(self.config.stall_timeout_ms.max(1)),
@@ -545,6 +553,12 @@ fn build_metrics_doc(
         }
         if let Some(faults) = faults_section(counters, batcher) {
             map.insert("faults".to_string(), faults);
+        }
+        // The continuous profile rides along the same way: only a server
+        // started with `--profile` ever grows this section.
+        let profile = obs::prof::snapshot();
+        if !profile.is_empty() {
+            map.insert("profile".to_string(), profile.to_json());
         }
     }
     doc
@@ -643,6 +657,7 @@ struct ConnCtx {
     timeseries: Arc<Timeseries>,
     slow_log: Arc<Mutex<VecDeque<JsonValue>>>,
     slow_us: Option<u64>,
+    slo_rules: Option<Arc<obs::RuleSet>>,
     conn_ord: u32,
     default_deadline: Duration,
     stall_timeout: Duration,
@@ -781,6 +796,30 @@ impl ConnCtx {
                 let log = self.slow_log.lock();
                 proto::render_ok(None, JsonValue::Array(log.iter().cloned().collect()))
             }
+            Ok(Request::Health) => match &self.slo_rules {
+                Some(rules) => {
+                    self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                    let doc = build_metrics_doc(
+                        &self.counters,
+                        self.active.load(Ordering::Relaxed),
+                        &self.batcher,
+                        &self.timeseries,
+                    );
+                    proto::render_ok(None, obs::evaluate(rules, &doc).to_json())
+                }
+                None => {
+                    self.counters.invalid.fetch_add(1, Ordering::Relaxed);
+                    proto::render_error(&ProtoError::new(
+                        None,
+                        ErrorKind::Invalid,
+                        "no SLO rules loaded (start the server with --slo FILE)",
+                    ))
+                }
+            },
+            Ok(Request::Profile) => {
+                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                proto::render_ok(None, obs::prof::snapshot().to_json())
+            }
             Ok(Request::Watch {
                 samples,
                 interval_ms,
@@ -884,6 +923,7 @@ impl ConnCtx {
         conn_hits: &mut u64,
         conn_misses: &mut u64,
     ) -> String {
+        let _prof = obs::prof::scope("serve.predict");
         // Per-class QoS accounting covers only requests that named a
         // class; class-less requests are admitted as interactive but
         // recorded nowhere class-specific, so their replies and metrics

@@ -11,12 +11,13 @@
 //! obsdiff --trajectory results/                    # render BENCH_* history
 //! ```
 //!
-//! Two document kinds are understood, dispatched on the `schema` tag:
-//! `rvhpc-metrics/1` (serve/loadgen metrics) and `rvhpc-bench/1`
-//! (benchmark-trajectory documents from `reproduce bench`). The first
-//! report line always names the detected kind and both file paths. An
-//! optional leading `bench`/`metrics` keyword asserts the kind —
-//! anything else is a mismatch, not a regression.
+//! Three document kinds are understood, dispatched on the `schema` tag:
+//! `rvhpc-metrics/1` (serve/loadgen metrics), `rvhpc-bench/1`
+//! (benchmark-trajectory documents from `reproduce bench`) and
+//! `rvhpc-saturation/1` (concurrency sweeps from `loadgen --sweep`). The
+//! first report line always names the detected kind and both file paths.
+//! An optional leading `bench`/`metrics`/`saturation` keyword asserts
+//! the kind — anything else is a mismatch, not a regression.
 //!
 //! Exit codes: `0` no regression, `1` regression found, `2` documents
 //! unreadable, unparseable, structurally invalid, or not comparable
@@ -25,17 +26,21 @@
 //! tell "this build is slower" from "you diffed the wrong files".
 
 use rvhpc::bench::record;
-use rvhpc::obs::{benchdoc, diff_any, doc_kind, DiffConfig, JsonValue, BENCH_SCHEMA};
+use rvhpc::obs::{
+    benchdoc, diff_any, doc_kind, saturation, DiffConfig, JsonValue, BENCH_SCHEMA,
+    SATURATION_SCHEMA,
+};
 
 fn usage_text() -> &'static str {
-    "usage: obsdiff [bench|metrics] BASELINE.json CURRENT.json\n\
+    "usage: obsdiff [bench|metrics|saturation] BASELINE.json CURRENT.json\n\
      \x20              [--ratio R] [--floor-us N] [--strict]\n\
      \x20              [--class-slo CLASS:P99_US]...\n\
      \x20      obsdiff --trajectory DIR\n\
-     \x20 BASELINE.json: reference document (rvhpc-metrics/1 or rvhpc-bench/1)\n\
+     \x20 BASELINE.json: reference document (rvhpc-metrics/1, rvhpc-bench/1\n\
+     \x20                or rvhpc-saturation/1)\n\
      \x20 CURRENT.json:  candidate document to gate\n\
-     \x20 bench|metrics: optional kind assertion; the default is to\n\
-     \x20                auto-detect from the schema tag (both documents\n\
+     \x20 bench|metrics|saturation: optional kind assertion; the default is\n\
+     \x20                to auto-detect from the schema tag (both documents\n\
      \x20                must agree)\n\
      \x20 --ratio:       quantile regression ratio (default 2.0: fail when\n\
      \x20                current > baseline * ratio)\n\
@@ -143,6 +148,9 @@ fn main() {
             "metrics" if paths.is_empty() && expect_kind.is_none() => {
                 expect_kind = Some(rvhpc::obs::metrics::METRICS_SCHEMA);
             }
+            "saturation" if paths.is_empty() && expect_kind.is_none() => {
+                expect_kind = Some(SATURATION_SCHEMA);
+            }
             "-h" | "--help" => {
                 println!("{}", usage_text());
                 return;
@@ -179,6 +187,16 @@ fn main() {
         for (path, doc) in [(baseline_path, &baseline), (current_path, &current)] {
             if let Err(e) = benchdoc::validate(doc) {
                 eprintln!("obsdiff: {path} is not a valid benchmark document: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if doc_kind(&baseline) == Some(SATURATION_SCHEMA)
+        && doc_kind(&current) == Some(SATURATION_SCHEMA)
+    {
+        for (path, doc) in [(baseline_path, &baseline), (current_path, &current)] {
+            if let Err(e) = saturation::validate(doc) {
+                eprintln!("obsdiff: {path} is not a valid saturation document: {e}");
                 std::process::exit(2);
             }
         }

@@ -9,7 +9,7 @@
 //! reproduce --jobs 8               # engine worker count (else RVHPC_JOBS)
 //! reproduce obs-diff BASE.json CUR.json [--ratio R] [--floor-us N] [--strict]
 //! reproduce bench [--filter PAT] [--out FILE] [--quick]   # curated suite
-//! reproduce bench --render DOC.json                       # BENCHMARKS.md
+//! reproduce bench --render DOC.json --saturation SAT.json # BENCHMARKS.md
 //! reproduce isa [--report] [--ablate] [--compare] [--no-zba] [--no-zbb]
 //! ```
 //!
@@ -103,7 +103,7 @@ fn usage_text() -> &'static str {
      \x20      reproduce obs-diff BASE.json CUR.json [--ratio R] [--floor-us N]\n\
      \x20                [--strict]\n\
      \x20      reproduce bench [--filter PAT] [--out FILE] [--quick]\n\
-     \x20      reproduce bench --render DOC.json\n\
+     \x20      reproduce bench --render DOC.json [--saturation SAT.json]\n\
      \x20      reproduce isa [--report] [--ablate] [--compare [--tolerance R]]\n\
      \x20                [--kernel K] [--class C] [--threads N]\n\
      \x20                [--no-zba] [--no-zbb] [--no-rvv] [--metrics FILE]\n\
@@ -125,6 +125,8 @@ fn usage_text() -> &'static str {
      \x20             iteration counts (or set RVHPC_BENCH_QUICK), --filter\n\
      \x20             runs matching targets only, --out overrides the path,\n\
      \x20             --render prints BENCHMARKS.md for an existing document\n\
+     \x20             (--saturation appends the rvhpc-saturation/1 sweep\n\
+     \x20             section from loadgen --sweep)\n\
      \x20 isa:        run the instruction-level backend's kernels (triad,\n\
      \x20             spmv, mg, ep) through decode -> CFG -> interpret ->\n\
      \x20             trace replay and print the rvr-style per-kernel table\n\
@@ -412,6 +414,8 @@ fn bench(rest: &[String]) -> ! {
         ..harness::HarnessConfig::default()
     };
     let mut out: Option<String> = None;
+    let mut render: Option<String> = None;
+    let mut saturation: Option<String> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -431,26 +435,51 @@ fn bench(rest: &[String]) -> ! {
                 );
             }
             "--render" => {
-                let path = it
-                    .next()
-                    .unwrap_or_else(|| usage_error("--render needs a document path"));
-                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                    eprintln!("reproduce: cannot read {path}: {e}");
-                    std::process::exit(3);
-                });
-                let doc = rvhpc::obs::json::parse(text.trim()).unwrap_or_else(|e| {
-                    eprintln!("reproduce: {path} is not valid JSON: {e}");
-                    std::process::exit(3);
-                });
-                if let Err(e) = rvhpc::obs::benchdoc::validate(&doc) {
-                    eprintln!("reproduce: {path} is not a valid benchmark document: {e}");
-                    std::process::exit(3);
-                }
-                print!("{}", record::render_markdown(&doc));
-                std::process::exit(0);
+                render = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--render needs a document path"))
+                        .to_string(),
+                );
+            }
+            "--saturation" => {
+                saturation = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--saturation needs a document path"))
+                        .to_string(),
+                );
             }
             other => usage_error(&format!("unknown bench argument '{other}'")),
         }
+    }
+
+    if let Some(path) = render {
+        let load = |path: &str| -> rvhpc::obs::JsonValue {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("reproduce: cannot read {path}: {e}");
+                std::process::exit(3);
+            });
+            rvhpc::obs::json::parse(text.trim()).unwrap_or_else(|e| {
+                eprintln!("reproduce: {path} is not valid JSON: {e}");
+                std::process::exit(3);
+            })
+        };
+        let doc = load(&path);
+        if let Err(e) = rvhpc::obs::benchdoc::validate(&doc) {
+            eprintln!("reproduce: {path} is not a valid benchmark document: {e}");
+            std::process::exit(3);
+        }
+        let sat = saturation.map(|sat_path| {
+            let sat = load(&sat_path);
+            if let Err(e) = rvhpc::obs::saturation::validate(&sat) {
+                eprintln!("reproduce: {sat_path} is not a valid saturation document: {e}");
+                std::process::exit(3);
+            }
+            sat
+        });
+        print!("{}", record::render_markdown_with(&doc, sat.as_ref()));
+        std::process::exit(0);
+    } else if saturation.is_some() {
+        usage_error("--saturation only makes sense together with --render");
     }
 
     let results = harness::run(&cfg);

@@ -13,6 +13,8 @@
 //! serve --faults 'seed=42,panic=5:40x3'  # deterministic fault injection
 //! serve --store ./store            # persistent prediction store (warm restarts)
 //! serve --cache-cap 4096           # bound the hot cache; overflow spills to disk
+//! serve --profile prof.folded      # continuous profiler; collapsed stacks on exit
+//! serve --slo results/slo_rules.json  # SLO rules backing the admin health op
 //! ```
 //!
 //! Speaks the newline-delimited JSON protocol of `rvhpc-serve` (see
@@ -78,6 +80,8 @@ fn main() {
     };
     let mut metrics_path: Option<std::path::PathBuf> = None;
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut profile_path: Option<std::path::PathBuf> = None;
+    let mut slo_path: Option<std::path::PathBuf> = None;
     let mut faults_spec: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -121,6 +125,20 @@ fn main() {
                 );
             }
             "--cache-cap" => config.hot_cache_cap = parse_num("--cache-cap", args.next()),
+            "--profile" => {
+                profile_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--profile needs a file path"))
+                        .into(),
+                );
+            }
+            "--slo" => {
+                slo_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--slo needs a file path"))
+                        .into(),
+                );
+            }
             "-h" | "--help" => {
                 println!("{}", usage_text());
                 return;
@@ -155,9 +173,32 @@ fn main() {
         eprintln!("serve: persistent store at {}", dir.display());
     }
 
+    // SLO rules are parsed strictly up front: a malformed rules file is
+    // a usage error, not a silently unhealthy health op.
+    if let Some(path) = &slo_path {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage_error(&format!("cannot read {}: {e}", path.display())));
+        let doc = rvhpc::obs::json::parse(&text)
+            .unwrap_or_else(|e| usage_error(&format!("bad JSON in {}: {e}", path.display())));
+        match rvhpc::obs::parse_rules(&doc) {
+            Ok(rules) => {
+                eprintln!(
+                    "serve: {} SLO rules from {}",
+                    rules.rules.len(),
+                    path.display()
+                );
+                config.slo_rules = Some(rules);
+            }
+            Err(e) => usage_error(&format!("bad SLO rules in {}: {e}", path.display())),
+        }
+    }
+
     install_signal_drain();
     if trace_path.is_some() {
         rvhpc::obs::set_enabled(true);
+    }
+    if profile_path.is_some() {
+        rvhpc::obs::set_profiling(true);
     }
     let server = match Server::bind(config) {
         Ok(s) => s,
@@ -177,6 +218,22 @@ fn main() {
             eprintln!("serve: drained cleanly");
             if let Some(path) = metrics_path {
                 if let Err(e) = std::fs::write(&path, doc.to_json() + "\n") {
+                    eprintln!("serve: cannot write {}: {e}", path.display());
+                    std::process::exit(3);
+                }
+            }
+            if let Some(path) = profile_path {
+                // The drain already merged every worker thread's counters
+                // into the global registry; `take` folds them into one
+                // deterministic collapsed-stack artifact.
+                let profile = rvhpc::obs::prof::take();
+                eprintln!(
+                    "serve: writing {} profile stacks ({} samples) to {}",
+                    profile.stacks.len(),
+                    profile.samples,
+                    path.display()
+                );
+                if let Err(e) = std::fs::write(&path, profile.to_folded()) {
                     eprintln!("serve: cannot write {}: {e}", path.display());
                     std::process::exit(3);
                 }

@@ -122,16 +122,29 @@ fn committed_baseline_validates() {
 }
 
 /// `BENCHMARKS.md` is exactly the rendering of the newest committed
-/// document.
+/// trajectory document plus the newest committed saturation sweep.
 #[test]
 fn committed_benchmarks_md_matches_baseline_rendering() {
     let (n, doc) = newest_committed();
-    let rendered = record::render_markdown(&doc);
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    let (sat_n, sat_path) = record::saturation_paths(&dir)
+        .into_iter()
+        .next_back()
+        .expect("at least one SATURATION_<n>.json is committed");
+    let sat_text = std::fs::read_to_string(&sat_path).expect("read newest saturation doc");
+    let sat = json::parse(sat_text.trim()).expect("newest saturation doc parses");
+    assert_eq!(
+        rvhpc::obs::saturation::validate(&sat),
+        Ok(()),
+        "SATURATION_{sat_n} invalid"
+    );
+    let rendered = record::render_markdown_with(&doc, Some(&sat));
     let committed = repo_file("BENCHMARKS.md");
     assert_eq!(
         rendered, committed,
         "BENCHMARKS.md is stale — regenerate with \
-         `reproduce bench --render results/BENCH_{n}.json > BENCHMARKS.md`"
+         `reproduce bench --render results/BENCH_{n}.json \
+         --saturation results/SATURATION_{sat_n}.json > BENCHMARKS.md`"
     );
 }
 

@@ -1,0 +1,257 @@
+//! CLI-contract tests for the observability binaries: `obsdiff` and
+//! `obshealth` are driven as real subprocesses (via `CARGO_BIN_EXE_*`)
+//! against the committed artifacts under `results/`, pinning the exit
+//! codes CI scripts rely on:
+//!
+//! - `0` healthy / no regression, `1` SLO failing / regression,
+//!   `2` malformed or incomparable documents (including a required
+//!   metrics section missing), `3` usage error.
+//!
+//! The 1-vs-2 split is the load-bearing part: gates must be able to
+//! tell "the build got slower / the server is breaching its SLOs" from
+//! "you evaluated the wrong files".
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use rvhpc::obs::{json, JsonValue};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Run `bin args...` and return (exit code, stdout, stderr).
+fn run(bin: &str, args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(bin)
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    (
+        out.status.code().expect("binary exited with a code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Scratch directory for doctored documents, unique per test process.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rvhpc_obs_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(name)
+}
+
+fn write_doc(path: &Path, doc: &JsonValue) {
+    std::fs::write(path, doc.to_json() + "\n").expect("write scratch doc");
+}
+
+#[test]
+fn help_exits_zero_and_names_exit_codes() {
+    for bin in [
+        env!("CARGO_BIN_EXE_obsdiff"),
+        env!("CARGO_BIN_EXE_obshealth"),
+    ] {
+        let (code, stdout, _) = run(bin, &["--help"]);
+        assert_eq!(code, 0, "{bin} --help must exit 0");
+        assert!(stdout.contains("usage:"), "{bin} --help prints usage");
+        assert!(
+            stdout.contains("exit codes:"),
+            "{bin} --help documents its exit codes"
+        );
+    }
+}
+
+#[test]
+fn usage_errors_exit_three() {
+    let (code, _, stderr) = run(env!("CARGO_BIN_EXE_obshealth"), &[]);
+    assert_eq!(code, 3, "missing --rules is a usage error: {stderr}");
+    let (code, _, stderr) = run(
+        env!("CARGO_BIN_EXE_obshealth"),
+        &["--rules", "results/slo_rules.json", "--bogus"],
+    );
+    assert_eq!(code, 3, "unknown flag is a usage error: {stderr}");
+    let (code, _, stderr) = run(env!("CARGO_BIN_EXE_obsdiff"), &["only-one.json"]);
+    assert_eq!(code, 3, "one positional path is a usage error: {stderr}");
+}
+
+/// The committed rules pass against the committed QoS baseline — this is
+/// the exact invocation the CI health gate runs.
+#[test]
+fn obshealth_committed_rules_pass_qos_baseline() {
+    let (code, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_obshealth"),
+        &[
+            "--rules",
+            "results/slo_rules.json",
+            "--doc",
+            "results/qos_baseline_metrics.json",
+        ],
+    );
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("obs-health: OK"), "{stdout}");
+}
+
+/// Tightening a ceiling to an impossible value flips the verdict to
+/// failing (exit 1) — the breach path, distinct from mismatch (exit 2).
+#[test]
+fn obshealth_tightened_rules_fail_with_exit_one() {
+    let rules_text =
+        std::fs::read_to_string(repo_path("results/slo_rules.json")).expect("read rules");
+    let mut rules = json::parse(rules_text.trim()).expect("rules parse");
+    if let JsonValue::Object(doc) = &mut rules {
+        if let Some(JsonValue::Array(items)) = doc.get_mut("rules") {
+            for rule in items.iter_mut() {
+                if rule.get("name").and_then(JsonValue::as_str) != Some("interactive-p99") {
+                    continue;
+                }
+                if let JsonValue::Object(map) = rule {
+                    if let Some(JsonValue::Number(v)) = map.get_mut("max_us") {
+                        *v = 1.0;
+                    }
+                }
+            }
+        }
+    }
+    let path = scratch("tight_rules.json");
+    write_doc(&path, &rules);
+    let (code, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_obshealth"),
+        &[
+            "--rules",
+            &path.display().to_string(),
+            "--doc",
+            "results/qos_baseline_metrics.json",
+        ],
+    );
+    assert_eq!(code, 1, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("obs-health: FAILING"), "{stdout}");
+    assert!(stdout.contains("BREACH interactive-p99"), "{stdout}");
+}
+
+/// Malformed rules and a metrics document missing a required section
+/// both land on exit 2, never 1: these are evaluation errors, not
+/// breaches.
+#[test]
+fn obshealth_bad_inputs_exit_two() {
+    let path = scratch("bad_rules.json");
+    std::fs::write(&path, "{\"schema\": \"not-slo\", \"rules\": []}\n").unwrap();
+    let (code, _, stderr) = run(
+        env!("CARGO_BIN_EXE_obshealth"),
+        &[
+            "--rules",
+            &path.display().to_string(),
+            "--doc",
+            "results/qos_baseline_metrics.json",
+        ],
+    );
+    assert_eq!(code, 2, "bad rules schema: {stderr}");
+
+    // The plain serve baseline has no per-class sections, so the
+    // required class_p99_ceiling rules mismatch.
+    let (code, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_obshealth"),
+        &[
+            "--rules",
+            "results/slo_rules.json",
+            "--doc",
+            "results/baseline_metrics.json",
+        ],
+    );
+    assert_eq!(code, 2, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("MISMATCH"), "{stdout}");
+}
+
+/// `--out` writes a versioned rvhpc-health/1 verdict document.
+#[test]
+fn obshealth_out_writes_versioned_verdict() {
+    let out = scratch("verdict.json");
+    let (code, _, stderr) = run(
+        env!("CARGO_BIN_EXE_obshealth"),
+        &[
+            "--rules",
+            "results/slo_rules.json",
+            "--doc",
+            "results/qos_baseline_metrics.json",
+            "--out",
+            &out.display().to_string(),
+        ],
+    );
+    assert_eq!(code, 0, "{stderr}");
+    let text = std::fs::read_to_string(&out).expect("verdict written");
+    let doc = json::parse(text.trim()).expect("verdict parses");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("rvhpc-health/1")
+    );
+    assert_eq!(
+        doc.get("status").and_then(JsonValue::as_str),
+        Some("ok"),
+        "{text}"
+    );
+}
+
+/// The committed saturation sweep self-diffs clean under the asserted
+/// `saturation` kind — the exact invocation the CI sweep gate runs.
+#[test]
+fn obsdiff_saturation_self_diff_is_clean() {
+    let (code, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_obsdiff"),
+        &[
+            "saturation",
+            "results/SATURATION_0.json",
+            "results/SATURATION_0.json",
+        ],
+    );
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("saturation"), "{stdout}");
+}
+
+/// Asserting the wrong kind is incomparable (exit 2), not a regression.
+#[test]
+fn obsdiff_kind_assertion_mismatch_exits_two() {
+    let (code, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_obsdiff"),
+        &[
+            "saturation",
+            "results/qos_baseline_metrics.json",
+            "results/qos_baseline_metrics.json",
+        ],
+    );
+    assert_eq!(code, 2, "stdout:\n{stdout}\nstderr:\n{stderr}");
+}
+
+/// A sweep whose per-step p99s blew up 10x regresses against the
+/// committed baseline (exit 1).
+#[test]
+fn obsdiff_saturation_regression_exits_one() {
+    let text = std::fs::read_to_string(repo_path("results/SATURATION_0.json")).expect("read sweep");
+    let mut doctored = json::parse(text.trim()).expect("sweep parses");
+    if let JsonValue::Object(doc) = &mut doctored {
+        if let Some(JsonValue::Array(steps)) = doc.get_mut("steps") {
+            for step in steps.iter_mut() {
+                if let JsonValue::Object(step) = step {
+                    if let Some(JsonValue::Number(v)) = step.get_mut("p99_us") {
+                        *v *= 10.0;
+                    }
+                }
+            }
+        }
+        if let Some(JsonValue::Object(knee)) = doc.get_mut("knee") {
+            if let Some(JsonValue::Number(v)) = knee.get_mut("p99_us") {
+                *v *= 10.0;
+            }
+        }
+    }
+    let path = scratch("slow_sweep.json");
+    write_doc(&path, &doctored);
+    let (code, stdout, stderr) = run(
+        env!("CARGO_BIN_EXE_obsdiff"),
+        &[
+            "saturation",
+            "results/SATURATION_0.json",
+            &path.display().to_string(),
+        ],
+    );
+    assert_eq!(code, 1, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+}

@@ -250,3 +250,71 @@ fn admission_control_rejects_with_structured_error() {
         "counter matches observed rejections"
     );
 }
+
+/// Admin `health` and `profile` ops: with SLO rules loaded and the
+/// profiler on, `health` returns a versioned rvhpc-health/1 verdict and
+/// `profile` returns the collapsed-stack snapshot covering the serve
+/// path; without rules, `health` is a structured invalid error.
+#[test]
+fn health_and_profile_admin_ops() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+
+    // Without rules: structured error, connection stays usable.
+    let (addr, handle) = boot(test_config());
+    let mut client = Client::connect(addr);
+    let reply = client.roundtrip(r#"{"op":"health"}"#);
+    assert!(
+        reply.contains(r#""ok":false"#) && reply.contains(r#""kind":"invalid""#),
+        "{reply}"
+    );
+    client.roundtrip(r#"{"op":"quit"}"#);
+    handle.join().expect("server thread");
+
+    // With the committed rules and the profiler on.
+    let rules_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results/slo_rules.json");
+    let rules_text = std::fs::read_to_string(&rules_path).expect("read committed rules");
+    let rules_doc = json::parse(rules_text.trim()).expect("rules parse");
+    let rules = rvhpc::obs::parse_rules(&rules_doc).expect("committed rules are valid");
+    rvhpc::obs::prof::reset();
+    rvhpc::obs::prof::set_profiling(true);
+    let (addr, handle) = boot(ServerConfig {
+        slo_rules: Some(rules),
+        ..test_config()
+    });
+    let mut client = Client::connect(addr);
+    for id in 1..=4 {
+        let line =
+            format!(r#"{{"id":{id},"bench":"cg","class":"A","threads":8,"machine":"sg2044"}}"#);
+        client.roundtrip(&line);
+    }
+
+    let reply = client.roundtrip(r#"{"op":"health"}"#);
+    let doc = json::parse(reply.trim_end()).expect("health reply parses");
+    let verdict = doc.get("result").expect("health carries a result");
+    assert_eq!(
+        verdict.get("schema").and_then(JsonValue::as_str),
+        Some(rvhpc::obs::HEALTH_SCHEMA)
+    );
+    let evaluated = verdict
+        .get("evaluated")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    assert!(evaluated >= 9.0, "all committed rules evaluated: {reply}");
+
+    let reply = client.roundtrip(r#"{"op":"profile"}"#);
+    rvhpc::obs::prof::set_profiling(false);
+    let doc = json::parse(reply.trim_end()).expect("profile reply parses");
+    let stacks = doc
+        .get("result")
+        .and_then(|r| r.get("stacks"))
+        .expect("profile carries stacks");
+    assert!(
+        stacks.get("serve.predict").is_some(),
+        "serve.predict frame sampled: {reply}"
+    );
+
+    client.roundtrip(r#"{"op":"quit"}"#);
+    handle.join().expect("server thread");
+    rvhpc::obs::prof::reset();
+}
