@@ -33,6 +33,7 @@
 //! | `corrupt`  | [`FaultSite::CorruptReply`] | predict reply write (byte flipped)  |
 //! | `saturate` | [`FaultSite::QueueSaturate`]| admission (forced load-shed)        |
 //! | `store`    | [`FaultSite::StoreTorn`]    | disk-store segment append (torn mid-record) |
+//! | `partition`| [`FaultSite::Partition`]    | cluster router forward (primary ring owner treated unreachable → failover) |
 
 use crate::rng::mix;
 use rvhpc_obs::JsonValue;
@@ -55,10 +56,13 @@ pub enum FaultSite {
     QueueSaturate = 5,
     /// A disk-store segment append is torn mid-record (crash mid-write).
     StoreTorn = 6,
+    /// A cluster router treats the primary ring owner as unreachable and
+    /// fails over to the next owner (simulated network partition).
+    Partition = 7,
 }
 
 /// Number of distinct sites (array-table size).
-pub const SITE_COUNT: usize = 7;
+pub const SITE_COUNT: usize = 8;
 
 impl FaultSite {
     /// Every site, table order.
@@ -70,6 +74,7 @@ impl FaultSite {
         FaultSite::CorruptReply,
         FaultSite::QueueSaturate,
         FaultSite::StoreTorn,
+        FaultSite::Partition,
     ];
 
     /// Spec key and stable JSON/event label.
@@ -82,6 +87,7 @@ impl FaultSite {
             FaultSite::CorruptReply => "corrupt",
             FaultSite::QueueSaturate => "saturate",
             FaultSite::StoreTorn => "store",
+            FaultSite::Partition => "partition",
         }
     }
 

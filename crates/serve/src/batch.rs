@@ -67,7 +67,86 @@ pub struct Job {
     pub class: Priority,
     /// Where the result goes; the connection side may have given up
     /// (deadline), in which case the send fails and is ignored.
-    pub reply: SyncSender<JobResult>,
+    pub reply: ReplySink,
+}
+
+/// A completed (or abandoned) job as delivered to a [`CompletionPort`].
+pub struct Completion {
+    /// The token the submitter chose (identifies connection + request).
+    pub token: u64,
+    /// The result — `None` when the batch was abandoned after repeated
+    /// panics and the job will never produce one.
+    pub result: Option<JobResult>,
+}
+
+/// Where a nonblocking submitter collects finished jobs: the reactor
+/// implements this with a completion queue plus a [`crate::poll::Waker`].
+pub trait CompletionPort: Send + Sync {
+    /// Deliver one completion. Must not block.
+    fn complete(&self, completion: Completion);
+}
+
+/// How a finished job reports back to its submitter.
+///
+/// [`ReplySink::Channel`] is the blocking shape (tests, embedded
+/// callers): the submitter parks in `recv_timeout`. [`ReplySink::port`]
+/// is the reactor shape: the worker posts a [`Completion`] and the
+/// reactor matches it to the waiting connection. Dropping an unsent
+/// port sink — the abandoned-batch path — posts a `result: None`
+/// completion, so a batch that burned every attempt still produces a
+/// structured `internal` error at the connection instead of a hang.
+pub enum ReplySink {
+    /// Blocking reply channel; a closed receiver is ignored.
+    Channel(SyncSender<JobResult>),
+    /// Completion-port reply (non-blocking submitters).
+    Port {
+        /// Where completions land.
+        port: Arc<dyn CompletionPort>,
+        /// Token echoed in the completion.
+        token: u64,
+        /// Whether a result was delivered (guards the drop signal).
+        sent: std::cell::Cell<bool>,
+    },
+}
+
+impl ReplySink {
+    /// A completion-port sink for `token`.
+    pub fn port(port: Arc<dyn CompletionPort>, token: u64) -> ReplySink {
+        ReplySink::Port {
+            port,
+            token,
+            sent: std::cell::Cell::new(false),
+        }
+    }
+
+    /// Deliver the result. Channel sinks ignore a closed receiver.
+    pub fn send(&self, result: JobResult) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplySink::Port { port, token, sent } => {
+                sent.set(true);
+                port.complete(Completion {
+                    token: *token,
+                    result: Some(result),
+                });
+            }
+        }
+    }
+}
+
+impl Drop for ReplySink {
+    fn drop(&mut self) {
+        if let ReplySink::Port { port, token, sent } = self {
+            if !sent.get() {
+                port.complete(Completion {
+                    token: *token,
+                    result: None,
+                });
+            }
+        }
+    }
 }
 
 /// A finished job.
@@ -253,7 +332,7 @@ fn worker_loop(
             let service_us = done.duration_since(job.enqueued_at).as_micros() as u64;
             // A closed reply channel means the client stopped waiting
             // (deadline or disconnect); the result is still cached.
-            let _ = job.reply.send(JobResult {
+            job.reply.send(JobResult {
                 pred,
                 cached: was_cached,
                 service_us,
@@ -415,7 +494,7 @@ mod tests {
                 trace_id: 0,
                 enqueued_us: obs::now_us(),
                 class: Priority::Interactive,
-                reply: tx,
+                reply: ReplySink::Channel(tx),
             },
             rx,
         )

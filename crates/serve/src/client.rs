@@ -114,6 +114,15 @@ enum Transient {
     ServerError(&'static str, Option<u64>),
 }
 
+/// A finished attempt: the parsed reply plus its raw frame bytes
+/// (newline stripped), so raw-forwarding callers can relay verbatim.
+enum AttemptOutcome {
+    /// `ok:true`.
+    Ok(JsonValue, String),
+    /// Definitive rejection (`parse`, `invalid`, `draining`).
+    Rejected(JsonValue, String),
+}
+
 impl RetryClient {
     /// Client for `cfg.addr`; no connection is made until the first call.
     pub fn new(cfg: ClientConfig) -> Self {
@@ -142,13 +151,33 @@ impl RetryClient {
     /// Send one request line and return the parsed `ok:true` reply,
     /// retrying transient failures per the config.
     pub fn call(&mut self, line: &str) -> Result<JsonValue, ClientError> {
+        match self.call_inner(line)? {
+            AttemptOutcome::Ok(doc, _) => Ok(doc),
+            AttemptOutcome::Rejected(doc, _) => Err(ClientError::Rejected(doc)),
+        }
+    }
+
+    /// As [`RetryClient::call`], but return the *raw* reply frame
+    /// (newline stripped) — for both successes and definitive
+    /// rejections, which a forwarding router relays to its own client
+    /// verbatim rather than treating as local errors. Only transient
+    /// exhaustion is an error.
+    pub fn call_raw(&mut self, line: &str) -> Result<String, ClientError> {
+        match self.call_inner(line)? {
+            AttemptOutcome::Ok(_, raw) | AttemptOutcome::Rejected(_, raw) => Ok(raw),
+        }
+    }
+
+    /// The shared retry loop: transient failures back off and retry up
+    /// to `max_attempts`; anything the server actually answered comes
+    /// back as an [`AttemptOutcome`].
+    fn call_inner(&mut self, line: &str) -> Result<AttemptOutcome, ClientError> {
         self.stats.requests += 1;
         let mut attempt = 0u32;
         loop {
             attempt += 1;
             let failure = match self.attempt(line) {
-                Ok(Ok(doc)) => return Ok(doc),
-                Ok(Err(rejected)) => return Err(ClientError::Rejected(rejected)),
+                Ok(outcome) => return Ok(outcome),
                 Err(transient) => transient,
             };
             let (last, hint) = match failure {
@@ -180,9 +209,9 @@ impl RetryClient {
         }
     }
 
-    /// One attempt: `Ok(Ok)` success, `Ok(Err)` definitive rejection,
-    /// `Err` transient failure.
-    fn attempt(&mut self, line: &str) -> Result<Result<JsonValue, JsonValue>, Transient> {
+    /// One attempt: `Ok` when the server answered (success or
+    /// definitive rejection), `Err` on transient failure.
+    fn attempt(&mut self, line: &str) -> Result<AttemptOutcome, Transient> {
         let io = |e: std::io::Error| Transient::Io(e.to_string());
         if self.conn.is_none() {
             let addr = self
@@ -212,12 +241,13 @@ impl RetryClient {
             // A frame without its newline is a mid-frame drop.
             return Err(Transient::Io("truncated reply frame".to_string()));
         }
-        let doc = match rvhpc_obs::json::parse(reply.trim_end()) {
+        let raw = reply.trim_end().to_string();
+        let doc = match rvhpc_obs::json::parse(&raw) {
             Ok(doc) => doc,
             Err(_) => return Err(Transient::Corrupt),
         };
         if doc.get("ok") == Some(&JsonValue::Bool(true)) {
-            return Ok(Ok(doc));
+            return Ok(AttemptOutcome::Ok(doc, raw));
         }
         let kind = doc
             .get("error")
@@ -235,7 +265,7 @@ impl RetryClient {
             }
             "internal" => Err(Transient::ServerError("internal", None)),
             "deadline" => Err(Transient::ServerError("deadline", None)),
-            _ => Ok(Err(doc)),
+            _ => Ok(AttemptOutcome::Rejected(doc, raw)),
         }
     }
 

@@ -1,0 +1,549 @@
+//! Horizontal sharding for the serving tier: a seeded consistent-hash
+//! ring over cache-key fingerprints, plus the thin router that forwards
+//! raw request lines to ring owners.
+//!
+//! The [`Ring`] places every node at `vnodes` pseudo-random points on
+//! the `u64` circle; a fingerprint is owned by the first point at or
+//! after it (wrapping). Each node's points are a pure function of
+//! `(seed, node name, vnode index)` — independent of the other members
+//! — so removing a node leaves every surviving point exactly where it
+//! was and only the dead node's keys move (the classic
+//! minimal-disruption property, checked by `ring_properties.rs`).
+//! Virtual nodes flatten ownership skew; the same suite bounds max/min
+//! key ownership under 1.5x for rings of three or more nodes.
+//!
+//! The [`Router`] sits in front of a node set (`serve --route
+//! node1,node2,...`): each predict's fingerprint picks an owner order
+//! ([`Ring::owners`]), a [`Forwarder`] worker relays the *raw* request
+//! line over [`RetryClient`] — so the owner's reply bytes reach the
+//! client verbatim, keeping single-node and cluster replies
+//! byte-identical — and failover walks to the next owner when a node is
+//! dead. Keys forwarded more than `hot_threshold` times are hot:
+//! subsequent sends rotate round-robin across the first `replicas` ring
+//! owners, warming replicas so a kill of the primary costs one
+//! recompute, not a cold start. The [`FaultSite::Partition`] chaos site
+//! forces the primary to be treated as unreachable, exercising the
+//! failover path deterministically.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rvhpc_faults::{note_recovery, rng::mix, FaultSite, Injector};
+use rvhpc_obs::JsonValue;
+
+use crate::client::{ClientConfig, RetryClient};
+
+/// Most distinct fingerprints the hot-key tracker retains (first-come;
+/// a bounded map, not an LRU — hot keys in steady traffic appear early).
+const HOT_TRACK_CAP: usize = 4096;
+
+/// FNV-1a over the node name: the stable name → point-stream seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cluster router tuning (`serve --route`).
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Node addresses, `host:port`, ring membership order.
+    pub nodes: Vec<String>,
+    /// Virtual nodes per member; more vnodes, flatter ownership.
+    pub vnodes: u32,
+    /// Ring placement seed — same seed + members, same assignment.
+    pub seed: u64,
+    /// Owner-set width for hot-key replication and failover.
+    pub replicas: usize,
+    /// Forwards of one key after which it counts as hot and spreads
+    /// round-robin across the owner set.
+    pub hot_threshold: u64,
+    /// Forwarder worker threads.
+    pub forward_workers: usize,
+    /// Bounded forward queue depth — the router's admission limit.
+    pub forward_queue: usize,
+    /// Retry attempts against one node before failing over.
+    pub attempts_per_node: u32,
+    /// Per-node TCP connect timeout.
+    pub connect_timeout_ms: u64,
+    /// Per-reply read timeout.
+    pub read_timeout_ms: u64,
+}
+
+impl RouterConfig {
+    /// Defaults for a node list.
+    pub fn new(nodes: Vec<String>) -> RouterConfig {
+        RouterConfig {
+            nodes,
+            // 256 points per member holds max/min ownership skew under
+            // 1.5x for 3..=8-node rings (measured ~1.39 worst over 40
+            // seeds; ring_properties.rs enforces the bound).
+            vnodes: 256,
+            seed: 0,
+            replicas: 2,
+            hot_threshold: 32,
+            forward_workers: 8,
+            forward_queue: 1024,
+            attempts_per_node: 2,
+            connect_timeout_ms: 500,
+            read_timeout_ms: 30_000,
+        }
+    }
+}
+
+/// A seeded consistent-hash ring over `u64` fingerprints.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    nodes: Vec<String>,
+    vnodes: u32,
+    seed: u64,
+    /// `(point, node index)`, sorted by point.
+    points: Vec<(u64, u32)>,
+}
+
+impl Ring {
+    /// Place `nodes` on the circle at `vnodes` points each.
+    pub fn new(nodes: &[String], vnodes: u32, seed: u64) -> Ring {
+        let mut points = Vec::with_capacity(nodes.len() * vnodes as usize);
+        for (ni, name) in nodes.iter().enumerate() {
+            // Each node's point stream depends only on (seed, name, v):
+            // membership changes move nobody else's points, which *is*
+            // the minimal-disruption property.
+            let base = mix(seed ^ fnv1a(name.as_bytes()));
+            for v in 0..vnodes {
+                points.push((mix(base ^ u64::from(v)), ni as u32));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            nodes: nodes.to_vec(),
+            vnodes,
+            seed,
+            points,
+        }
+    }
+
+    /// Ring membership, construction order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// The owning node index for a fingerprint: the first point at or
+    /// after it, wrapping past the top of the circle.
+    pub fn owner_of(&self, fingerprint: u64) -> usize {
+        self.owners(fingerprint, 1)[0]
+    }
+
+    /// The first `n` *distinct* owners clockwise from the fingerprint —
+    /// the failover / replication order. Panics on an empty ring.
+    pub fn owners(&self, fingerprint: u64, n: usize) -> Vec<usize> {
+        assert!(!self.points.is_empty(), "owners() on an empty ring");
+        let start = self.points.partition_point(|&(p, _)| p < fingerprint);
+        let want = n.min(self.nodes.len()).max(1);
+        let mut order = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, ni) = self.points[(start + i) % self.points.len()];
+            let ni = ni as usize;
+            if !order.contains(&ni) {
+                order.push(ni);
+                if order.len() == want {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The ring after removing `name` — surviving nodes keep their
+    /// exact points, so only keys the removed node owned move.
+    pub fn without(&self, name: &str) -> Ring {
+        let rest: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|n| n.as_str() != name)
+            .cloned()
+            .collect();
+        Ring::new(&rest, self.vnodes, self.seed)
+    }
+
+    /// Distinct keys each node owns out of `fingerprints` (skew checks).
+    pub fn ownership_counts(&self, fingerprints: &[u64]) -> Vec<u64> {
+        let mut counts = vec![0u64; self.nodes.len()];
+        for &fp in fingerprints {
+            counts[self.owner_of(fp)] += 1;
+        }
+        counts
+    }
+}
+
+/// Per-node forwarding counters.
+#[derive(Default)]
+struct NodeStats {
+    forwarded: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    failovers: AtomicU64,
+}
+
+/// The routing brain: ring, per-node stats, hot-key tracking, and the
+/// key → node assignment table behind the ring-occupancy gauges.
+pub struct Router {
+    config: RouterConfig,
+    ring: Ring,
+    stats: Vec<NodeStats>,
+    forwarded: AtomicU64,
+    /// Forward count per fingerprint (bounded; drives hot detection).
+    hot: Mutex<BTreeMap<u64, u64>>,
+    /// Last node each distinct fingerprint was served by.
+    assigned: Mutex<BTreeMap<u64, u32>>,
+    /// Round-robin cursor for hot-key replica rotation.
+    rr: AtomicU64,
+    injector: Option<Arc<Injector>>,
+}
+
+impl Router {
+    /// A router over `config.nodes`; the injector (when present) powers
+    /// the `partition` chaos site.
+    pub fn new(config: RouterConfig, injector: Option<Arc<Injector>>) -> Router {
+        let ring = Ring::new(&config.nodes, config.vnodes.max(1), config.seed);
+        let stats = config.nodes.iter().map(|_| NodeStats::default()).collect();
+        Router {
+            config,
+            ring,
+            stats,
+            forwarded: AtomicU64::new(0),
+            hot: Mutex::new(BTreeMap::new()),
+            assigned: Mutex::new(BTreeMap::new()),
+            rr: AtomicU64::new(0),
+            injector,
+        }
+    }
+
+    /// The ring (tests and gauges).
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Total predicts handed to the forwarder.
+    pub fn forwarded_total(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// The node order to try for one forward: ring owners, with hot
+    /// keys rotated round-robin across the replica set so repeats warm
+    /// more than one node.
+    fn route(&self, fingerprint: u64) -> Vec<usize> {
+        self.forwarded.fetch_add(1, Ordering::Relaxed);
+        let replicas = self.config.replicas.max(1);
+        let mut order = self.ring.owners(fingerprint, replicas.max(2));
+        let count = {
+            let mut hot = self.hot.lock();
+            if let Some(c) = hot.get_mut(&fingerprint) {
+                *c += 1;
+                *c
+            } else if hot.len() < HOT_TRACK_CAP {
+                hot.insert(fingerprint, 1);
+                1
+            } else {
+                1
+            }
+        };
+        let spread = replicas.min(order.len());
+        if count > self.config.hot_threshold && spread > 1 {
+            let pick = (self.rr.fetch_add(1, Ordering::Relaxed) as usize) % spread;
+            order.swap(0, pick);
+        }
+        order
+    }
+
+    /// Record which node actually served a fingerprint.
+    fn note_assigned(&self, fingerprint: u64, node: usize) {
+        self.assigned.lock().insert(fingerprint, node as u32);
+    }
+
+    /// Distinct keys currently assigned to each node; the sum over
+    /// nodes equals the total distinct keys this router has served.
+    pub fn keys_per_node(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.config.nodes.len()];
+        for &node in self.assigned.lock().values() {
+            counts[node as usize] += 1;
+        }
+        counts
+    }
+
+    /// The `cluster` metrics section.
+    pub fn to_json(&self) -> JsonValue {
+        let keys = self.keys_per_node();
+        let keys_total: u64 = keys.iter().sum();
+        let nodes: Vec<JsonValue> = self
+            .config
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                JsonValue::object([
+                    ("addr".to_string(), JsonValue::from(addr.as_str())),
+                    (
+                        "forwarded".to_string(),
+                        JsonValue::from(self.stats[i].forwarded.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "ok".to_string(),
+                        JsonValue::from(self.stats[i].ok.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "errors".to_string(),
+                        JsonValue::from(self.stats[i].errors.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "failovers".to_string(),
+                        JsonValue::from(self.stats[i].failovers.load(Ordering::Relaxed)),
+                    ),
+                    ("keys".to_string(), JsonValue::from(keys[i])),
+                ])
+            })
+            .collect();
+        let hot = self.hot.lock();
+        let replicated = hot
+            .values()
+            .filter(|&&c| c > self.config.hot_threshold)
+            .count();
+        JsonValue::object([
+            (
+                "ring".to_string(),
+                JsonValue::object([
+                    (
+                        "nodes".to_string(),
+                        JsonValue::Array(
+                            self.config
+                                .nodes
+                                .iter()
+                                .map(|n| JsonValue::from(n.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "vnodes".to_string(),
+                        JsonValue::from(u64::from(self.ring.vnodes)),
+                    ),
+                    ("seed".to_string(), JsonValue::from(self.ring.seed)),
+                ]),
+            ),
+            ("nodes".to_string(), JsonValue::Array(nodes)),
+            ("keys_total".to_string(), JsonValue::from(keys_total)),
+            (
+                "hot".to_string(),
+                JsonValue::object([
+                    ("tracked".to_string(), JsonValue::from(hot.len() as u64)),
+                    ("replicated".to_string(), JsonValue::from(replicated as u64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// How a forward ended.
+pub enum ForwardOutcome {
+    /// Some node answered: the raw reply frame, newline stripped,
+    /// relayed verbatim (successes *and* definitive rejections).
+    Reply(String),
+    /// Every owner failed transiently; the last failure, described.
+    Failed(String),
+}
+
+/// One predict to relay: the raw request line plus its routing
+/// fingerprint and the completion callback back into the reactor.
+pub struct ForwardJob {
+    /// The raw request line (no newline).
+    pub line: String,
+    /// Cache-key fingerprint — the ring coordinate.
+    pub fingerprint: u64,
+    /// Caller token echoed into the completion.
+    pub token: u64,
+    /// Completion delivery; must not block.
+    pub done: Box<dyn FnOnce(u64, ForwardOutcome) + Send>,
+}
+
+/// The forwarder pool: worker threads pulling [`ForwardJob`]s off a
+/// bounded queue, each holding lazily-built per-node [`RetryClient`]s.
+pub struct Forwarder {
+    tx: Mutex<Option<SyncSender<ForwardJob>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Forwarder {
+    /// Start the worker pool for `router`.
+    pub fn spawn(router: Arc<Router>) -> Forwarder {
+        let (tx, rx) = sync_channel::<ForwardJob>(router.config.forward_queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::new();
+        for w in 0..router.config.forward_workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let router = Arc::clone(&router);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("rvhpc-serve-fwd-{w}"))
+                    .spawn(move || forward_loop(w as u64, &router, &rx))
+                    .expect("spawn forwarder thread"),
+            );
+        }
+        Forwarder {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Enqueue one forward; `Err` when the queue is full or draining —
+    /// the caller sheds with an `overloaded` reply, exactly like a full
+    /// shard queue.
+    pub fn submit(&self, job: ForwardJob) -> Result<(), ForwardJob> {
+        let tx = self.tx.lock();
+        let Some(tx) = tx.as_ref() else {
+            return Err(job);
+        };
+        match tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => Err(job),
+        }
+    }
+
+    /// Stop accepting, let queued forwards finish, join the workers.
+    pub fn drain(&self) {
+        self.tx.lock().take();
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn forward_loop(worker: u64, router: &Router, rx: &Mutex<Receiver<ForwardJob>>) {
+    let mut clients: HashMap<usize, RetryClient> = HashMap::new();
+    loop {
+        // Hold the receiver lock only while pulling one job.
+        let job = match rx.lock().recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let ForwardJob {
+            line,
+            fingerprint,
+            token,
+            done,
+        } = job;
+        // Option-wrapped so one completion fires exactly once whether a
+        // node answers mid-loop or every owner fails.
+        let mut done = Some(done);
+        let order = router.route(fingerprint);
+        let mut last = "no cluster nodes configured".to_string();
+        for (hop, &ni) in order.iter().enumerate() {
+            // Chaos: the partition site declares the primary owner
+            // unreachable, forcing the same failover walk a dead node
+            // would — deterministically, under the plan's schedule.
+            if hop == 0 && order.len() > 1 {
+                if let Some(inj) = &router.injector {
+                    if inj.roll(FaultSite::Partition).is_some() {
+                        router.stats[ni].failovers.fetch_add(1, Ordering::Relaxed);
+                        note_recovery("partition-reroute", ni as u64);
+                        last = format!("partitioned from {}", router.config.nodes[ni]);
+                        continue;
+                    }
+                }
+            }
+            let client = clients.entry(ni).or_insert_with(|| {
+                RetryClient::new(ClientConfig {
+                    addr: router.config.nodes[ni].clone(),
+                    connect_timeout: Duration::from_millis(router.config.connect_timeout_ms),
+                    read_timeout: Duration::from_millis(router.config.read_timeout_ms),
+                    max_attempts: router.config.attempts_per_node.max(1),
+                    // Distinct deterministic jitter stream per
+                    // (seed, worker, node) — chaos runs stay replayable.
+                    jitter_seed: mix(router.config.seed ^ (worker << 32) ^ ni as u64),
+                    ..ClientConfig::default()
+                })
+            });
+            router.stats[ni].forwarded.fetch_add(1, Ordering::Relaxed);
+            match client.call_raw(&line) {
+                Ok(raw) => {
+                    router.stats[ni].ok.fetch_add(1, Ordering::Relaxed);
+                    router.note_assigned(fingerprint, ni);
+                    if let Some(done) = done.take() {
+                        done(token, ForwardOutcome::Reply(raw));
+                    }
+                    break;
+                }
+                Err(e) => {
+                    router.stats[ni].errors.fetch_add(1, Ordering::Relaxed);
+                    last = e.to_string();
+                    if hop + 1 < order.len() {
+                        router.stats[ni].failovers.fetch_add(1, Ordering::Relaxed);
+                        note_recovery("node-failover", ni as u64);
+                    }
+                }
+            }
+        }
+        if let Some(done) = done.take() {
+            done(token, ForwardOutcome::Failed(last));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("node{i}:71{i:02}")).collect()
+    }
+
+    #[test]
+    fn assignment_is_total_and_deterministic() {
+        let ring = Ring::new(&names(4), 64, 7);
+        let again = Ring::new(&names(4), 64, 7);
+        for i in 0..1000u64 {
+            let fp = mix(i);
+            let owner = ring.owner_of(fp);
+            assert!(owner < 4);
+            assert_eq!(owner, again.owner_of(fp), "same seed, same assignment");
+        }
+    }
+
+    #[test]
+    fn owners_walk_distinct_nodes() {
+        let ring = Ring::new(&names(3), 32, 1);
+        for i in 0..200u64 {
+            let order = ring.owners(mix(i), 3);
+            assert_eq!(order.len(), 3);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "owner order must be distinct: {order:?}");
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_the_dead_nodes_keys() {
+        let nodes = names(5);
+        let ring = Ring::new(&nodes, 64, 3);
+        let smaller = ring.without(&nodes[2]);
+        for i in 0..2000u64 {
+            let fp = mix(i ^ 0xabcd);
+            let before = ring.owner_of(fp);
+            if nodes[before] == nodes[2] {
+                continue; // the dead node's keys may go anywhere
+            }
+            let after = smaller.owner_of(fp);
+            assert_eq!(
+                nodes[before],
+                smaller.nodes()[after],
+                "a surviving node's key moved on membership change"
+            );
+        }
+    }
+}

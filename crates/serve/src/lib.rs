@@ -13,11 +13,21 @@
 //!   persistent [`rvhpc_parallel::Pool`] per shard, concurrent requests
 //!   merged into single engine batches (identical queries dedup to one
 //!   computation).
-//! * [`server`] — the std-`TcpListener` accept loop: per-connection
-//!   protocol handling, per-request deadlines, server counters
-//!   (accepted / rejected-at-admission / deadline-expired / cache hit
-//!   rate per connection) exported through the `rvhpc-metrics/1` writer,
-//!   and graceful drain on SIGTERM/ctrl-C or an admin `quit` request.
+//! * [`server`] — the nonblocking reactor: readiness-polled
+//!   ([`poll`], epoll on Linux) per-core acceptor shards, incremental
+//!   NDJSON frame reads into per-connection buffers (no hard connection
+//!   cap, no thread per connection), per-request deadlines, server
+//!   counters (accepted / rejected-at-admission / deadline-expired /
+//!   cache hit rate per connection) exported through the
+//!   `rvhpc-metrics/1` writer, and graceful drain on SIGTERM/ctrl-C or
+//!   an admin `quit` request.
+//! * [`poll`] — the thin readiness-polling layer the reactor stands on:
+//!   epoll on Linux, poll(2) elsewhere on unix, plus a loopback-socket
+//!   waker for cross-thread completion delivery.
+//! * [`cluster`] — horizontal sharding: a seeded consistent-hash ring
+//!   over cache-key fingerprints, hot-key replication, and the router
+//!   mode (`serve --route node1,node2,...`) that relays raw request
+//!   lines to ring owners with node-kill failover.
 //! * [`loadgen`] — the measuring client: replays deterministic request
 //!   mixes at a target rate and reports throughput and p50/p95/p99
 //!   latency via [`rvhpc_obs::LatencyHistogram`].
@@ -37,12 +47,15 @@
 
 pub mod batch;
 pub mod client;
+pub mod cluster;
 pub mod loadgen;
+pub mod poll;
 pub mod proto;
 pub mod server;
 
 pub use batch::{AdmissionError, Batcher, Job, JobResult};
 pub use client::{ClientConfig, ClientError, ClientStats, RetryClient};
+pub use cluster::{Ring, Router, RouterConfig};
 pub use loadgen::{ClassMix, ClassReport, LoadReport, LoadgenConfig, Mix, SweepSpec};
 pub use proto::{parse_request, ErrorKind, PredictRequest, Priority, ProtoError, Request};
 pub use server::{

@@ -1,0 +1,565 @@
+//! A thin readiness-polling layer: level-triggered epoll on Linux,
+//! `poll(2)` on other unix — the reactor's only OS-facing surface.
+//!
+//! Like [`install_signal_drain`](crate::server::install_signal_drain),
+//! the bindings are raw `extern "C"` declarations against the libc std
+//! already links; no crate dependency. The API is deliberately small:
+//! register a file descriptor under a caller-chosen `u64` token with a
+//! read/write interest, wait with a timeout, and get back a flat list
+//! of [`PollEvent`]s. Everything is level-triggered, so a handler that
+//! leaves bytes unread or a buffer unflushed is simply called again on
+//! the next wait — no edge-tracking state machines.
+//!
+//! [`Waker`] is the cross-thread wake primitive: a loopback TCP socket
+//! pair (std-only; no `eventfd`/`pipe2` portability knots). Writing one
+//! byte to the send half makes the receive half readable, which pops
+//! the owning reactor out of its `wait`; the reactor drains the bytes
+//! and consults its completion queue.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+pub use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+#[cfg(not(unix))]
+pub type RawFd = i32;
+
+/// What to watch a registered descriptor for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when readable (or peer-closed).
+    pub read: bool,
+    /// Wake when writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the idle-connection default.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Read + write — a connection with a pending outbuf.
+    pub const READ_WRITE: Interest = Interest {
+        read: true,
+        write: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the descriptor was registered under.
+    pub token: u64,
+    /// Readable (includes peer close — a read will observe EOF).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup; the owner should read to completion and close.
+    pub hangup: bool,
+}
+
+/// A readiness poller owning one OS polling instance.
+pub struct Poller {
+    sys: sys::Sys,
+}
+
+impl Poller {
+    /// A fresh polling instance.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            sys: sys::Sys::new()?,
+        })
+    }
+
+    /// Watch `fd` under `token`. One registration per descriptor.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.sys.register(fd, token, interest)
+    }
+
+    /// Change the interest (and token) of an already-registered `fd`.
+    pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.sys.reregister(fd, token, interest)
+    }
+
+    /// Stop watching `fd`. Must be called before the descriptor closes.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.sys.deregister(fd)
+    }
+
+    /// Block until at least one registered descriptor is ready or the
+    /// timeout lapses (`None` = forever). Ready events are appended to
+    /// `events` (cleared first).
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<PollEvent>,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        events.clear();
+        self.sys.wait(events, timeout)
+    }
+}
+
+/// Round a timeout up to whole milliseconds for the kernel interface
+/// (`-1` = infinite). Rounding *up* keeps short deadline sleeps from
+/// degenerating into a busy loop at sub-millisecond remainders.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => t.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as i32,
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Level-triggered epoll via raw syscall bindings.
+
+    use super::{Interest, PollEvent, RawFd};
+    use std::io;
+    use std::time::Duration;
+
+    // glibc packs `struct epoll_event` on x86_64 only; other targets
+    // (riscv64, aarch64) use natural alignment. Mirror that exactly or
+    // the kernel scribbles over the wrong bytes.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// How many kernel events one wait call can surface.
+    const WAIT_CAP: usize = 256;
+
+    pub(super) struct Sys {
+        epfd: i32,
+        buf: Vec<EpollEvent>,
+    }
+
+    fn events_mask(interest: Interest) -> u32 {
+        let mut ev = EPOLLRDHUP;
+        if interest.read {
+            ev |= EPOLLIN;
+        }
+        if interest.write {
+            ev |= EPOLLOUT;
+        }
+        ev
+    }
+
+    impl Sys {
+        pub(super) fn new() -> io::Result<Sys> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Sys {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; WAIT_CAP],
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: events_mask(interest),
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn register(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub(super) fn reregister(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub(super) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            events: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let n = loop {
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as i32,
+                        super::timeout_ms(timeout),
+                    )
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for ev in &self.buf[..n] {
+                let bits = ev.events;
+                events.push(PollEvent {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Sys {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! Portable fallback on `poll(2)`: O(n) per wait, fine for the
+    //! non-Linux development case.
+
+    use super::{Interest, PollEvent, RawFd};
+    use std::io;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    pub(super) struct Sys {
+        entries: Vec<(RawFd, u64, Interest)>,
+    }
+
+    impl Sys {
+        pub(super) fn new() -> io::Result<Sys> {
+            Ok(Sys {
+                entries: Vec::new(),
+            })
+        }
+
+        pub(super) fn register(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            if self.entries.iter().any(|(f, _, _)| *f == fd) {
+                return Err(io::ErrorKind::AlreadyExists.into());
+            }
+            self.entries.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub(super) fn reregister(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            for entry in &mut self.entries {
+                if entry.0 == fd {
+                    *entry = (fd, token, interest);
+                    return Ok(());
+                }
+            }
+            Err(io::ErrorKind::NotFound.into())
+        }
+
+        pub(super) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let before = self.entries.len();
+            self.entries.retain(|(f, _, _)| *f != fd);
+            if self.entries.len() == before {
+                return Err(io::ErrorKind::NotFound.into());
+            }
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            events: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = self
+                .entries
+                .iter()
+                .map(|(fd, _, interest)| PollFd {
+                    fd: *fd,
+                    events: if interest.read { POLLIN } else { 0 }
+                        | if interest.write { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let n = loop {
+                let n = unsafe {
+                    poll(
+                        fds.as_mut_ptr(),
+                        fds.len() as u64,
+                        super::timeout_ms(timeout),
+                    )
+                };
+                if n >= 0 {
+                    break n;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            if n == 0 {
+                return Ok(());
+            }
+            for (pfd, (_, token, _)) in fds.iter().zip(&self.entries) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                events.push(PollEvent {
+                    token: *token,
+                    readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    hangup: pfd.revents & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    //! Stub off unix: binds fail at runtime, nothing at compile time.
+
+    use super::{Interest, PollEvent, RawFd};
+    use std::io;
+    use std::time::Duration;
+
+    pub(super) struct Sys;
+
+    impl Sys {
+        pub(super) fn new() -> io::Result<Sys> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "readiness polling is unix-only",
+            ))
+        }
+        pub(super) fn register(&mut self, _: RawFd, _: u64, _: Interest) -> io::Result<()> {
+            Err(io::ErrorKind::Unsupported.into())
+        }
+        pub(super) fn reregister(&mut self, _: RawFd, _: u64, _: Interest) -> io::Result<()> {
+            Err(io::ErrorKind::Unsupported.into())
+        }
+        pub(super) fn deregister(&mut self, _: RawFd) -> io::Result<()> {
+            Err(io::ErrorKind::Unsupported.into())
+        }
+        pub(super) fn wait(
+            &mut self,
+            _: &mut Vec<PollEvent>,
+            _: Option<Duration>,
+        ) -> io::Result<()> {
+            Err(io::ErrorKind::Unsupported.into())
+        }
+    }
+}
+
+/// The writable half of a reactor's wake channel. Cloneable and cheap:
+/// a wake is one nonblocking byte onto a loopback socket. A full socket
+/// buffer means wake bytes are already pending, so the failed write is
+/// itself a successful wake.
+pub struct Waker {
+    tx: TcpStream,
+}
+
+impl Waker {
+    /// Pop the owning reactor out of its current (or next) wait.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// An independent handle to the same wake channel.
+    pub fn try_clone(&self) -> io::Result<Waker> {
+        Ok(Waker {
+            tx: self.tx.try_clone()?,
+        })
+    }
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Waker")
+    }
+}
+
+/// Build a wake channel: the [`Waker`] goes to producers (batch
+/// workers, forwarders), the returned nonblocking [`TcpStream`] is the
+/// receive half the reactor registers for read interest and drains.
+pub fn waker_pair() -> io::Result<(Waker, TcpStream)> {
+    // A loopback accept gives a connected socket pair with std alone.
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let tx = TcpStream::connect(addr)?;
+    let (rx, _) = listener.accept()?;
+    tx.set_nodelay(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, rx))
+}
+
+/// Drain every pending wake byte from the receive half.
+pub fn drain_wakes(rx: &mut TcpStream) {
+    use std::io::Read;
+    let mut buf = [0u8; 256];
+    loop {
+        match rx.read(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readiness_follows_data_and_interest() {
+        let (mut a, mut b) = socket_pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(a.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        // Nothing to read yet: the wait times out empty.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "no data, no events");
+
+        // Peer data makes the socket readable under its token.
+        b.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+        let mut buf = [0u8; 8];
+        assert_eq!(a.read(&mut buf).unwrap(), 1);
+
+        // Write interest on an idle socket reports writable immediately.
+        poller
+            .reregister(a.as_raw_fd(), 7, Interest::READ_WRITE)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+
+        poller.deregister(a.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn peer_close_surfaces_as_readable() {
+        let (a, b) = socket_pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(a.as_raw_fd(), 3, Interest::READ).unwrap();
+        drop(b);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 3 && e.readable),
+            "EOF must wake the reader: {events:?}"
+        );
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_wait() {
+        let (waker, rx) = waker_pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(rx.as_raw_fd(), 1, Interest::READ).unwrap();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        let mut rx = rx;
+        drain_wakes(&mut rx);
+        t.join().unwrap();
+    }
+}

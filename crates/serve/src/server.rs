@@ -1,39 +1,58 @@
-//! The TCP server: accept loop, per-connection protocol handling,
-//! admission control, deadlines, counters, and graceful drain.
+//! The TCP server: a nonblocking readiness-polling reactor handling
+//! accept, per-connection protocol framing, admission control,
+//! deadlines, counters, and graceful drain.
 //!
-//! One thread per live connection parses newline-delimited requests and
-//! submits prediction jobs to the shared [`Batcher`]; the bounded shard
-//! queues are the admission-control boundary (a full queue produces an
-//! immediate `overloaded` reply instead of unbounded buffering). Every
-//! predict carries a deadline — the client's `deadline_ms` or the server
-//! default — after which the connection answers `deadline` and moves on;
-//! the computed result still lands in the cache.
+//! Each reactor thread (one per acceptor shard) owns an OS polling
+//! instance from [`crate::poll`] plus every connection it accepted:
+//! requests are parsed out of a per-connection input buffer fed by
+//! incremental nonblocking reads, and replies leave through a
+//! per-connection output buffer flushed under write interest. There is
+//! no hard connection cap — a connection costs a buffer pair and a map
+//! entry, not a thread. Blocking work never runs on a reactor: predict
+//! jobs go to the shared [`Batcher`] with a [`ReplySink`] completion
+//! port, cluster forwards go to the [`cluster::Forwarder`] pool, and
+//! both post completions through a [`ReactorHub`] whose
+//! [`poll::Waker`] pops the reactor out of its wait. The bounded shard
+//! queues remain the admission-control boundary (a full queue produces
+//! an immediate `overloaded` reply instead of unbounded buffering).
+//! Every predict carries a deadline — the client's `deadline_ms` or
+//! the server default — after which the connection answers `deadline`
+//! and moves on; the computed result still lands in the cache.
+//!
+//! In router mode (`--route node1,node2,...`) predicts are not served
+//! locally at all: the request's cache-key fingerprint picks an owner
+//! on the [`cluster::Ring`] and the raw request line is forwarded to
+//! that node, with failover to the next ring owner and hot-key
+//! replication across the owner set.
 //!
 //! Every request gets a [`TraceCtx`] whose id comes from a process-wide
 //! counter, so ids are unique and monotone per connection. The context
-//! records parse and reply-write spans on the connection thread; the
-//! shard worker tags queue-wait, dedup, cache-probe, engine-exec and
-//! pool-region spans with the same id — one Chrome trace follows a
-//! request across all four layers. When `slow_us` is configured, any
-//! predict at or above the threshold carries its span dump in the
-//! reply's `trace` field and lands in the admin `slow` log.
+//! records parse and reply-write spans on the reactor; the shard worker
+//! tags queue-wait, dedup, cache-probe, engine-exec and pool-region
+//! spans with the same id — one Chrome trace follows a request across
+//! all layers. When `slow_us` is configured, any predict at or above
+//! the threshold carries its span dump in the reply's `trace` field and
+//! lands in the admin `slow` log.
 //!
 //! Live telemetry: a [`Timeseries`] ring collects gauge snapshots —
 //! either from a background sampler thread (`sample_interval_ms > 0`)
 //! or on demand at each `metrics` request (interval 0, deterministic) —
-//! and the admin `watch` op streams fresh snapshots as NDJSON.
+//! and the admin `watch` op streams fresh snapshots as NDJSON, timed by
+//! the reactor clock instead of a parked thread.
 //!
 //! Shutdown is cooperative: an admin `quit` request, [`request_drain`],
 //! or SIGTERM/SIGINT (via [`install_signal_drain`]) sets one flag. The
-//! accept loop stops, each connection finishes its current request,
-//! the batcher serves everything already admitted, and [`Server::run`]
-//! returns the final metrics document.
+//! reactors stop accepting, each connection finishes its in-flight
+//! request, the batcher serves everything already admitted, and
+//! [`Server::run`] returns the final metrics document.
+//!
+//! The polling layer is unix-only ([`crate::poll`] has the details);
+//! off unix, [`Server::run`] fails at startup with `Unsupported`.
 
-use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,17 +63,30 @@ use rvhpc_obs::{
     self as obs, metrics, EventKind, JsonValue, LatencyHistogram, Sample, Timeseries, TraceCtx,
 };
 
-use crate::batch::{AdmissionError, Batcher, Job};
+use crate::batch::{AdmissionError, Batcher, Completion, CompletionPort, Job, ReplySink};
+use crate::cluster::{self, ForwardJob, ForwardOutcome, Router};
+use crate::poll::{self, Interest, PollEvent, Poller};
 use crate::proto::{self, ErrorKind, PredictRequest, Priority, ProtoError, Request};
 
 /// Hard cap on one request line; longer input is a protocol error.
 const MAX_LINE_BYTES: usize = 64 * 1024;
-/// Read poll interval — how quickly idle connections notice a drain.
+/// Reactor tick cap — how quickly idle reactors notice a drain; also
+/// the sampler thread's sleep slice.
 const READ_POLL: Duration = Duration::from_millis(50);
-/// Accept poll interval.
-const ACCEPT_POLL: Duration = Duration::from_millis(2);
 /// Most retained slow-request dumps (admin `slow` op).
 const SLOW_LOG_CAP: usize = 64;
+/// One nonblocking read's scratch size.
+const READ_CHUNK: usize = 16 * 1024;
+/// Most bytes one readiness event may pull into a connection's input
+/// buffer before yielding back to the event loop (level-triggered
+/// polling re-fires for the rest), so one firehose client cannot
+/// starve its reactor's other connections.
+const FILL_CAP: usize = 256 * 1024;
+
+/// Reactor-internal token for the acceptor socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Reactor-internal token for the wake channel.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
 
 /// Process-wide drain flag set by signal handlers and `quit` requests.
 static DRAIN: AtomicBool = AtomicBool::new(false);
@@ -110,6 +142,16 @@ pub fn install_signal_drain() {
 #[cfg(not(unix))]
 pub fn install_signal_drain() {}
 
+#[cfg(unix)]
+fn fd_of<T: std::os::unix::io::AsRawFd>(t: &T) -> poll::RawFd {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn fd_of<T>(_t: &T) -> poll::RawFd {
+    0
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -123,9 +165,9 @@ pub struct ServerConfig {
     pub pool_threads: usize,
     /// Deadline applied when a request names none.
     pub default_deadline_ms: u64,
-    /// Maximum simultaneous connections; beyond this, connections are
-    /// answered `overloaded` and closed.
-    pub max_conns: usize,
+    /// Reactor threads (acceptor shards); each owns a polling instance
+    /// and the connections it accepted.
+    pub reactors: usize,
     /// Slow-request threshold in microseconds: a predict whose service
     /// time reaches it replies with a span dump in `trace` and lands in
     /// the admin `slow` log. 0 dumps every predict; `None` disables.
@@ -138,7 +180,7 @@ pub struct ServerConfig {
     /// and no fault code runs.
     pub faults: Option<FaultPlan>,
     /// How long a connection may sit on a *partial* request line before
-    /// it is shed as stalled (also the per-connection write timeout).
+    /// it is shed as stalled (also the write-stall bound).
     pub stall_timeout_ms: u64,
     /// Back-off hint carried in load-shed (`overloaded`) replies.
     pub retry_after_ms: u64,
@@ -152,6 +194,10 @@ pub struct ServerConfig {
     /// SLO rules (`--slo FILE`) backing the admin `health` op. `None`
     /// — the default — makes `health` an invalid-op error.
     pub slo_rules: Option<obs::RuleSet>,
+    /// Cluster router mode (`--route node1,node2,...`): predicts are
+    /// forwarded to ring owners instead of served locally. `None` — the
+    /// default — serves every predict from this process.
+    pub route: Option<cluster::RouterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -166,7 +212,7 @@ impl Default for ServerConfig {
             queue_cap: 128,
             pool_threads: (cores / shards).max(1),
             default_deadline_ms: 10_000,
-            max_conns: 256,
+            reactors: cores.clamp(1, 4),
             slow_us: None,
             sample_interval_ms: 0,
             faults: None,
@@ -175,6 +221,7 @@ impl Default for ServerConfig {
             store_dir: None,
             hot_cache_cap: 0,
             slo_rules: None,
+            route: None,
         }
     }
 }
@@ -284,7 +331,12 @@ impl Counters {
 /// identical request sequences regardless of `--jobs`), and `*_us`
 /// latency gauges (wall-clock dependent, excluded from determinism
 /// comparisons along with the sample timestamp).
-fn sample_gauges(counters: &Counters, active: usize, batcher: &Batcher) -> Vec<(String, f64)> {
+fn sample_gauges(
+    counters: &Counters,
+    active: usize,
+    batcher: &Batcher,
+    router: Option<&Router>,
+) -> Vec<(String, f64)> {
     let hits = counters.cache_hits.load(Ordering::Relaxed);
     let misses = counters.cache_misses.load(Ordering::Relaxed);
     let depths = batcher.queue_depths();
@@ -330,6 +382,19 @@ fn sample_gauges(counters: &Counters, active: usize, batcher: &Batcher) -> Vec<(
         gauges.push(("store_entries".to_string(), store.len() as f64));
         gauges.push(("store_bytes".to_string(), store.bytes() as f64));
     }
+    // Cluster gauges ride along only in router mode: forwarded request
+    // volume plus per-node ring occupancy (distinct keys this router
+    // has assigned to each node). Counter-derived, so the occupancy sum
+    // equals the total distinct keys routed.
+    if let Some(router) = router {
+        gauges.push((
+            "forwarded_total".to_string(),
+            router.forwarded_total() as f64,
+        ));
+        for (i, keys) in router.keys_per_node().iter().enumerate() {
+            gauges.push((format!("ring_keys_node{i}"), *keys as f64));
+        }
+    }
     let service = counters.service.lock();
     gauges.push(("service_p50_us".to_string(), service.quantile(0.5) as f64));
     gauges.push(("service_p99_us".to_string(), service.quantile(0.99) as f64));
@@ -349,6 +414,8 @@ pub struct Server {
     timeseries: Arc<Timeseries>,
     slow_log: Arc<Mutex<VecDeque<JsonValue>>>,
     slo_rules: Option<Arc<obs::RuleSet>>,
+    router: Option<Arc<Router>>,
+    forwarder: Option<Arc<cluster::Forwarder>>,
 }
 
 impl Server {
@@ -364,6 +431,18 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        // std binds with a 128-deep accept backlog — a flood of
+        // simultaneous connects (the 10k-conn saturation sweep) would
+        // overflow it and drop SYNs before the reactor ever saw them.
+        // listen(2) on an already-listening socket just updates the
+        // backlog.
+        #[cfg(unix)]
+        unsafe {
+            extern "C" {
+                fn listen(fd: std::os::raw::c_int, backlog: std::os::raw::c_int) -> i32;
+            }
+            let _ = listen(fd_of(&listener), 4096);
+        }
         // An inactive plan (empty or seed-only) builds no injector at
         // all: the fault branches in the serving path never run.
         let injector = config
@@ -396,6 +475,17 @@ impl Server {
             config.sample_interval_ms * 1_000,
         ));
         let slo_rules = config.slo_rules.clone().map(Arc::new);
+        // Router mode: the ring and forwarder pool exist only when
+        // `--route` named a node set. The router shares the injector so
+        // the partition site can force failover re-routes under chaos.
+        let (router, forwarder) = match &config.route {
+            Some(rc) => {
+                let router = Arc::new(Router::new(rc.clone(), batcher.injector().cloned()));
+                let forwarder = Arc::new(cluster::Forwarder::spawn(Arc::clone(&router)));
+                (Some(router), Some(forwarder))
+            }
+            None => (None, None),
+        };
         Ok(Server {
             listener,
             local_addr,
@@ -406,6 +496,8 @@ impl Server {
             timeseries,
             slow_log: Arc::new(Mutex::new(VecDeque::new())),
             slo_rules,
+            router,
+            forwarder,
         })
     }
 
@@ -422,6 +514,7 @@ impl Server {
             self.active_conns.load(Ordering::Relaxed),
             &self.batcher,
             &self.timeseries,
+            self.router.as_deref(),
         )
     }
 
@@ -429,22 +522,34 @@ impl Server {
     /// [`request_drain`]); then stop accepting, let connections finish,
     /// drain the batcher, and return the final metrics document.
     pub fn run(self) -> std::io::Result<JsonValue> {
-        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let shared = Arc::new(Shared {
+            injector: self.batcher.injector().cloned(),
+            batcher: Arc::clone(&self.batcher),
+            counters: Arc::clone(&self.counters),
+            active: Arc::clone(&self.active_conns),
+            timeseries: Arc::clone(&self.timeseries),
+            slow_log: Arc::clone(&self.slow_log),
+            slow_us: self.config.slow_us,
+            slo_rules: self.slo_rules.clone(),
+            default_deadline: Duration::from_millis(self.config.default_deadline_ms),
+            stall_timeout: Duration::from_millis(self.config.stall_timeout_ms.max(1)),
+            retry_after_ms: self.config.retry_after_ms,
+            router: self.router.clone(),
+            forwarder: self.forwarder.clone(),
+        });
         let sampler = if self.config.sample_interval_ms > 0 {
             let interval = Duration::from_millis(self.config.sample_interval_ms);
-            let counters = Arc::clone(&self.counters);
-            let active = Arc::clone(&self.active_conns);
-            let batcher = Arc::clone(&self.batcher);
-            let timeseries = Arc::clone(&self.timeseries);
+            let shared = Arc::clone(&shared);
             Some(
                 std::thread::Builder::new()
                     .name("rvhpc-serve-sampler".to_string())
                     .spawn(move || {
                         while !drain_requested() {
-                            timeseries.sample_now(sample_gauges(
-                                &counters,
-                                active.load(Ordering::Relaxed),
-                                &batcher,
+                            shared.timeseries.sample_now(sample_gauges(
+                                &shared.counters,
+                                shared.active.load(Ordering::Relaxed),
+                                &shared.batcher,
+                                shared.router.as_deref(),
                             ));
                             // Sleep in short slices so a drain is noticed
                             // promptly even with long intervals.
@@ -461,53 +566,31 @@ impl Server {
         } else {
             None
         };
-        while !drain_requested() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    handles.retain(|h| !h.is_finished());
-                    if self.active_conns.load(Ordering::Relaxed) >= self.config.max_conns {
-                        self.counters.conns_rejected.fetch_add(1, Ordering::Relaxed);
-                        reject_connection(stream);
-                        continue;
-                    }
-                    let conn_ord = self.counters.conns_accepted.fetch_add(1, Ordering::Relaxed);
-                    self.active_conns.fetch_add(1, Ordering::Relaxed);
-                    let ctx = ConnCtx {
-                        injector: self.batcher.injector().cloned(),
-                        batcher: Arc::clone(&self.batcher),
-                        counters: Arc::clone(&self.counters),
-                        active: Arc::clone(&self.active_conns),
-                        timeseries: Arc::clone(&self.timeseries),
-                        slow_log: Arc::clone(&self.slow_log),
-                        slow_us: self.config.slow_us,
-                        slo_rules: self.slo_rules.clone(),
-                        conn_ord: conn_ord as u32,
-                        default_deadline: Duration::from_millis(self.config.default_deadline_ms),
-                        stall_timeout: Duration::from_millis(self.config.stall_timeout_ms.max(1)),
-                        retry_after_ms: self.config.retry_after_ms,
-                    };
-                    handles.push(
-                        std::thread::Builder::new()
-                            .name("rvhpc-serve-conn".to_string())
-                            .spawn(move || ctx.serve(stream))
-                            .expect("spawn connection thread"),
-                    );
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(ACCEPT_POLL);
-                }
-                Err(e) => return Err(e),
-            }
+        // Acceptor shards: every reactor polls its own dup of the
+        // listening socket, so accepts spread across reactors without a
+        // dedicated accept thread.
+        let mut reactors = Vec::new();
+        for i in 0..self.config.reactors.max(1) {
+            let listener = self.listener.try_clone()?;
+            let poller = Poller::new()?;
+            let (waker, waker_rx) = poll::waker_pair()?;
+            let shared = Arc::clone(&shared);
+            reactors.push(
+                std::thread::Builder::new()
+                    .name(format!("rvhpc-serve-reactor-{i}"))
+                    .spawn(move || Reactor::new(shared, poller, waker, waker_rx, listener).run())
+                    .expect("spawn reactor thread"),
+            );
         }
-        // Stop accepting: close the listener socket, then let every
-        // connection finish its current request and the batcher serve
-        // what was already admitted.
-        drop(self.listener);
-        for h in handles {
+        for h in reactors {
             let _ = h.join();
         }
+        drop(self.listener);
         if let Some(h) = sampler {
             let _ = h.join();
+        }
+        if let Some(f) = &self.forwarder {
+            f.drain();
         }
         self.batcher.drain();
         // Snapshot the hot tier into the disk store (when attached) so
@@ -521,6 +604,7 @@ impl Server {
             self.active_conns.load(Ordering::Relaxed),
             &self.batcher,
             &self.timeseries,
+            self.router.as_deref(),
         ))
     }
 }
@@ -530,12 +614,13 @@ fn build_metrics_doc(
     active: usize,
     batcher: &Batcher,
     timeseries: &Timeseries,
+    router: Option<&Router>,
 ) -> JsonValue {
     // On-demand mode: each metrics snapshot takes exactly one sample, so
     // the section's sample count tracks the request sequence, not the
     // wall clock — deterministic across `--jobs` settings.
     if timeseries.interval_us() == 0 {
-        timeseries.sample_now(sample_gauges(counters, active, batcher));
+        timeseries.sample_now(sample_gauges(counters, active, batcher, router));
     }
     let mut doc = metrics::document("rvhpc-serve");
     if let JsonValue::Object(map) = &mut doc {
@@ -559,6 +644,10 @@ fn build_metrics_doc(
         let profile = obs::prof::snapshot();
         if !profile.is_empty() {
             map.insert("profile".to_string(), profile.to_json());
+        }
+        // And the cluster section only exists in router mode.
+        if let Some(router) = router {
+            map.insert("cluster".to_string(), router.to_json());
         }
     }
     doc
@@ -640,16 +729,8 @@ fn faults_section(counters: &Counters, batcher: &Batcher) -> Option<JsonValue> {
     Some(JsonValue::object(fields))
 }
 
-fn reject_connection(mut stream: TcpStream) {
-    let reply = proto::render_error(&ProtoError::new(
-        None,
-        ErrorKind::Overloaded,
-        "connection limit reached",
-    ));
-    let _ = proto::write_frame(&mut stream, &reply);
-}
-
-struct ConnCtx {
+/// Everything a reactor needs that is not per-connection state.
+struct Shared {
     injector: Option<Arc<Injector>>,
     batcher: Arc<Batcher>,
     counters: Arc<Counters>,
@@ -658,111 +739,492 @@ struct ConnCtx {
     slow_log: Arc<Mutex<VecDeque<JsonValue>>>,
     slow_us: Option<u64>,
     slo_rules: Option<Arc<obs::RuleSet>>,
-    conn_ord: u32,
     default_deadline: Duration,
     stall_timeout: Duration,
     retry_after_ms: u64,
+    router: Option<Arc<Router>>,
+    forwarder: Option<Arc<cluster::Forwarder>>,
 }
 
-impl ConnCtx {
-    fn serve(self, stream: TcpStream) {
-        let mut conn_hits = 0u64;
-        let mut conn_misses = 0u64;
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(READ_POLL));
-        let _ = stream.set_write_timeout(Some(self.stall_timeout));
-        let mut writer = match stream.try_clone() {
-            Ok(w) => w,
-            Err(_) => return self.finish(conn_hits, conn_misses),
-        };
-        let mut reader = BufReader::new(stream);
-        let mut line = String::new();
-        // When a *partial* line sits in the buffer, the clock starts: a
-        // client that opens a frame and stalls holds a connection slot
-        // hostage, so past the stall timeout it is shed.
-        let mut partial_since: Option<Instant> = None;
-        loop {
-            if drain_requested() {
-                break;
-            }
-            match reader.read_line(&mut line) {
-                Ok(0) => break,
-                Ok(_) => {
-                    partial_since = None;
-                    let keep_going = self.handle_line(
-                        line.trim_end_matches(['\r', '\n']),
-                        &mut writer,
-                        &mut conn_hits,
-                        &mut conn_misses,
-                    );
-                    line.clear();
-                    if !keep_going {
-                        break;
-                    }
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    // Partial line stays buffered in `line`; keep
-                    // polling, but bound the buffer and the wait.
-                    if line.is_empty() {
-                        partial_since = None;
-                        continue;
-                    }
-                    if line.len() > MAX_LINE_BYTES {
-                        self.counters
-                            .protocol_errors
-                            .fetch_add(1, Ordering::Relaxed);
-                        let reply = proto::render_error(&ProtoError::new(
-                            None,
-                            ErrorKind::Parse,
-                            "request line exceeds 64 KiB",
-                        ));
-                        let _ = proto::write_frame(&mut writer, &reply);
-                        break;
-                    }
-                    let since = *partial_since.get_or_insert_with(Instant::now);
-                    if since.elapsed() >= self.stall_timeout {
-                        self.counters
-                            .stalled_conns_shed
-                            .fetch_add(1, Ordering::Relaxed);
-                        note_recovery("stalled-conn-shed", u64::from(self.conn_ord));
-                        break;
-                    }
-                }
-                Err(_) => break,
-            }
-        }
-        self.finish(conn_hits, conn_misses)
+/// One finished piece of off-reactor work.
+enum Done {
+    /// A batcher completion (local predict).
+    Job(Completion),
+    /// A cluster forward came back.
+    Forward { token: u64, outcome: ForwardOutcome },
+}
+
+/// The reactor's completion mailbox: batch workers and forwarders push
+/// results from their own threads, then wake the reactor. Implements
+/// [`CompletionPort`] so a [`ReplySink::port`] can point straight at it.
+struct ReactorHub {
+    done: Mutex<Vec<Done>>,
+    waker: poll::Waker,
+}
+
+impl ReactorHub {
+    fn post(&self, done: Done) {
+        self.done.lock().push(done);
+        self.waker.wake();
     }
 
-    fn finish(&self, conn_hits: u64, conn_misses: u64) {
-        if conn_hits + conn_misses > 0 {
-            *self.counters.conn_hit_rate_sum.lock() += rate(conn_hits, conn_misses);
+    fn drain(&self) -> Vec<Done> {
+        std::mem::take(&mut *self.done.lock())
+    }
+}
+
+impl CompletionPort for ReactorHub {
+    fn complete(&self, completion: Completion) {
+        self.post(Done::Job(completion));
+    }
+}
+
+/// A predict waiting on its completion (local batch or cluster
+/// forward).
+struct PendingPredict {
+    seq: u64,
+    req: Box<PredictRequest>,
+    trace: TraceCtx,
+    deadline_at: Instant,
+    deadline: Duration,
+    enqueued_us: u64,
+}
+
+/// An in-progress admin `watch` stream, timed by the reactor clock.
+struct WatchState {
+    remaining: u64,
+    interval: Duration,
+    next_at: Instant,
+}
+
+/// What a connection is doing. While not `Ready` the reactor neither
+/// reads from nor parses the connection — the same one-request-at-a-time
+/// backpressure the blocking loop had.
+enum ConnState {
+    Ready,
+    Predicting(PendingPredict),
+    Watching(WatchState),
+}
+
+struct Conn {
+    stream: TcpStream,
+    conn_ord: u32,
+    interest: Interest,
+    inbuf: Vec<u8>,
+    /// Bytes before this offset are known newline-free — incremental
+    /// scans never re-walk old partial data.
+    scan_from: usize,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    state: ConnState,
+    close_after_flush: bool,
+    hard_close: bool,
+    peer_closed: bool,
+    partial_since: Option<Instant>,
+    write_blocked_since: Option<Instant>,
+    hits: u64,
+    misses: u64,
+}
+
+/// What the incremental frame scanner found.
+enum Step {
+    /// A complete request line (newline included upstream, stripped by
+    /// the caller).
+    Line(String),
+    /// Partial line grew past [`MAX_LINE_BYTES`].
+    Oversize,
+    /// The line bytes are not UTF-8; close silently (the blocking
+    /// reader's `InvalidData` behavior).
+    BadUtf8,
+    /// Peer closed and nothing is buffered.
+    CloseEof,
+    /// Nothing complete yet.
+    Idle,
+}
+
+fn next_step(conn: &mut Conn) -> Step {
+    if let Some(pos) = conn.inbuf[conn.scan_from..]
+        .iter()
+        .position(|&b| b == b'\n')
+    {
+        let end = conn.scan_from + pos;
+        let raw: Vec<u8> = conn.inbuf.drain(..=end).collect();
+        conn.scan_from = 0;
+        conn.partial_since = None;
+        return match String::from_utf8(raw) {
+            Ok(s) => Step::Line(s),
+            Err(_) => Step::BadUtf8,
+        };
+    }
+    conn.scan_from = conn.inbuf.len();
+    if conn.inbuf.len() > MAX_LINE_BYTES {
+        return Step::Oversize;
+    }
+    if conn.peer_closed {
+        if conn.inbuf.is_empty() {
+            return Step::CloseEof;
         }
-        self.counters.conns_closed.fetch_add(1, Ordering::Relaxed);
-        self.active.fetch_sub(1, Ordering::Relaxed);
+        // A final unterminated line at EOF is still a request — the
+        // blocking reader's `read_line` behavior.
+        let raw = std::mem::take(&mut conn.inbuf);
+        conn.scan_from = 0;
+        conn.partial_since = None;
+        return match String::from_utf8(raw) {
+            Ok(s) => Step::Line(s),
+            Err(_) => Step::BadUtf8,
+        };
+    }
+    if conn.inbuf.is_empty() {
+        conn.partial_since = None;
+    } else if conn.partial_since.is_none() {
+        // A partial frame starts the stall clock: a client that opens a
+        // frame and stalls holds buffers hostage, so past the stall
+        // timeout it is shed.
+        conn.partial_since = Some(Instant::now());
+    }
+    Step::Idle
+}
+
+struct Reactor {
+    shared: Arc<Shared>,
+    poller: Poller,
+    hub: Arc<ReactorHub>,
+    waker_rx: TcpStream,
+    listener: TcpListener,
+    listener_open: bool,
+    conns: HashMap<u64, Conn>,
+    /// In-flight predict tokens → connection id. A completion whose
+    /// token is absent (deadline already answered, connection gone) is
+    /// dropped — the result still landed in the cache.
+    pending: HashMap<u64, u64>,
+    next_conn: u64,
+    next_seq: u64,
+    events: Vec<PollEvent>,
+}
+
+impl Reactor {
+    fn new(
+        shared: Arc<Shared>,
+        poller: Poller,
+        waker: poll::Waker,
+        waker_rx: TcpStream,
+        listener: TcpListener,
+    ) -> Reactor {
+        Reactor {
+            shared,
+            poller,
+            hub: Arc::new(ReactorHub {
+                done: Mutex::new(Vec::new()),
+                waker,
+            }),
+            waker_rx,
+            listener,
+            listener_open: true,
+            conns: HashMap::new(),
+            pending: HashMap::new(),
+            next_conn: 0,
+            next_seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    fn run(mut self) {
+        if self
+            .poller
+            .register(fd_of(&self.listener), TOKEN_LISTENER, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        if self
+            .poller
+            .register(fd_of(&self.waker_rx), TOKEN_WAKER, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        loop {
+            if drain_requested() {
+                self.begin_drain();
+                if self.conns.is_empty() {
+                    break;
+                }
+            }
+            let timeout = self.wait_timeout();
+            let mut events = std::mem::take(&mut self.events);
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                break;
+            }
+            for i in 0..events.len() {
+                let ev = events[i];
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_burst(),
+                    TOKEN_WAKER => poll::drain_wakes(&mut self.waker_rx),
+                    id => self.on_conn_event(id, ev.readable || ev.hangup, ev.writable),
+                }
+            }
+            self.events = events;
+            for done in self.hub.drain() {
+                self.on_done(done);
+            }
+            self.tick();
+        }
+    }
+
+    /// Next wait's upper bound: the nearest deadline, watch emission,
+    /// or stall cutoff, capped at [`READ_POLL`] so drains are noticed.
+    fn wait_timeout(&self) -> Duration {
+        let now = Instant::now();
+        let mut t = READ_POLL;
+        let mut consider = |at: Instant| {
+            let d = at.saturating_duration_since(now);
+            if d < t {
+                t = d;
+            }
+        };
+        for conn in self.conns.values() {
+            match &conn.state {
+                ConnState::Predicting(p) => consider(p.deadline_at),
+                ConnState::Watching(w) => consider(w.next_at),
+                ConnState::Ready => {
+                    if let Some(s) = conn.partial_since {
+                        consider(s + self.shared.stall_timeout);
+                    }
+                }
+            }
+            if let Some(s) = conn.write_blocked_since {
+                consider(s + self.shared.stall_timeout);
+            }
+        }
+        t
+    }
+
+    /// Drain mode: stop accepting, convert every connection to
+    /// close-after-current-work. Idempotent — runs every loop pass
+    /// while draining, closing connections as their work completes.
+    fn begin_drain(&mut self) {
+        if self.listener_open {
+            let _ = self.poller.deregister(fd_of(&self.listener));
+            self.listener_open = false;
+        }
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let close_now = {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    continue;
+                };
+                if let ConnState::Watching(_) = conn.state {
+                    // The blocking watch checked drain before each
+                    // emission and bailed; do the same.
+                    conn.state = ConnState::Ready;
+                }
+                conn.close_after_flush = true;
+                matches!(conn.state, ConnState::Ready) && conn.outpos >= conn.outbuf.len()
+            };
+            if close_now {
+                self.close_conn(id);
+            } else {
+                self.update_interest(id);
+            }
+        }
+    }
+
+    fn accept_burst(&mut self) {
+        if !self.listener_open {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.admit(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::Interrupted | std::io::ErrorKind::ConnectionAborted
+                    ) =>
+                {
+                    continue
+                }
+                Err(_) => {
+                    // Transient accept failure (fd pressure etc.): the
+                    // level-triggered poll retries on the next pass.
+                    self.shared
+                        .counters
+                        .conns_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let conn_ord = self
+            .shared
+            .counters
+            .conns_accepted
+            .fetch_add(1, Ordering::Relaxed) as u32;
+        self.shared.active.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_conn;
+        self.next_conn += 1;
+        if self
+            .poller
+            .register(fd_of(&stream), id, Interest::READ)
+            .is_err()
+        {
+            self.shared
+                .counters
+                .conns_closed
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared.active.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        self.conns.insert(
+            id,
+            Conn {
+                stream,
+                conn_ord,
+                interest: Interest::READ,
+                inbuf: Vec::new(),
+                scan_from: 0,
+                outbuf: Vec::new(),
+                outpos: 0,
+                state: ConnState::Ready,
+                close_after_flush: false,
+                hard_close: false,
+                peer_closed: false,
+                partial_since: None,
+                write_blocked_since: None,
+                hits: 0,
+                misses: 0,
+            },
+        );
+    }
+
+    fn on_conn_event(&mut self, id: u64, readable: bool, writable: bool) {
+        if writable {
+            self.try_flush(id);
+        }
+        if readable && self.conns.contains_key(&id) {
+            self.fill_inbuf(id);
+            self.advance(id);
+        }
+    }
+
+    /// Pull ready bytes into the connection's input buffer. Reads only
+    /// while the connection is `Ready` — in-flight work keeps the same
+    /// backpressure the blocking loop enforced by not calling
+    /// `read_line`.
+    fn fill_inbuf(&mut self, id: u64) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.close_after_flush || !matches!(conn.state, ConnState::Ready) {
+                return;
+            }
+            let mut buf = [0u8; READ_CHUNK];
+            let mut pulled = 0usize;
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.inbuf.extend_from_slice(&buf[..n]);
+                        pulled += n;
+                        if pulled >= FILL_CAP {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close_conn(id);
+        }
+    }
+
+    /// Process every complete request line buffered on the connection,
+    /// stopping when it leaves `Ready` (in-flight predict/watch), runs
+    /// out of complete lines, or closes.
+    fn advance(&mut self, id: u64) {
+        loop {
+            if drain_requested() {
+                // Stop consuming between requests; the drain sweep in
+                // the main loop closes this connection.
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    conn.close_after_flush = true;
+                }
+                break;
+            }
+            let step = {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                if conn.close_after_flush || !matches!(conn.state, ConnState::Ready) {
+                    break;
+                }
+                next_step(conn)
+            };
+            match step {
+                Step::Idle => break,
+                Step::BadUtf8 | Step::CloseEof => {
+                    self.close_conn(id);
+                    return;
+                }
+                Step::Oversize => {
+                    self.shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let reply = proto::render_error(&ProtoError::new(
+                        None,
+                        ErrorKind::Parse,
+                        "request line exceeds 64 KiB",
+                    ));
+                    self.queue_frame(id, &reply);
+                    self.shutdown_conn_graceful(id);
+                    break;
+                }
+                Step::Line(line) => {
+                    let keep = self.handle_line(id, line.trim_end_matches(['\r', '\n']));
+                    if !keep {
+                        self.shutdown_conn_graceful(id);
+                        break;
+                    }
+                }
+            }
+        }
+        self.update_interest(id);
     }
 
     /// Process one request line; returns false when the connection
-    /// should close.
-    fn handle_line(
-        &self,
-        line: &str,
-        writer: &mut TcpStream,
-        conn_hits: &mut u64,
-        conn_misses: &mut u64,
-    ) -> bool {
+    /// should close (after flushing what was queued).
+    fn handle_line(&mut self, id: u64, line: &str) -> bool {
         if line.is_empty() {
             return true;
         }
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let sh = Arc::clone(&self.shared);
+        sh.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let conn_ord = self.conns.get(&id).map(|c| c.conn_ord).unwrap_or(0);
         // One trace per request: the id is process-unique and monotone
         // within the connection. The same context threads through parse,
         // the shard handoff (via the Job), and the reply write.
-        let mut trace = TraceCtx::start(next_trace_id(), self.conn_ord);
-        if self.slow_us.is_some() {
+        let mut trace = TraceCtx::start(next_trace_id(), conn_ord);
+        if sh.slow_us.is_some() {
             trace.set_retain(true);
         }
         trace.push("parse");
@@ -771,44 +1233,46 @@ impl ConnCtx {
         let reply = match parsed {
             Err(e) => {
                 let counter = match e.kind {
-                    ErrorKind::Parse => &self.counters.protocol_errors,
-                    _ => &self.counters.invalid,
+                    ErrorKind::Parse => &sh.counters.protocol_errors,
+                    _ => &sh.counters.invalid,
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
                 proto::render_error(&e)
             }
             Ok(Request::Ping) => {
-                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                sh.counters.ok.fetch_add(1, Ordering::Relaxed);
                 proto::render_ok(None, JsonValue::from("pong"))
             }
             Ok(Request::Metrics) => {
-                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                sh.counters.ok.fetch_add(1, Ordering::Relaxed);
                 let doc = build_metrics_doc(
-                    &self.counters,
-                    self.active.load(Ordering::Relaxed),
-                    &self.batcher,
-                    &self.timeseries,
+                    &sh.counters,
+                    sh.active.load(Ordering::Relaxed),
+                    &sh.batcher,
+                    &sh.timeseries,
+                    sh.router.as_deref(),
                 );
                 proto::render_ok(None, doc)
             }
             Ok(Request::Slow) => {
-                self.counters.ok.fetch_add(1, Ordering::Relaxed);
-                let log = self.slow_log.lock();
+                sh.counters.ok.fetch_add(1, Ordering::Relaxed);
+                let log = sh.slow_log.lock();
                 proto::render_ok(None, JsonValue::Array(log.iter().cloned().collect()))
             }
-            Ok(Request::Health) => match &self.slo_rules {
+            Ok(Request::Health) => match &sh.slo_rules {
                 Some(rules) => {
-                    self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                    sh.counters.ok.fetch_add(1, Ordering::Relaxed);
                     let doc = build_metrics_doc(
-                        &self.counters,
-                        self.active.load(Ordering::Relaxed),
-                        &self.batcher,
-                        &self.timeseries,
+                        &sh.counters,
+                        sh.active.load(Ordering::Relaxed),
+                        &sh.batcher,
+                        &sh.timeseries,
+                        sh.router.as_deref(),
                     );
                     proto::render_ok(None, obs::evaluate(rules, &doc).to_json())
                 }
                 None => {
-                    self.counters.invalid.fetch_add(1, Ordering::Relaxed);
+                    sh.counters.invalid.fetch_add(1, Ordering::Relaxed);
                     proto::render_error(&ProtoError::new(
                         None,
                         ErrorKind::Invalid,
@@ -817,48 +1281,337 @@ impl ConnCtx {
                 }
             },
             Ok(Request::Profile) => {
-                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                sh.counters.ok.fetch_add(1, Ordering::Relaxed);
                 proto::render_ok(None, obs::prof::snapshot().to_json())
             }
             Ok(Request::Watch {
                 samples,
                 interval_ms,
             }) => {
-                self.counters.ok.fetch_add(1, Ordering::Relaxed);
-                return self.watch(writer, samples, interval_ms);
+                sh.counters.ok.fetch_add(1, Ordering::Relaxed);
+                return self.start_watch(id, samples, interval_ms);
             }
             Ok(Request::Quit) => {
-                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                sh.counters.ok.fetch_add(1, Ordering::Relaxed);
                 let reply = proto::render_ok(None, JsonValue::from("draining"));
                 trace.push("reply");
-                let _ = proto::write_frame(writer, &reply);
+                self.queue_frame(id, &reply);
                 trace.pop(EventKind::ReplyWrite);
                 request_drain();
                 return false;
             }
             Ok(Request::Predict(req)) => {
-                let reply = self.predict(&req, &mut trace, conn_hits, conn_misses);
-                // Reply-path faults apply to predict replies only, so
-                // admin ops (metrics fetches in particular) always come
-                // back clean even mid-chaos.
-                trace.push("reply");
-                let ok = self.write_predict_reply(writer, &reply);
-                trace.pop(EventKind::ReplyWrite);
-                return ok;
+                return self.handle_predict(id, line, *req, trace);
             }
         };
         trace.push("reply");
-        let ok = proto::write_frame(writer, &reply).is_ok();
+        self.queue_frame(id, &reply);
         trace.pop(EventKind::ReplyWrite);
-        ok
+        true
     }
 
-    /// Write a predict reply through the chaos choke point: the corrupt,
-    /// drop and torn sites each get one roll per reply, then the frame
-    /// goes out via the partial-write-safe [`proto::write_frame`].
-    fn write_predict_reply(&self, writer: &mut TcpStream, reply: &str) -> bool {
-        let Some(inj) = &self.injector else {
-            return proto::write_frame(writer, reply).is_ok();
+    /// Admit one predict: forward it to a ring owner (router mode) or
+    /// submit it to a local shard, parking the connection in
+    /// `Predicting` until the completion or its deadline.
+    fn handle_predict(
+        &mut self,
+        id: u64,
+        line: &str,
+        req: PredictRequest,
+        mut trace: TraceCtx,
+    ) -> bool {
+        let sh = Arc::clone(&self.shared);
+        let _prof = obs::prof::scope("serve.predict");
+        // Per-class QoS accounting covers only requests that named a
+        // class; class-less requests are admitted as interactive but
+        // recorded nowhere class-specific, so their replies and metrics
+        // stay byte-identical to the pre-QoS protocol.
+        if let Some(p) = req.priority {
+            sh.counters.class_requests[p.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        // Chaos: a queue-saturation burst sheds the request at admission
+        // exactly as a genuinely full shard queue would — an `overloaded`
+        // reply carrying the structured back-off hint.
+        if let Some(inj) = &sh.injector {
+            if inj.roll(FaultSite::QueueSaturate).is_some() {
+                sh.counters.shed_total.fetch_add(1, Ordering::Relaxed);
+                if let Some(p) = req.priority {
+                    sh.counters.class_shed[p.index()].fetch_add(1, Ordering::Relaxed);
+                }
+                note_recovery("load-shed", trace.id());
+                let reply = proto::render_error(
+                    &ProtoError::new(
+                        req.id,
+                        ErrorKind::Overloaded,
+                        "shard queues saturated, retry later",
+                    )
+                    .with_retry_after(sh.retry_after_ms),
+                );
+                return self.finish_predict_reply(id, &mut trace, &reply);
+            }
+        }
+        let (plan, query) = req.to_plan();
+        let enqueued_us = obs::now_us();
+        let deadline = req
+            .deadline_ms
+            .map(Duration::from_millis)
+            .unwrap_or(sh.default_deadline);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let (Some(_), Some(fwd)) = (&sh.router, &sh.forwarder) {
+            // Router mode: the raw request line travels to the ring
+            // owner verbatim, so the owner's reply bytes are exactly
+            // what a directly-connected client would have received.
+            let fingerprint = plan.key_of(&query).fingerprint();
+            let hub = Arc::clone(&self.hub);
+            let job = ForwardJob {
+                line: line.to_string(),
+                fingerprint,
+                token: seq,
+                done: Box::new(move |token, outcome| {
+                    hub.post(Done::Forward { token, outcome });
+                }),
+            };
+            if fwd.submit(job).is_err() {
+                sh.counters
+                    .rejected_admission
+                    .fetch_add(1, Ordering::Relaxed);
+                sh.counters.shed_total.fetch_add(1, Ordering::Relaxed);
+                if let Some(p) = req.priority {
+                    sh.counters.class_shed[p.index()].fetch_add(1, Ordering::Relaxed);
+                }
+                note_recovery("load-shed", trace.id());
+                let reply = proto::render_error(
+                    &ProtoError::new(
+                        req.id,
+                        ErrorKind::Overloaded,
+                        "forward queue full, retry later",
+                    )
+                    .with_retry_after(sh.retry_after_ms),
+                );
+                return self.finish_predict_reply(id, &mut trace, &reply);
+            }
+        } else {
+            let job = Job {
+                plan,
+                query,
+                enqueued_at: Instant::now(),
+                trace_id: trace.id(),
+                enqueued_us,
+                class: req.priority.unwrap_or(Priority::Interactive),
+                reply: ReplySink::port(Arc::clone(&self.hub) as Arc<dyn CompletionPort>, seq),
+            };
+            match sh.batcher.submit(job) {
+                Err(AdmissionError::QueueFull) => {
+                    sh.counters
+                        .rejected_admission
+                        .fetch_add(1, Ordering::Relaxed);
+                    sh.counters.shed_total.fetch_add(1, Ordering::Relaxed);
+                    if let Some(p) = req.priority {
+                        sh.counters.class_shed[p.index()].fetch_add(1, Ordering::Relaxed);
+                    }
+                    note_recovery("load-shed", trace.id());
+                    let reply = proto::render_error(
+                        &ProtoError::new(
+                            req.id,
+                            ErrorKind::Overloaded,
+                            "shard queue full, retry later",
+                        )
+                        .with_retry_after(sh.retry_after_ms),
+                    );
+                    return self.finish_predict_reply(id, &mut trace, &reply);
+                }
+                Err(AdmissionError::Draining) => {
+                    let reply = proto::render_error(&ProtoError::new(
+                        req.id,
+                        ErrorKind::Draining,
+                        "server is draining",
+                    ));
+                    return self.finish_predict_reply(id, &mut trace, &reply);
+                }
+                Ok(()) => {}
+            }
+        }
+        self.pending.insert(seq, id);
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.state = ConnState::Predicting(PendingPredict {
+                seq,
+                req: Box::new(req),
+                trace,
+                deadline_at: Instant::now() + deadline,
+                deadline,
+                enqueued_us,
+            });
+        }
+        true
+    }
+
+    fn on_done(&mut self, done: Done) {
+        match done {
+            Done::Job(c) => self.on_job_done(c),
+            Done::Forward { token, outcome } => self.on_forward_done(token, outcome),
+        }
+    }
+
+    fn on_job_done(&mut self, c: Completion) {
+        let Some(id) = self.pending.remove(&c.token) else {
+            // Deadline already answered or the connection is gone; the
+            // computed result still landed in the cache.
+            return;
+        };
+        let sh = Arc::clone(&self.shared);
+        let (mut trace, reply) = {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            let ConnState::Predicting(p) = std::mem::replace(&mut conn.state, ConnState::Ready)
+            else {
+                return;
+            };
+            let mut trace = p.trace;
+            let req = p.req;
+            let reply = match c.result {
+                Some(res) => {
+                    sh.counters.ok.fetch_add(1, Ordering::Relaxed);
+                    if let Some(pr) = req.priority {
+                        sh.counters.class_ok[pr.index()].fetch_add(1, Ordering::Relaxed);
+                        sh.counters.class_latency[pr.index()]
+                            .lock()
+                            .record(res.service_us);
+                    }
+                    if res.cached {
+                        sh.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        conn.hits += 1;
+                    } else {
+                        sh.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        conn.misses += 1;
+                    }
+                    sh.counters.service.lock().record(res.service_us);
+                    // Mirror the worker-side spans into this request's
+                    // retained dump (the worker already recorded them
+                    // into its own ring under the batch's trace id;
+                    // these copies feed only the slow-request dump).
+                    trace.retain_span(EventKind::QueueWait, "queue", p.enqueued_us, res.queue_us);
+                    trace.retain_span(
+                        EventKind::EngineExec,
+                        "execute",
+                        p.enqueued_us + res.queue_us,
+                        res.exec_us,
+                    );
+                    trace.retain_span(
+                        EventKind::CacheProbe,
+                        if res.cached {
+                            "cache-hit"
+                        } else {
+                            "cache-miss"
+                        },
+                        p.enqueued_us,
+                        0,
+                    );
+                    let result = proto::prediction_result(&req, &res.pred);
+                    if sh.slow_us.is_some_and(|t| res.service_us >= t) {
+                        let dump = trace.dump();
+                        let mut log = sh.slow_log.lock();
+                        if log.len() == SLOW_LOG_CAP {
+                            log.pop_front();
+                        }
+                        log.push_back(dump.clone());
+                        proto::render_ok_traced(req.id, result, dump)
+                    } else {
+                        proto::render_ok(req.id, result)
+                    }
+                }
+                None => {
+                    // The batch was abandoned after repeated panics;
+                    // the dropped ReplySink delivered this tombstone.
+                    sh.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+                    proto::render_error(&ProtoError::new(
+                        req.id,
+                        ErrorKind::Internal,
+                        "worker dropped the job",
+                    ))
+                }
+            };
+            (trace, reply)
+        };
+        let keep = self.finish_predict_reply(id, &mut trace, &reply);
+        if keep {
+            self.advance(id);
+        } else {
+            self.update_interest(id);
+        }
+    }
+
+    fn on_forward_done(&mut self, token: u64, outcome: ForwardOutcome) {
+        let Some(id) = self.pending.remove(&token) else {
+            return;
+        };
+        let sh = Arc::clone(&self.shared);
+        let (mut trace, req, enqueued_us) = {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            let ConnState::Predicting(p) = std::mem::replace(&mut conn.state, ConnState::Ready)
+            else {
+                return;
+            };
+            (p.trace, p.req, p.enqueued_us)
+        };
+        let reply = match outcome {
+            ForwardOutcome::Reply(raw) => {
+                // The owner's reply is relayed byte-for-byte. Service
+                // accounting covers the whole forward round trip; cache
+                // warmth is the owner's story, not the router's.
+                // `render_ok` leads with the echoed id when present, so
+                // match the marker anywhere in the (single-line) frame.
+                if raw.contains("\"ok\":true") {
+                    sh.counters.ok.fetch_add(1, Ordering::Relaxed);
+                    let service_us = obs::now_us().saturating_sub(enqueued_us);
+                    sh.counters.service.lock().record(service_us);
+                    if let Some(pr) = req.priority {
+                        sh.counters.class_ok[pr.index()].fetch_add(1, Ordering::Relaxed);
+                        sh.counters.class_latency[pr.index()]
+                            .lock()
+                            .record(service_us);
+                    }
+                }
+                raw
+            }
+            ForwardOutcome::Failed(last) => {
+                sh.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+                proto::render_error(&ProtoError::new(
+                    req.id,
+                    ErrorKind::Internal,
+                    format!("cluster forward failed: {last}"),
+                ))
+            }
+        };
+        let keep = self.finish_predict_reply(id, &mut trace, &reply);
+        if keep {
+            self.advance(id);
+        } else {
+            self.update_interest(id);
+        }
+    }
+
+    /// Wrap a predict reply in its reply-write span and push it through
+    /// the chaos choke point. Returns false when the connection must
+    /// close (injected drop).
+    fn finish_predict_reply(&mut self, id: u64, trace: &mut TraceCtx, reply: &str) -> bool {
+        trace.push("reply");
+        let keep = self.queue_predict_reply(id, reply);
+        trace.pop(EventKind::ReplyWrite);
+        keep
+    }
+
+    /// Queue a predict reply through the chaos choke point: the
+    /// corrupt, drop and torn sites each get one roll per reply, then
+    /// the frame enters the outbuf. Admin replies bypass this, so
+    /// metrics fetches always come back clean even mid-chaos.
+    fn queue_predict_reply(&mut self, id: u64, reply: &str) -> bool {
+        let Some(inj) = self.shared.injector.clone() else {
+            self.queue_frame(id, reply);
+            return true;
         };
         // Corrupt: flip the opening brace so the frame stays a single
         // newline-terminated line but no longer parses as JSON.
@@ -873,199 +1626,317 @@ impl ConnCtx {
         if inj.roll(FaultSite::ConnDrop).is_some() {
             let full = format!("{reply}\n");
             let half = &full.as_bytes()[..full.len() / 2];
-            let _ = writer.write_all(half);
-            let _ = writer.flush();
-            let _ = writer.shutdown(std::net::Shutdown::Both);
+            if let Some(conn) = self.conns.get_mut(&id) {
+                conn.outbuf.extend_from_slice(half);
+                conn.close_after_flush = true;
+                conn.hard_close = true;
+            }
+            self.try_flush(id);
             return false;
         }
         // Torn: route the frame through short writes + injected EINTR;
-        // write_frame's retry loop must still deliver it intact.
+        // write_frame's retry loop must still assemble it intact before
+        // the bytes enter the outbuf.
         if let Some(chunk) = inj.roll(FaultSite::TornWrite) {
-            let mut torn = TornWriter::new(&mut *writer, chunk as usize);
-            return proto::write_frame(&mut torn, reply).is_ok();
+            let mut assembled: Vec<u8> = Vec::with_capacity(reply.len() + 1);
+            {
+                let mut torn = TornWriter::new(&mut assembled, chunk as usize);
+                let _ = proto::write_frame(&mut torn, reply);
+            }
+            if let Some(conn) = self.conns.get_mut(&id) {
+                conn.outbuf.extend_from_slice(&assembled);
+            }
+            self.try_flush(id);
+            return true;
         }
-        proto::write_frame(writer, reply).is_ok()
+        self.queue_frame(id, reply);
+        true
     }
 
-    /// Stream `samples` fresh gauge snapshots as NDJSON, one every
-    /// `interval_ms` milliseconds — the admin `watch` op. Read-only:
-    /// streamed samples do not enter the timeseries ring.
-    fn watch(&self, writer: &mut TcpStream, samples: u64, interval_ms: u64) -> bool {
-        for i in 0..samples {
-            if i > 0 && interval_ms > 0 {
-                std::thread::sleep(Duration::from_millis(interval_ms));
+    /// Begin (or fully serve) an admin `watch` stream. Interval 0 emits
+    /// every sample immediately; otherwise the first sample goes now
+    /// and the rest are timed by the reactor clock.
+    fn start_watch(&mut self, id: u64, samples: u64, interval_ms: u64) -> bool {
+        if samples == 0 {
+            return true;
+        }
+        if interval_ms == 0 {
+            for _ in 0..samples {
+                if drain_requested() {
+                    return false;
+                }
+                let line = self.watch_sample_line();
+                self.queue_frame(id, &line);
+                if !self.conns.contains_key(&id) {
+                    return false;
+                }
             }
-            if drain_requested() {
-                return false;
-            }
-            let sample = Sample {
-                t_us: obs::now_us(),
-                gauges: sample_gauges(
-                    &self.counters,
-                    self.active.load(Ordering::Relaxed),
-                    &self.batcher,
-                )
-                .into_iter()
-                .collect(),
-            };
-            let line = proto::render_ok(None, sample.to_json());
-            if proto::write_frame(writer, &line).is_err() {
-                return false;
+            return true;
+        }
+        if drain_requested() {
+            return false;
+        }
+        let line = self.watch_sample_line();
+        self.queue_frame(id, &line);
+        if !self.conns.contains_key(&id) {
+            return false;
+        }
+        if samples > 1 {
+            if let Some(conn) = self.conns.get_mut(&id) {
+                let interval = Duration::from_millis(interval_ms);
+                conn.state = ConnState::Watching(WatchState {
+                    remaining: samples - 1,
+                    interval,
+                    next_at: Instant::now() + interval,
+                });
             }
         }
         true
     }
 
-    fn predict(
-        &self,
-        req: &PredictRequest,
-        trace: &mut TraceCtx,
-        conn_hits: &mut u64,
-        conn_misses: &mut u64,
-    ) -> String {
-        let _prof = obs::prof::scope("serve.predict");
-        // Per-class QoS accounting covers only requests that named a
-        // class; class-less requests are admitted as interactive but
-        // recorded nowhere class-specific, so their replies and metrics
-        // stay byte-identical to the pre-QoS protocol.
-        if let Some(p) = req.priority {
-            self.counters.class_requests[p.index()].fetch_add(1, Ordering::Relaxed);
-        }
-        // Chaos: a queue-saturation burst sheds the request at admission
-        // exactly as a genuinely full shard queue would — an `overloaded`
-        // reply carrying the structured back-off hint.
-        if let Some(inj) = &self.injector {
-            if inj.roll(FaultSite::QueueSaturate).is_some() {
-                self.counters.shed_total.fetch_add(1, Ordering::Relaxed);
-                if let Some(p) = req.priority {
-                    self.counters.class_shed[p.index()].fetch_add(1, Ordering::Relaxed);
-                }
-                note_recovery("load-shed", trace.id());
-                return proto::render_error(
-                    &ProtoError::new(
-                        req.id,
-                        ErrorKind::Overloaded,
-                        "shard queues saturated, retry later",
-                    )
-                    .with_retry_after(self.retry_after_ms),
-                );
-            }
-        }
-        let (plan, query) = req.to_plan();
-        let (tx, rx) = sync_channel(1);
-        let enqueued_us = obs::now_us();
-        let job = Job {
-            plan,
-            query,
-            enqueued_at: Instant::now(),
-            trace_id: trace.id(),
-            enqueued_us,
-            class: req.priority.unwrap_or(Priority::Interactive),
-            reply: tx,
+    /// One fresh gauge snapshot as a `watch` NDJSON line. Read-only:
+    /// streamed samples do not enter the timeseries ring.
+    fn watch_sample_line(&self) -> String {
+        let sh = &self.shared;
+        let sample = Sample {
+            t_us: obs::now_us(),
+            gauges: sample_gauges(
+                &sh.counters,
+                sh.active.load(Ordering::Relaxed),
+                &sh.batcher,
+                sh.router.as_deref(),
+            )
+            .into_iter()
+            .collect(),
         };
-        match self.batcher.submit(job) {
-            Err(AdmissionError::QueueFull) => {
-                self.counters
-                    .rejected_admission
-                    .fetch_add(1, Ordering::Relaxed);
-                self.counters.shed_total.fetch_add(1, Ordering::Relaxed);
-                if let Some(p) = req.priority {
-                    self.counters.class_shed[p.index()].fetch_add(1, Ordering::Relaxed);
-                }
-                note_recovery("load-shed", trace.id());
-                return proto::render_error(
-                    &ProtoError::new(
-                        req.id,
-                        ErrorKind::Overloaded,
-                        "shard queue full, retry later",
-                    )
-                    .with_retry_after(self.retry_after_ms),
-                );
-            }
-            Err(AdmissionError::Draining) => {
-                return proto::render_error(&ProtoError::new(
-                    req.id,
-                    ErrorKind::Draining,
-                    "server is draining",
-                ));
-            }
-            Ok(()) => {}
-        }
-        let deadline = req
-            .deadline_ms
-            .map(Duration::from_millis)
-            .unwrap_or(self.default_deadline);
-        match rx.recv_timeout(deadline) {
-            Ok(res) => {
-                self.counters.ok.fetch_add(1, Ordering::Relaxed);
-                if let Some(p) = req.priority {
-                    self.counters.class_ok[p.index()].fetch_add(1, Ordering::Relaxed);
-                    self.counters.class_latency[p.index()]
-                        .lock()
-                        .record(res.service_us);
-                }
-                if res.cached {
-                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    *conn_hits += 1;
-                } else {
-                    self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-                    *conn_misses += 1;
-                }
-                self.counters.service.lock().record(res.service_us);
-                // Mirror the worker-side spans into this request's
-                // retained dump (the worker already recorded them into
-                // its own ring under the batch's trace id; these copies
-                // feed only the slow-request dump).
-                trace.retain_span(EventKind::QueueWait, "queue", enqueued_us, res.queue_us);
-                trace.retain_span(
-                    EventKind::EngineExec,
-                    "execute",
-                    enqueued_us + res.queue_us,
-                    res.exec_us,
-                );
-                trace.retain_span(
-                    EventKind::CacheProbe,
-                    if res.cached {
-                        "cache-hit"
-                    } else {
-                        "cache-miss"
-                    },
-                    enqueued_us,
-                    0,
-                );
-                let result = proto::prediction_result(req, &res.pred);
-                if self.slow_us.is_some_and(|t| res.service_us >= t) {
-                    let dump = trace.dump();
-                    let mut log = self.slow_log.lock();
-                    if log.len() == SLOW_LOG_CAP {
-                        log.pop_front();
+        proto::render_ok(None, sample.to_json())
+    }
+
+    /// Reactor-clock work: expired predict deadlines, due watch
+    /// emissions, read/write stall sheds.
+    fn tick(&mut self) {
+        let now = Instant::now();
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let expired = {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    continue;
+                };
+                match &conn.state {
+                    ConnState::Predicting(p) if now >= p.deadline_at => {
+                        let ConnState::Predicting(p) =
+                            std::mem::replace(&mut conn.state, ConnState::Ready)
+                        else {
+                            unreachable!()
+                        };
+                        Some(p)
                     }
-                    log.push_back(dump.clone());
-                    proto::render_ok_traced(req.id, result, dump)
-                } else {
-                    proto::render_ok(req.id, result)
+                    _ => None,
                 }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                self.counters
+            };
+            if let Some(p) = expired {
+                // The completion, when it eventually arrives, finds no
+                // pending entry and is dropped — but the result still
+                // lands in the cache, exactly like the blocking
+                // `recv_timeout` path.
+                self.pending.remove(&p.seq);
+                self.shared
+                    .counters
                     .deadline_expired
                     .fetch_add(1, Ordering::Relaxed);
-                proto::render_error(&ProtoError::new(
-                    req.id,
+                let reply = proto::render_error(&ProtoError::new(
+                    p.req.id,
                     ErrorKind::Deadline,
-                    format!("deadline of {} ms expired", deadline.as_millis()),
-                ))
+                    format!("deadline of {} ms expired", p.deadline.as_millis()),
+                ));
+                let mut trace = p.trace;
+                let keep = self.finish_predict_reply(id, &mut trace, &reply);
+                if keep {
+                    self.advance(id);
+                } else {
+                    self.update_interest(id);
+                }
+                continue;
             }
-            Err(RecvTimeoutError::Disconnected) => {
-                self.counters
-                    .internal_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                proto::render_error(&ProtoError::new(
-                    req.id,
-                    ErrorKind::Internal,
-                    "worker dropped the job",
-                ))
+            self.tick_watch(id, now);
+            self.tick_stalls(id, now);
+        }
+    }
+
+    fn tick_watch(&mut self, id: u64, now: Instant) {
+        loop {
+            let due = {
+                let Some(conn) = self.conns.get(&id) else {
+                    return;
+                };
+                matches!(&conn.state, ConnState::Watching(w) if now >= w.next_at)
+            };
+            if !due {
+                return;
+            }
+            if drain_requested() {
+                // The blocking watch bailed out before each emission on
+                // drain; close the stream the same way.
+                self.close_conn(id);
+                return;
+            }
+            let line = self.watch_sample_line();
+            let finished = {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                let ConnState::Watching(w) = &mut conn.state else {
+                    return;
+                };
+                w.remaining -= 1;
+                w.next_at += w.interval;
+                let finished = w.remaining == 0;
+                if finished {
+                    conn.state = ConnState::Ready;
+                }
+                finished
+            };
+            self.queue_frame(id, &line);
+            if finished {
+                self.advance(id);
+                return;
             }
         }
+    }
+
+    fn tick_stalls(&mut self, id: u64, now: Instant) {
+        let (read_stalled, write_stalled) = {
+            let Some(conn) = self.conns.get(&id) else {
+                return;
+            };
+            (
+                matches!(conn.state, ConnState::Ready)
+                    && conn
+                        .partial_since
+                        .is_some_and(|s| now.duration_since(s) >= self.shared.stall_timeout),
+                conn.write_blocked_since
+                    .is_some_and(|s| now.duration_since(s) >= self.shared.stall_timeout),
+            )
+        };
+        if read_stalled {
+            self.shared
+                .counters
+                .stalled_conns_shed
+                .fetch_add(1, Ordering::Relaxed);
+            let ord = self.conns.get(&id).map(|c| c.conn_ord).unwrap_or(0);
+            note_recovery("stalled-conn-shed", u64::from(ord));
+            self.close_conn(id);
+            return;
+        }
+        if write_stalled {
+            // The blocking path bounded writes with a socket write
+            // timeout; a peer that won't drain its replies is cut off
+            // the same way.
+            self.close_conn(id);
+        }
+    }
+
+    /// Append a frame to the connection's outbuf and flush what the
+    /// socket will take now.
+    fn queue_frame(&mut self, id: u64, reply: &str) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.outbuf.extend_from_slice(reply.as_bytes());
+            conn.outbuf.push(b'\n');
+        }
+        self.try_flush(id);
+    }
+
+    /// Write buffered output until the socket blocks or empties; empty
+    /// + close-after-flush closes the connection.
+    fn try_flush(&mut self, id: u64) {
+        let mut close = false;
+        {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            while conn.outpos < conn.outbuf.len() {
+                match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+                    Ok(0) => {
+                        close = true;
+                        break;
+                    }
+                    Ok(n) => conn.outpos += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+            if conn.outpos >= conn.outbuf.len() {
+                conn.outbuf.clear();
+                conn.outpos = 0;
+                conn.write_blocked_since = None;
+                if conn.close_after_flush {
+                    close = true;
+                }
+            } else if conn.write_blocked_since.is_none() {
+                conn.write_blocked_since = Some(Instant::now());
+            }
+        }
+        if close {
+            self.close_conn(id);
+        } else {
+            self.update_interest(id);
+        }
+    }
+
+    /// Mark the connection close-after-flush and close it immediately
+    /// if nothing is still buffered.
+    fn shutdown_conn_graceful(&mut self, id: u64) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.close_after_flush = true;
+        }
+        self.try_flush(id);
+    }
+
+    /// Keep the poller's interest in sync with connection state: read
+    /// only while `Ready` (backpressure), write only while the outbuf
+    /// holds bytes.
+    fn update_interest(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let want = Interest {
+            read: matches!(conn.state, ConnState::Ready)
+                && !conn.close_after_flush
+                && !conn.peer_closed,
+            write: conn.outpos < conn.outbuf.len(),
+        };
+        if want != conn.interest
+            && self
+                .poller
+                .reregister(fd_of(&conn.stream), id, want)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    fn close_conn(&mut self, id: u64) {
+        let Some(conn) = self.conns.remove(&id) else {
+            return;
+        };
+        if let ConnState::Predicting(p) = &conn.state {
+            self.pending.remove(&p.seq);
+        }
+        let _ = self.poller.deregister(fd_of(&conn.stream));
+        if conn.hard_close {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        if conn.hits + conn.misses > 0 {
+            *self.shared.counters.conn_hit_rate_sum.lock() += rate(conn.hits, conn.misses);
+        }
+        self.shared
+            .counters
+            .conns_closed
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.active.fetch_sub(1, Ordering::Relaxed);
     }
 }

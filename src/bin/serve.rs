@@ -15,6 +15,9 @@
 //! serve --cache-cap 4096           # bound the hot cache; overflow spills to disk
 //! serve --profile prof.folded      # continuous profiler; collapsed stacks on exit
 //! serve --slo results/slo_rules.json  # SLO rules backing the admin health op
+//! serve --reactors 4               # reactor (event loop) threads
+//! serve --route 127.0.0.1:7172,127.0.0.1:7173  # router mode: forward
+//!                                  # predicts to cluster nodes by ring owner
 //! ```
 //!
 //! Speaks the newline-delimited JSON protocol of `rvhpc-serve` (see
@@ -33,7 +36,7 @@ fn usage_text() -> &'static str {
     "usage: serve [--addr HOST:PORT] [--shards N] [--queue N]\n\
      \x20            [--pool-threads N] [--deadline-ms N] [--metrics FILE]\n\
      \x20            [--slow-us N] [--sample-ms N] [--trace FILE] [--faults SPEC]\n\
-     \x20            [--store DIR] [--cache-cap N]\n\
+     \x20            [--store DIR] [--cache-cap N] [--reactors N] [--route NODES]\n\
      \x20 --addr:         bind address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
      \x20 --shards:       batching worker shards (default: up to 4)\n\
      \x20 --queue:        admission queue depth per shard (default 128)\n\
@@ -48,8 +51,8 @@ fn usage_text() -> &'static str {
      \x20 --trace:        enable span recording; write a Chrome trace here on exit\n\
      \x20 --faults:       deterministic fault-injection plan, e.g.\n\
      \x20                 'seed=42,panic=5:40x3,torn=3:20,saturate=17:70x3'\n\
-     \x20                 (sites: panic stall torn drop corrupt saturate store;\n\
-     \x20                 overrides the RVHPC_FAULTS environment variable)\n\
+     \x20                 (sites: panic stall torn drop corrupt saturate store\n\
+     \x20                 partition; overrides the RVHPC_FAULTS env variable)\n\
      \x20 --store:        persistent prediction-store directory: predictions are\n\
      \x20                 written through to disk and restored on the next start,\n\
      \x20                 so a restarted server replays its history without\n\
@@ -57,6 +60,12 @@ fn usage_text() -> &'static str {
      \x20 --cache-cap:    bound the in-memory hot cache to N predictions;\n\
      \x20                 overflow evicts FIFO into the store when one is\n\
      \x20                 attached (default 0 = unbounded)\n\
+     \x20 --reactors:     event-loop (reactor) threads sharing the listener\n\
+     \x20                 (default: up to 4)\n\
+     \x20 --route:        router mode: comma-separated node addresses; predicts\n\
+     \x20                 are forwarded to their consistent-hash ring owner\n\
+     \x20                 (failing over to the next owner on node death) and\n\
+     \x20                 every other op is served locally\n\
      \x20 -h, --help:     print this help and exit\n\
      stops on SIGTERM/ctrl-C or an admin {\"op\":\"quit\"} request\n\
      exit codes: 0 success, 2 usage error, 3 bind/write failure"
@@ -125,6 +134,20 @@ fn main() {
                 );
             }
             "--cache-cap" => config.hot_cache_cap = parse_num("--cache-cap", args.next()),
+            "--reactors" => config.reactors = parse_num("--reactors", args.next()),
+            "--route" => {
+                let nodes: Vec<String> = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--route needs NODE1,NODE2,..."))
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if nodes.is_empty() {
+                    usage_error("--route needs at least one node address");
+                }
+                config.route = Some(rvhpc::serve::RouterConfig::new(nodes));
+            }
             "--profile" => {
                 profile_path = Some(
                     args.next()

@@ -1,0 +1,359 @@
+//! Cluster end-to-end tests: three real `serve` node processes behind
+//! an in-process router (`route` mode), driven over TCP.
+//!
+//! Covers the cluster acceptance criteria:
+//!
+//! * **Byte identity** — the same request set answered by a single
+//!   standalone node and by the 3-node cluster produces byte-identical
+//!   predict replies, cold and warm (the router relays the owning
+//!   node's raw reply frame, and predictions are a pure function of the
+//!   request).
+//! * **Zero lost acks across a node kill** — a retrying load run keeps
+//!   every ack while one node is SIGKILLed mid-run; the router fails
+//!   the dead node's keys over to the next ring owner.
+//! * **Ring-occupancy accounting** — the gated `cluster` metrics
+//!   section's per-node key gauges sum to the total distinct keys the
+//!   router has served.
+//!
+//! The drain flag is process-global, so tests that boot the in-process
+//! router serialize on [`SERVER_LOCK`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rvhpc::obs::{json, JsonValue};
+use rvhpc::serve::{loadgen, reset_drain, LoadgenConfig, Mix, RouterConfig, Server, ServerConfig};
+
+static SERVER_LOCK: Mutex<()> = Mutex::new(());
+
+/// A real `serve` node process on an ephemeral port.
+struct Node {
+    child: Child,
+    addr: String,
+}
+
+impl Node {
+    fn spawn() -> Node {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+            .args(["--addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn serve node");
+        // The binary prints `rvhpc-serve listening on ADDR` (a stable
+        // line; CI greps it too) before accepting.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines
+            .next()
+            .expect("node prints its banner")
+            .expect("read banner");
+        let addr = banner
+            .strip_prefix("rvhpc-serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+            .to_string();
+        Node { child, addr }
+    }
+
+    /// Graceful stop: admin quit, then reap.
+    fn quit(mut self) {
+        if let Ok(stream) = TcpStream::connect(&self.addr) {
+            let mut writer = stream.try_clone().unwrap();
+            let _ = writeln!(writer, "{{\"op\":\"quit\"}}");
+            let mut reply = String::new();
+            let _ = BufReader::new(stream).read_line(&mut reply);
+        }
+        let _ = self.child.wait();
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Boot the in-process router over `nodes`.
+fn boot_router(
+    nodes: &[Node],
+    tweak: impl FnOnce(&mut RouterConfig),
+) -> (SocketAddr, std::thread::JoinHandle<JsonValue>) {
+    reset_drain();
+    let mut route = RouterConfig::new(nodes.iter().map(|n| n.addr.clone()).collect());
+    tweak(&mut route);
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        route: Some(route),
+        ..ServerConfig::default()
+    })
+    .expect("bind router");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("router run"));
+    (addr, handle)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("write request");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        assert!(reply.ends_with('\n'), "replies are newline-terminated");
+        reply.trim_end().to_string()
+    }
+}
+
+/// The gated `cluster` section out of an admin metrics reply.
+fn cluster_section(metrics_reply: &str) -> JsonValue {
+    let doc = json::parse(metrics_reply).expect("metrics reply parses");
+    doc.get("result")
+        .and_then(|r| r.get("cluster"))
+        .expect("router metrics carry a cluster section")
+        .clone()
+}
+
+/// Distinct deterministic predict lines (the loadgen grid).
+fn request_lines(count: usize) -> Vec<String> {
+    (0..count)
+        .map(|k| loadgen::request_line(k, Mix::Mixed, None, None))
+        .collect()
+}
+
+/// The routing fingerprint of a request line — the same cache-key
+/// fingerprint the router shards on (ids and deadlines don't shard;
+/// the engine query does).
+fn fingerprint_of(line: &str) -> u64 {
+    let req = match rvhpc::serve::proto::parse_request(line).expect("well-formed") {
+        rvhpc::serve::proto::Request::Predict(p) => *p,
+        other => panic!("expected predict, got {other:?}"),
+    };
+    let (plan, query) = req.to_plan();
+    plan.key_of(&query).fingerprint()
+}
+
+/// Byte identity: every reply through the 3-node cluster equals the
+/// standalone node's reply for the same line — cold pass and warm pass —
+/// and the ring-occupancy gauges account for every distinct key.
+#[test]
+fn cluster_replies_are_byte_identical_to_single_node() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    let lines = request_lines(60);
+    let distinct: std::collections::BTreeSet<u64> =
+        lines.iter().map(|l| fingerprint_of(l)).collect();
+
+    // Reference: one standalone node, two passes (cold, then warm).
+    let single = Node::spawn();
+    let mut reference = Vec::new();
+    {
+        let mut client = Client::connect(&single.addr);
+        for line in lines.iter().chain(lines.iter()) {
+            reference.push(client.roundtrip(line));
+        }
+    }
+    single.quit();
+
+    // Cluster: three nodes behind the router, same two passes.
+    let nodes: Vec<Node> = (0..3).map(|_| Node::spawn()).collect();
+    let (router_addr, handle) = boot_router(&nodes, |_| {});
+    let mut client = Client::connect(&router_addr.to_string());
+    for (i, line) in lines.iter().chain(lines.iter()).enumerate() {
+        let reply = client.roundtrip(line);
+        assert_eq!(
+            reply, reference[i],
+            "cluster reply {i} diverged from the standalone node"
+        );
+    }
+
+    // Ring occupancy: per-node key gauges sum to the distinct keys the
+    // router served, and more than one node took traffic.
+    let cluster = cluster_section(&client.roundtrip(r#"{"op":"metrics"}"#));
+    let keys_total = cluster
+        .get("keys_total")
+        .and_then(JsonValue::as_f64)
+        .unwrap() as usize;
+    assert_eq!(keys_total, distinct.len(), "one ring slot per distinct key");
+    let node_stats = match cluster.get("nodes") {
+        Some(JsonValue::Array(a)) => a.clone(),
+        other => panic!("cluster.nodes must be an array, got {other:?}"),
+    };
+    let key_sum: u64 = node_stats
+        .iter()
+        .map(|n| n.get("keys").and_then(JsonValue::as_f64).unwrap() as u64)
+        .sum();
+    assert_eq!(key_sum as usize, keys_total, "per-node gauges sum to total");
+    let serving = node_stats
+        .iter()
+        .filter(|n| n.get("ok").and_then(JsonValue::as_f64).unwrap() > 0.0)
+        .count();
+    assert!(
+        serving >= 2,
+        "traffic must spread across the ring: {serving}"
+    );
+
+    client.roundtrip(r#"{"op":"quit"}"#);
+    let doc = handle.join().expect("router thread");
+    assert!(
+        doc.get("cluster").is_some(),
+        "final router document keeps the cluster section"
+    );
+    for node in nodes {
+        node.quit();
+    }
+}
+
+/// Node-kill failover: a retrying load run against the router loses no
+/// acks while one node is SIGKILLed mid-run; the dead node's keys
+/// re-route to the next ring owner and the router records failovers.
+#[test]
+fn node_kill_mid_run_loses_no_acks() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    let mut nodes: Vec<Node> = (0..3).map(|_| Node::spawn()).collect();
+    // One attempt per node: a dead node fails fast to the next owner.
+    let (router_addr, handle) = boot_router(&nodes, |rc| {
+        rc.attempts_per_node = 1;
+        rc.connect_timeout_ms = 200;
+    });
+
+    const REQUESTS: u64 = 3_000;
+    let loadgen_addr = router_addr.to_string();
+    let run = std::thread::spawn(move || {
+        loadgen::run(&LoadgenConfig {
+            addr: loadgen_addr,
+            requests: REQUESTS as usize,
+            conns: 4,
+            // Paced so the run outlives the kill below even on a fast
+            // machine (~2s of wall clock).
+            rate: 1_500.0,
+            mix: Mix::Mixed,
+            deadline_ms: Some(30_000),
+            retry: true,
+            retry_seed: 11,
+            ..LoadgenConfig::default()
+        })
+        .expect("loadgen run")
+    });
+
+    // Wait until the cluster has definitely served traffic, then kill a
+    // node while the run is still going.
+    let mut poll = Client::connect(&router_addr.to_string());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let cluster = cluster_section(&poll.roundtrip(r#"{"op":"metrics"}"#));
+        let served: f64 = match cluster.get("nodes") {
+            Some(JsonValue::Array(a)) => a
+                .iter()
+                .map(|n| n.get("ok").and_then(JsonValue::as_f64).unwrap_or(0.0))
+                .sum(),
+            _ => 0.0,
+        };
+        if served >= 400.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cluster never reached 400 served requests"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    nodes[1].kill();
+
+    let report = run.join().expect("loadgen thread");
+    assert_eq!(report.ok, REQUESTS, "zero lost acks across the node kill");
+    assert_eq!(report.errors, 0, "failover must absorb the dead node");
+    assert_eq!(report.dropped, 0);
+
+    // The router saw the kill: the dead node took errors and its keys
+    // failed over, while the survivors kept serving.
+    let cluster = cluster_section(&poll.roundtrip(r#"{"op":"metrics"}"#));
+    let node_stats = match cluster.get("nodes") {
+        Some(JsonValue::Array(a)) => a.clone(),
+        other => panic!("cluster.nodes must be an array, got {other:?}"),
+    };
+    let failovers: f64 = node_stats
+        .iter()
+        .map(|n| n.get("failovers").and_then(JsonValue::as_f64).unwrap())
+        .sum();
+    assert!(failovers > 0.0, "a mid-run kill must record failovers");
+    let keys_total = cluster
+        .get("keys_total")
+        .and_then(JsonValue::as_f64)
+        .unwrap() as u64;
+    let key_sum: u64 = node_stats
+        .iter()
+        .map(|n| n.get("keys").and_then(JsonValue::as_f64).unwrap() as u64)
+        .sum();
+    assert_eq!(key_sum, keys_total, "occupancy gauges stay consistent");
+
+    poll.roundtrip(r#"{"op":"quit"}"#);
+    handle.join().expect("router thread");
+    for node in nodes {
+        node.quit();
+    }
+}
+
+/// The deterministic `partition` chaos site forces the failover path
+/// without killing anything: the primary owner is treated unreachable
+/// on schedule, the reply still arrives (from the next owner), and the
+/// recovery journal records the re-routes.
+#[test]
+fn partition_site_reroutes_deterministically() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    let nodes: Vec<Node> = (0..3).map(|_| Node::spawn()).collect();
+    reset_drain();
+    let mut route = RouterConfig::new(nodes.iter().map(|n| n.addr.clone()).collect());
+    route.forward_workers = 1; // one worker: the site's lattice is exact
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        route: Some(route),
+        faults: Some(rvhpc::faults::FaultPlan::parse("seed=5,partition=2:3x4").expect("plan")),
+        ..ServerConfig::default()
+    })
+    .expect("bind router");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("router run"));
+
+    let mut client = Client::connect(&addr.to_string());
+    for line in request_lines(40) {
+        let reply = client.roundtrip(&line);
+        assert!(
+            reply.contains("\"ok\":true"),
+            "partitioned forwards must still be acked: {reply}"
+        );
+    }
+
+    let reply = client.roundtrip(r#"{"op":"metrics"}"#);
+    let doc = json::parse(&reply).expect("metrics reply parses");
+    let injected = doc
+        .get("result")
+        .and_then(|r| r.get("faults"))
+        .and_then(|f| f.get("injected"))
+        .and_then(|i| i.get("partition"))
+        .and_then(|p| p.get("injected"))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0) as u64;
+    assert_eq!(injected, 4, "partition site must hit its cap exactly");
+
+    client.roundtrip(r#"{"op":"quit"}"#);
+    handle.join().expect("router thread");
+    for node in nodes {
+        node.quit();
+    }
+}

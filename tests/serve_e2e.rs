@@ -251,6 +251,161 @@ fn admission_control_rejects_with_structured_error() {
     );
 }
 
+/// Reactor regression: slow-loris clients (a byte every 100 ms, never a
+/// newline) used to pin one blocking worker thread each; with enough of
+/// them the server stopped answering anyone else. Under the reactor a
+/// stalled frame is just a buffered connection — interactive clients
+/// keep getting served while forty loris connections drip, and once the
+/// stall timeout passes the loris connections are shed and counted.
+#[test]
+fn slow_loris_does_not_starve_interactive_clients() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    let (addr, handle) = boot(ServerConfig {
+        stall_timeout_ms: 1_000,
+        ..test_config()
+    });
+
+    // Forty connections each open a frame and stall mid-line.
+    let mut loris: Vec<TcpStream> = (0..40)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("loris connect");
+            s.set_nodelay(true).unwrap();
+            s
+        })
+        .collect();
+    for s in &mut loris {
+        s.write_all(b"{\"op\":\"pi").expect("partial frame");
+    }
+
+    // While they drip one byte per round, an interactive client gets
+    // predicts and pings answered — golden bytes, no queue-behind-loris.
+    let mut client = Client::connect(addr);
+    let preset = r#"{"id":9,"bench":"mg","class":"B","threads":8,"machine":"sg2044"}"#;
+    let golden = golden_reply(preset);
+    for round in 0..5 {
+        for s in &mut loris {
+            let _ = s.write_all(b"n"); // never completes the frame
+        }
+        assert_eq!(client.roundtrip(preset), golden, "round {round}");
+        assert_eq!(
+            client.roundtrip(r#"{"op":"ping"}"#),
+            r#"{"ok":true,"result":"pong"}"#,
+            "round {round}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Past the stall timeout the drip-feeders are shed: the partial
+    // frame's clock starts when the frame opens and a trickle of bytes
+    // does not reset it.
+    std::thread::sleep(Duration::from_millis(1_200));
+    let reply = client.roundtrip(r#"{"op":"metrics"}"#);
+    let doc = json::parse(&reply).expect("metrics reply parses");
+    let shed = doc
+        .get("result")
+        .and_then(|r| r.get("faults"))
+        .and_then(|f| f.get("recovery"))
+        .and_then(|f| f.get("stalled_conns_shed"))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0) as u64;
+    assert!(
+        shed >= 40,
+        "all 40 loris connections must be shed as stalled, got {shed}"
+    );
+
+    drop(loris);
+    client.roundtrip(r#"{"op":"quit"}"#);
+    handle.join().expect("server thread");
+}
+
+/// Raise the soft fd limit to the hard limit so the idle-connection
+/// flood has room; returns the resulting soft limit.
+#[cfg(unix)]
+fn raise_nofile_limit() -> u64 {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    unsafe {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            return 1024;
+        }
+        if lim.cur < lim.max {
+            let want = Rlimit {
+                cur: lim.max,
+                max: lim.max,
+            };
+            let _ = setrlimit(RLIMIT_NOFILE, &want);
+            let _ = getrlimit(RLIMIT_NOFILE, &mut lim);
+        }
+        lim.cur
+    }
+}
+
+/// Reactor regression: the old accept loop refused connections past a
+/// hard cap (256 by default). The reactor has no cap — thousands of
+/// idle connections are accepted and held while the server keeps
+/// answering on any of them. Scaled to the fd limit, up to 5k.
+#[cfg(unix)]
+#[test]
+fn idle_connection_flood_is_accepted_and_served() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    let soft = raise_nofile_limit();
+    // Each held connection costs two fds in this process (client end +
+    // server end); leave generous headroom for the rest of the suite.
+    let target = (((soft.saturating_sub(512)) / 2) as usize).clamp(64, 5_000);
+    let (addr, handle) = boot(test_config());
+
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(target);
+    for i in 0..target {
+        match TcpStream::connect(addr) {
+            Ok(s) => idle.push(s),
+            Err(e) => panic!("connection {i}/{target} refused: {e}"),
+        }
+    }
+
+    // The flood must not block service: a fresh client and a sampling of
+    // the idle connections all round-trip.
+    let mut client = Client::connect(addr);
+    assert_eq!(
+        client.roundtrip(r#"{"op":"ping"}"#),
+        r#"{"ok":true,"result":"pong"}"#
+    );
+    for pick in [0, target / 2, target - 1] {
+        let s = &mut idle[pick];
+        s.write_all(b"{\"op\":\"ping\"}\n").expect("write ping");
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read ping reply");
+        assert_eq!(reply.trim_end(), r#"{"ok":true,"result":"pong"}"#);
+    }
+
+    let reply = client.roundtrip(r#"{"op":"metrics"}"#);
+    let doc = json::parse(&reply).expect("metrics reply parses");
+    let accepted = doc
+        .get("result")
+        .and_then(|r| r.get("server"))
+        .and_then(|s| s.get("connections"))
+        .and_then(|c| c.get("accepted"))
+        .and_then(JsonValue::as_f64)
+        .unwrap() as usize;
+    assert!(
+        accepted > target,
+        "all {target} idle connections must be accepted, got {accepted}"
+    );
+
+    drop(idle);
+    client.roundtrip(r#"{"op":"quit"}"#);
+    handle.join().expect("server thread");
+}
+
 /// Admin `health` and `profile` ops: with SLO rules loaded and the
 /// profiler on, `health` returns a versioned rvhpc-health/1 verdict and
 /// `profile` returns the collapsed-stack snapshot covering the serve
